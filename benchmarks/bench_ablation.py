@@ -1,0 +1,130 @@
+"""Ablations of the RPCoIB design choices (DESIGN.md Section 6).
+
+Quantifies each Section III element in isolation:
+
+* the eager/RDMA threshold (Section III-D's tunable),
+* the history-based buffer pool (Section III-C) vs cold acquisition,
+* the default engine's initial buffer size (the Section II-A
+  straw-man: "allocate a larger internal buffer").
+"""
+
+import pytest
+
+from repro.calibration import CostModel
+from repro.io.data_output import DataOutputBuffer
+from repro.io.rdma_streams import RDMAOutputStream
+from repro.io.writables import BytesWritable
+from repro.mem import CostLedger, HistoryShadowPool, NativeBufferPool
+from repro.rpc.microbench import ENGINE_CONFIGS, PingPongProtocol, PingPongService
+from repro.net.fabric import Fabric
+from repro.rpc.engine import RPC
+from repro.simcore import Environment
+
+
+def rpcoib_latency(payload: int, threshold: int, iterations: int = 15) -> float:
+    """Mean RPCoIB ping-pong RTT at one eager/RDMA threshold."""
+    config = ENGINE_CONFIGS["RPCoIB"]
+    env = Environment()
+    fabric = Fabric(env)
+    server_node, client_node = fabric.add_node("s"), fabric.add_node("c")
+    conf = config.conf.set("rpc.ib.rdma.threshold", threshold)
+    server = RPC.get_server(
+        fabric, server_node, 9000, PingPongService(), PingPongProtocol,
+        config.network, conf=conf,
+    )
+    client = RPC.get_client(fabric, client_node, config.network, conf=conf)
+    proxy = RPC.get_proxy(PingPongProtocol, server.address, client)
+    times = []
+
+    def bench(env):
+        data = BytesWritable(b"\x5a" * payload)
+        yield proxy.pingpong(data)
+        for _ in range(iterations):
+            start = env.now
+            yield proxy.pingpong(data)
+            times.append(env.now - start)
+
+    env.run(env.process(bench(env)))
+    return sum(times) / len(times)
+
+
+def test_threshold_sweep_small_messages_prefer_eager(benchmark, print_result):
+    """Below the threshold, send/recv beats RDMA for tiny messages
+    (Section III-D's rationale for the adaptive switch)."""
+
+    def sweep():
+        return {
+            threshold: rpcoib_latency(64, threshold) for threshold in (0, 4096)
+        }
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_result(
+        "Ablation: eager/RDMA threshold @64B",
+        "\n".join(f"  threshold={t}: {us:.1f} us" for t, us in result.items()),
+    )
+    # with threshold 0 everything goes RDMA: slightly worse for 64 B
+    assert result[4096] <= result[0]
+
+
+def test_history_pool_beats_cold_pool(benchmark, print_result):
+    """Section III-C ablation: the size-history predictor removes the
+    growth copies that a history-less pool pays on every call."""
+    model = CostModel.default()
+
+    def scenario():
+        classes = [128, 256, 512, 1024, 2048, 4096]
+        payload = BytesWritable(b"q" * 1500)
+        with_history = HistoryShadowPool(NativeBufferPool(model, classes))
+        cold = HistoryShadowPool(NativeBufferPool(model, classes))
+        costs = {"history": 0.0, "cold": 0.0}
+        for i in range(50):
+            ledger = CostLedger(model)
+            out = RDMAOutputStream(with_history, "P", "m", ledger)
+            payload.write(out)
+            out.detach()
+            out.release()
+            costs["history"] += ledger.total_us
+            ledger = CostLedger(model)
+            cold.history.clear()  # ablate the predictor
+            out = RDMAOutputStream(cold, "P", "m", ledger)
+            payload.write(out)
+            out.detach()
+            out.release()
+            costs["cold"] += ledger.total_us
+        return costs
+
+    costs = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_result(
+        "Ablation: message-size history",
+        f"  with history: {costs['history']:.1f} us total\n"
+        f"  without:      {costs['cold']:.1f} us total",
+    )
+    assert costs["history"] < costs["cold"]
+
+
+@pytest.mark.parametrize("initial", [32, 10 * 1024])
+def test_default_engine_initial_buffer_tradeoff(benchmark, initial, print_result):
+    """Section II-A's discussion: a big fixed initial buffer removes
+    adjustments but pays allocation/zeroing on every call."""
+    model = CostModel.default()
+
+    def serialize_many():
+        total = 0.0
+        adjustments = 0
+        for _ in range(200):
+            ledger = CostLedger(model)
+            buf = DataOutputBuffer(ledger, initial_size=initial)
+            BytesWritable(b"x" * 600).write(buf)
+            total += ledger.total_us
+            adjustments += buf.adjustments
+        return total, adjustments
+
+    total, adjustments = benchmark.pedantic(serialize_many, rounds=1, iterations=1)
+    print_result(
+        f"Ablation: initial buffer {initial}B",
+        f"  total {total:.1f} us, adjustments {adjustments}",
+    )
+    if initial == 32:
+        assert adjustments > 0
+    else:
+        assert adjustments == 0

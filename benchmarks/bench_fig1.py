@@ -1,0 +1,20 @@
+"""Fig. 1: buffer-allocation vs receive-time ratio — benchmark harness."""
+
+from repro.experiments import fig1_alloc_ratio
+from repro.units import KB, MB
+
+
+def test_fig1_alloc_ratio(benchmark, print_result):
+    result = benchmark.pedantic(
+        fig1_alloc_ratio.run,
+        kwargs={"iterations": 8},
+        rounds=1,
+        iterations=1,
+    )
+    print_result("Fig 1", fig1_alloc_ratio.format_result(result))
+    # the paper's claim: ~30% on IPoIB at 2 MB, small on 1GigE
+    assert 0.18 <= result["ipoib_ratio_2mb"] <= 0.42
+    assert result["gige_ratio_2mb"] < 0.5 * result["ipoib_ratio_2mb"]
+    # ratio grows with payload into the MB range on IPoIB
+    ipoib = result["ratio"]["IPoIB"]
+    assert ipoib[2 * MB] > ipoib[32]

@@ -1,0 +1,18 @@
+"""Fig. 3: message-size locality — benchmark harness."""
+
+from repro.experiments import fig3_size_locality
+
+
+def test_fig3_locality(benchmark, print_result):
+    result = benchmark.pedantic(
+        fig3_size_locality.run,
+        kwargs={"slaves": 4, "data_mb": 256},
+        rounds=1,
+        iterations=1,
+    )
+    print_result("Fig 3", fig3_size_locality.format_result(result))
+    for label in ("JT_heartbeat", "TT_statusUpdate", "NN_getFileInfo"):
+        assert result["traces"][label], f"no trace for {label}"
+        # the paper's phenomenon: sequential calls overwhelmingly land
+        # in the same size class
+        assert result["locality"][label] >= 0.6, label

@@ -1,0 +1,38 @@
+"""Fig. 5(a): ping-pong latency sweep — benchmark harness."""
+
+import pytest
+
+from repro.experiments import fig5_micro
+from repro.rpc.microbench import run_latency
+
+
+@pytest.mark.parametrize("engine", ["RPC-10GigE", "RPC-IPoIB", "RPCoIB"])
+def test_latency_curve(benchmark, engine, print_result):
+    """One engine's full Fig. 5(a) payload sweep per benchmark round."""
+    result = benchmark.pedantic(
+        run_latency,
+        args=(engine, fig5_micro.PAYLOAD_SIZES),
+        kwargs={"iterations": 15},
+        rounds=1,
+        iterations=1,
+    )
+    rows = "\n".join(f"  {size:>5} B: {us:8.1f} us" for size, us in result.items())
+    print_result(f"Fig 5(a) {engine}", rows)
+    assert result[1] < result[4096]
+
+
+def test_fig5a_headline_numbers(benchmark, print_result):
+    """The full figure + the paper's headline latency statistics."""
+    result = benchmark.pedantic(
+        fig5_micro.run,
+        kwargs={"payload_sizes": [1, 256, 4096], "client_counts": [16, 64],
+                "iterations": 15, "ops_per_client": 30},
+        rounds=1,
+        iterations=1,
+    )
+    print_result("Fig 5 summary", fig5_micro.format_result(result))
+    # shape: RPCoIB wins at every size, by roughly the paper's factor
+    lo_10g, hi_10g = result["reduction_vs_10gige"]
+    lo_ib, hi_ib = result["reduction_vs_ipoib"]
+    assert 0.35 <= lo_10g and hi_10g <= 0.55
+    assert 0.40 <= lo_ib and hi_ib <= 0.55

@@ -1,0 +1,33 @@
+"""Fig. 5(b): throughput vs concurrent clients — benchmark harness."""
+
+import pytest
+
+from repro.rpc.microbench import run_throughput
+
+
+@pytest.mark.parametrize("engine", ["RPC-10GigE", "RPC-IPoIB", "RPCoIB"])
+def test_peak_throughput(benchmark, engine, print_result):
+    kops = benchmark.pedantic(
+        run_throughput,
+        args=(engine, 64),
+        kwargs={"ops_per_client": 30},
+        rounds=1,
+        iterations=1,
+    )
+    print_result(f"Fig 5(b) {engine} @64 clients", f"{kops:.1f} Kops/s")
+    assert kops > 30.0
+
+
+def test_throughput_ordering(benchmark, print_result):
+    def sweep():
+        return {
+            engine: run_throughput(engine, 48, ops_per_client=25)
+            for engine in ("RPC-10GigE", "RPC-IPoIB", "RPCoIB")
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_result(
+        "Fig 5(b) ordering @48 clients",
+        "\n".join(f"  {k}: {v:.1f} Kops/s" for k, v in results.items()),
+    )
+    assert results["RPCoIB"] > results["RPC-IPoIB"] > results["RPC-10GigE"]

@@ -1,0 +1,50 @@
+"""Fig. 6(b): CloudBurst — benchmark harness."""
+
+from repro.apps.cloudburst import (
+    ALIGNMENT_MAPS,
+    ALIGNMENT_REDUCES,
+    FILTERING_MAPS,
+    FILTERING_REDUCES,
+    run_cloudburst,
+)
+from repro.experiments.clusters import build_mapreduce_stack
+
+
+def run_once(ib: bool, scale: float = 0.1, seed: int = 9):
+    stack = build_mapreduce_stack(
+        8, rpc_ib=ib, seed=seed, conf_overrides={"dfs.replication.min": 3}
+    )
+    holder = {}
+
+    def driver(env):
+        holder["result"] = yield run_cloudburst(stack.mapred, scale=scale)
+
+    stack.run(driver)
+    return holder["result"]
+
+
+def test_cloudburst_phases(benchmark, print_result):
+    result = benchmark.pedantic(run_once, args=(False,), rounds=1, iterations=1)
+    print_result(
+        "Fig 6(b) CloudBurst (IPoIB)",
+        f"Alignment {result.alignment_s:.1f}s  Filtering {result.filtering_s:.1f}s"
+        f"  Total {result.total_s:.1f}s",
+    )
+    # structure: the paper's task counts, Alignment dominates
+    assert result.alignment.maps == ALIGNMENT_MAPS
+    assert result.alignment.reduces == ALIGNMENT_REDUCES
+    assert result.filtering.maps == FILTERING_MAPS
+    assert result.filtering.reduces == FILTERING_REDUCES
+    assert result.alignment_s > result.filtering_s
+
+
+def test_cloudburst_rpcoib_does_not_lose(benchmark, print_result):
+    def pair():
+        return run_once(False), run_once(True)
+
+    ipoib, rpcoib = benchmark.pedantic(pair, rounds=1, iterations=1)
+    print_result(
+        "Fig 6(b) engines",
+        f"IPoIB total {ipoib.total_s:.1f}s vs RPCoIB total {rpcoib.total_s:.1f}s",
+    )
+    assert rpcoib.total_s <= ipoib.total_s * 1.02

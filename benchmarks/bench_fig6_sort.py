@@ -1,0 +1,33 @@
+"""Fig. 6(a): RandomWriter and Sort — benchmark harness.
+
+Runs the scaled cluster (structure-preserving: same waves per slot).
+The job-level engine deltas under-reproduce the paper here (see
+EXPERIMENTS.md: the 3-second heartbeat scheduling quantum absorbs
+sub-second RPC effects), so the assertions check the robust shapes:
+Sort costs more than RandomWriter, times grow with data size, and
+RPCoIB never loses.
+"""
+
+from repro.experiments import fig6_mapreduce
+
+
+def test_fig6a_sort_randomwriter(benchmark, print_result):
+    result = benchmark.pedantic(
+        fig6_mapreduce.run,
+        kwargs={"scale": 8, "data_sizes_gb": [1, 2], "cloudburst_scale": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+    print_result("Fig 6", fig6_mapreduce.format_result(result))
+    sort = result["sort_s"]
+    randomwriter = result["randomwriter_s"]
+    for engine in ("IPoIB", "RPCoIB"):
+        sizes = sorted(sort[engine])
+        # job time grows with data size
+        assert sort[engine][sizes[-1]] > sort[engine][sizes[0]]
+        # Sort (shuffle + reduce) costs more than map-only RandomWriter
+        assert sort[engine][sizes[-1]] > randomwriter[engine][sizes[-1]]
+    # RPCoIB never loses at the largest size
+    largest = sorted(sort["IPoIB"])[-1]
+    assert sort["RPCoIB"][largest] <= sort["IPoIB"][largest] * 1.02
+    assert randomwriter["RPCoIB"][largest] <= randomwriter["IPoIB"][largest] * 1.02

@@ -1,0 +1,44 @@
+"""Fig. 7: integrated HDFS write evaluation — benchmark harness."""
+
+from repro.experiments import fig7_hdfs
+
+
+def test_fig7_hdfs_write(benchmark, print_result):
+    result = benchmark.pedantic(
+        fig7_hdfs.run,
+        kwargs={
+            "datanodes": 16,
+            "file_sizes_gb": [1, 2],
+            "seeds": [101, 202, 303, 404, 505],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_result("Fig 7", fig7_hdfs.format_result(result))
+    series = result["write_s"]
+    largest = sorted(series["HDFSoIB-RPCoIB"])[-1]
+    # data-plane ordering: 1GigE clearly slowest; the IPoIB-sockets vs
+    # HDFSoIB gap is the data-plane CPU/wire saving minus commit-race
+    # noise (~±3%), so compare with that tolerance
+    assert (
+        series["HDFS(1GigE)-RPC(1GigE)"][largest]
+        > series["HDFS(IPoIB)-RPC(IPoIB)"][largest]
+    )
+    assert (
+        series["HDFSoIB-RPCoIB"][largest]
+        <= series["HDFS(IPoIB)-RPC(IPoIB)"][largest] * 1.03
+    )
+    # RPC-engine ordering within the HDFSoIB rows: the engine deltas are
+    # commit-race tail events, so allow seed noise of a few percent
+    assert (
+        series["HDFSoIB-RPCoIB"][largest]
+        <= series["HDFSoIB-RPC(IPoIB)"][largest] * 1.04
+    )
+    assert (
+        series["HDFSoIB-RPCoIB"][largest]
+        <= series["HDFSoIB-RPC(1GigE)"][largest] * 1.04
+    )
+    # write time grows with file size
+    for label, line in series.items():
+        sizes = sorted(line)
+        assert line[sizes[-1]] > line[sizes[0]], label

@@ -1,0 +1,35 @@
+"""Fig. 8: YCSB HBase evaluation — benchmark harness."""
+
+from repro.experiments import fig8_hbase
+
+
+def test_fig8_ycsb(benchmark, print_result):
+    result = benchmark.pedantic(
+        fig8_hbase.run,
+        kwargs={
+            "scale": 50,
+            "record_counts": [100_000, 300_000],
+            "seeds": [7, 21],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_result("Fig 8", fig8_hbase.format_result(result))
+    panels = result["panels"]
+    counts = sorted(panels["get"]["HBaseoIB-RPCoIB"])
+    mid = counts[len(counts) // 2]
+    # (a) Get throughput declines as the record count grows (cache
+    # warmth falls) for every configuration
+    for label, line in panels["get"].items():
+        assert line[counts[0]] >= line[counts[-1]] * 0.9, label
+    # integrated design wins every panel at the middle record count
+    for workload in ("get", "put", "mix"):
+        panel = panels[workload]
+        best = panel["HBaseoIB-RPCoIB"][mid]
+        assert best >= panel["HBaseoIB-RPC(IPoIB)"][mid] * 0.98, workload
+        assert best > panel["HBase(1GigE)-RPC(1GigE)"][mid], workload
+    # the RPCoIB gains are real for the write-heavy workloads
+    # (record-count-averaged, to damp the 400 ms-quantum race noise)
+    gains = result["gains_avg"]
+    assert gains["put"] > 0.02
+    assert gains["mix"] > -0.02

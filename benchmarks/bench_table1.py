@@ -1,0 +1,24 @@
+"""Table I: RPC invocation profiling in a Sort job — benchmark harness."""
+
+from repro.experiments import table1
+
+
+def test_table1_profile(benchmark, print_result):
+    result = benchmark.pedantic(
+        table1.run,
+        kwargs={"slaves": 8, "data_gb": 0.5},
+        rounds=1,
+        iterations=1,
+    )
+    print_result("Table I", table1.format_result(result))
+    rows = {(r["protocol"], r["method"]): r for r in result["rows"]}
+    # the Table I call mix is present
+    assert ("mapred.TaskUmbilicalProtocol", "statusUpdate") in rows
+    assert ("hdfs.ClientProtocol", "addBlock") in rows
+    # multiple memory adjustments per call, as the paper measures (2-5)
+    status = rows[("mapred.TaskUmbilicalProtocol", "statusUpdate")]
+    assert 2 <= status["avg_adjustments"] <= 6
+    get_task = rows[("mapred.TaskUmbilicalProtocol", "getTask")]
+    assert 1 <= get_task["avg_adjustments"] <= 4
+    # adjustment-heavy methods serialize slower than light ones
+    assert status["avg_serialization_us"] > get_task["avg_serialization_us"]

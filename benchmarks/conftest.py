@@ -1,0 +1,20 @@
+"""pytest-benchmark configuration for the table/figure harnesses.
+
+Each ``bench_*`` module regenerates one table or figure of the paper at
+a scaled-but-structure-preserving configuration (see EXPERIMENTS.md for
+the scaling rules) and prints the measured rows alongside the paper's
+values.  ``pytest benchmarks/ --benchmark-only`` runs everything.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def print_result():
+    """Print an experiment's formatted result under -s or into the
+    captured output (visible on failures and with -rA)."""
+
+    def _print(title: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")
+
+    return _print

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Scenario: RandomWriter + Sort on a simulated Hadoop cluster.
+
+Builds 1 master + 8 slaves (HDFS + MapReduce co-located), generates
+data with RandomWriter, sorts it, and prints the job times plus a
+Table-I-style RPC profile of the run.
+
+    python examples/sort_cluster.py
+"""
+
+from repro.apps import run_randomwriter, run_sort
+from repro.experiments.clusters import build_mapreduce_stack
+from repro.units import GB, MB
+
+
+def main():
+    for label, ib in (("default RPC over IPoIB", False), ("RPCoIB", True)):
+        stack = build_mapreduce_stack(
+            slaves=8, rpc_ib=ib, seed=17,
+            conf_overrides={"dfs.replication.min": 3},
+        )
+        times = {}
+
+        def driver(env):
+            rw = yield run_randomwriter(
+                stack.mapred, int(1 * GB), bytes_per_map=128 * MB
+            )
+            times["RandomWriter"] = rw.elapsed_s
+            sort = yield run_sort(stack.mapred, stack.master)
+            times["Sort"] = sort.elapsed_s
+
+        stack.run(driver)
+        print(f"== {label}")
+        print(f"   RandomWriter (1 GB): {times['RandomWriter']:.1f} s")
+        print(f"   Sort:                {times['Sort']:.1f} s")
+
+        if not ib:
+            print("   busiest RPC kinds (by call count):")
+            kinds = sorted(
+                stack.mapred.metrics.kinds() + stack.hdfs.metrics.kinds(),
+                key=lambda k: -k.calls,
+            )[:6]
+            for kind in kinds:
+                print(
+                    f"     {kind.protocol}.{kind.method}: {kind.calls} calls, "
+                    f"avg {kind.avg_adjustments:.1f} mem adjustments, "
+                    f"avg serialization {kind.avg_serialization_us:.0f} us"
+                )
+        print()
+
+
+if __name__ == "__main__":
+    main()

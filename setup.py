@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment ships setuptools 65 without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot
+build; this shim lets ``python setup.py develop`` and legacy
+``pip install -e .`` work offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

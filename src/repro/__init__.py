@@ -1,0 +1,43 @@
+"""RPCoIB reproduction: Hadoop RPC with RDMA over InfiniBand (ICPP 2013).
+
+A production-quality discrete-event reproduction of Lu et al.,
+"High-Performance Design of Hadoop RPC with RDMA over InfiniBand".
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+
+Top-level convenience imports cover the public API a downstream user
+needs for the quickstart::
+
+    from repro import Configuration, CostModel, Environment
+"""
+
+from repro.config import Configuration
+from repro.calibration import (
+    FABRICS,
+    IB_EAGER,
+    IB_RDMA,
+    IPOIB_QDR,
+    ONE_GIGE,
+    PAPER_TARGETS,
+    TEN_GIGE,
+    CostModel,
+    NetworkSpec,
+)
+from repro.simcore import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Configuration",
+    "CostModel",
+    "Environment",
+    "FABRICS",
+    "IB_EAGER",
+    "IB_RDMA",
+    "IPOIB_QDR",
+    "NetworkSpec",
+    "ONE_GIGE",
+    "PAPER_TARGETS",
+    "TEN_GIGE",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Workloads of the paper's Fig. 6 evaluation.
+
+* :mod:`repro.apps.randomwriter` — map-only random data generation;
+* :mod:`repro.apps.sortjob` — the Sort benchmark over RandomWriter output;
+* :mod:`repro.apps.cloudburst` — the CloudBurst short-read mapping
+  application (Alignment + Filtering job pipeline).
+"""
+
+from repro.apps.randomwriter import run_randomwriter
+from repro.apps.sortjob import run_sort
+from repro.apps.cloudburst import CloudBurstResult, run_cloudburst
+
+__all__ = [
+    "CloudBurstResult",
+    "run_cloudburst",
+    "run_randomwriter",
+    "run_sort",
+]

@@ -1,0 +1,107 @@
+"""CloudBurst: highly-sensitive short-read mapping with MapReduce.
+
+The paper runs CloudBurst with its default data/configuration on 9
+nodes (1 master + 8 slaves): two chained jobs —
+
+* **Alignment** (240 maps, 48 reduces): the seed-and-extend alignment
+  kernel, the CPU-heavy bulk of the application;
+* **Filtering** (24 maps, 24 reduces): selects the best alignments.
+
+We reproduce the task counts and the CPU-heavy profile; read/genome
+data is synthetic (the real S. suis dataset is not redistributable)
+with sizes chosen so the per-phase times land in Fig. 6(b)'s range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapred.cluster import MapReduceCluster
+from repro.mapred.job import InputSplit, JobConf, JobResult, TaskModel
+from repro.units import MB
+
+#: paper/default CloudBurst task counts
+ALIGNMENT_MAPS = 240
+ALIGNMENT_REDUCES = 48
+FILTERING_MAPS = 24
+FILTERING_REDUCES = 24
+
+#: synthetic per-map input sizes [calibrated to Fig. 6(b) phase times]
+ALIGNMENT_SPLIT_BYTES = 24 * MB
+FILTERING_SPLIT_BYTES = 24 * MB
+
+
+@dataclass
+class CloudBurstResult:
+    """Per-phase and total execution times (Fig. 6b's three bars)."""
+
+    alignment: JobResult
+    filtering: JobResult
+
+    @property
+    def alignment_s(self) -> float:
+        return self.alignment.elapsed_s
+
+    @property
+    def filtering_s(self) -> float:
+        return self.filtering.elapsed_s
+
+    @property
+    def total_s(self) -> float:
+        return self.alignment_s + self.filtering_s
+
+
+def alignment_conf(scale: float = 1.0) -> JobConf:
+    splits = [
+        InputSplit(f"reads-{i}", 0, int(ALIGNMENT_SPLIT_BYTES * scale))
+        for i in range(ALIGNMENT_MAPS)
+    ]
+    model = TaskModel(
+        synthetic_input=True,
+        map_cpu_per_byte=0.55,  # seed-and-extend kernel: CPU-bound
+        map_output_ratio=0.25,  # candidate alignments
+        sort_cpu_per_byte=0.05,
+        merge_cpu_per_byte=0.04,
+        reduce_cpu_per_byte=0.35,  # extension/verification in reduce
+        reduce_output_ratio=0.5,
+    )
+    return JobConf(
+        name="CloudBurst-Alignment",
+        splits=splits,
+        num_reduces=ALIGNMENT_REDUCES,
+        model=model,
+        output_path="/cloudburst/alignments",
+    )
+
+
+def filtering_conf(scale: float = 1.0) -> JobConf:
+    splits = [
+        InputSplit(f"alignments-{i}", 0, int(FILTERING_SPLIT_BYTES * scale))
+        for i in range(FILTERING_MAPS)
+    ]
+    model = TaskModel(
+        synthetic_input=True,
+        map_cpu_per_byte=0.18,
+        map_output_ratio=0.4,
+        reduce_cpu_per_byte=0.12,
+        reduce_output_ratio=0.2,
+    )
+    return JobConf(
+        name="CloudBurst-Filtering",
+        splits=splits,
+        num_reduces=FILTERING_REDUCES,
+        model=model,
+        output_path="/cloudburst/filtered",
+    )
+
+
+def run_cloudburst(cluster: MapReduceCluster, scale: float = 1.0):
+    """Process: run Alignment then Filtering; value: CloudBurstResult."""
+    env = cluster.env
+
+    def proc():
+        alignment = yield cluster.submit_job(alignment_conf(scale))
+        filtering = yield cluster.submit_job(filtering_conf(scale))
+        return CloudBurstResult(alignment, filtering)
+
+    return env.process(proc(), name="cloudburst-driver")

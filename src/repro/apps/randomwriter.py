@@ -1,0 +1,55 @@
+"""RandomWriter: the map-only HDFS data generator (Fig. 6a).
+
+Each map writes ``bytes_per_map`` of random key-value data straight to
+HDFS (3-way replicated), with no shuffle and no reduces — which is why
+the paper sees smaller RPCoIB gains here than for Sort: the map phase
+is less RPC-intensive (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mapred.cluster import MapReduceCluster
+from repro.mapred.job import InputSplit, JobConf, TaskModel
+from repro.units import MB
+
+#: hadoop-examples RandomWriter default: 1 GB per map; kept configurable
+#: so scaled-down runs preserve the map count of the full-size job.
+DEFAULT_BYTES_PER_MAP = 1024 * MB
+
+
+def randomwriter_conf(
+    total_bytes: int,
+    bytes_per_map: int = DEFAULT_BYTES_PER_MAP,
+    output_path: str = "/rw-out",
+) -> JobConf:
+    """Build the RandomWriter job configuration."""
+    num_maps = max(1, total_bytes // bytes_per_map)
+    splits = [
+        InputSplit(f"random-source-{i}", 0, bytes_per_map) for i in range(num_maps)
+    ]
+    model = TaskModel(
+        synthetic_input=True,  # data is generated, not read
+        map_cpu_per_byte=0.030,  # random generation + serialization
+        map_output_ratio=0.0,  # no shuffle output
+        map_hdfs_write_ratio=1.0,  # everything goes to HDFS
+    )
+    return JobConf(
+        name="RandomWriter",
+        splits=splits,
+        num_reduces=0,
+        model=model,
+        output_path=output_path,
+    )
+
+
+def run_randomwriter(
+    cluster: MapReduceCluster,
+    total_bytes: int,
+    bytes_per_map: int = DEFAULT_BYTES_PER_MAP,
+    output_path: str = "/rw-out",
+):
+    """Process: run RandomWriter; value is the JobResult."""
+    conf = randomwriter_conf(total_bytes, bytes_per_map, output_path)
+    return cluster.submit_job(conf)

@@ -1,0 +1,84 @@
+"""Sort: the paper's primary MapReduce benchmark (Fig. 6a, Table I).
+
+Identity map + identity reduce over RandomWriter output: all input
+bytes shuffle to the reducers and are written back to HDFS — the most
+RPC-intensive of the benchmarks (umbilical traffic, completion-event
+polling, and the reducers' HDFS output metadata ops).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.io.writables import LongWritable, Text
+from repro.mapred.cluster import MapReduceCluster
+from repro.mapred.job import InputSplit, JobConf, TaskModel
+
+
+def build_splits(cluster: MapReduceCluster, client_node, input_dir: str):
+    """Process: compute input splits from HDFS metadata (one per block),
+    exactly as the JobClient does — over ClientProtocol RPCs."""
+    env = cluster.env
+
+    def proc():
+        dfs = cluster.dfs_client(client_node)
+        listing = yield dfs.namenode.getListing(Text(input_dir))
+        splits: List[InputSplit] = []
+        for status in listing.values:
+            located = yield dfs.namenode.getBlockLocations(
+                Text(status.path), LongWritable(0), LongWritable(1 << 62)
+            )
+            offset = 0
+            for block in located.blocks:
+                splits.append(
+                    InputSplit(
+                        status.path,
+                        offset,
+                        block.block.num_bytes,
+                        [info.name for info in block.locations],
+                    )
+                )
+                offset += block.block.num_bytes
+        return splits
+
+    return env.process(proc(), name=f"splits:{input_dir}")
+
+
+def sort_conf(splits: List[InputSplit], num_reduces: int, output_path: str = "/sort-out") -> JobConf:
+    model = TaskModel(
+        map_cpu_per_byte=0.060,  # record parse + partition
+        map_output_ratio=1.0,  # identity map
+        sort_cpu_per_byte=0.050,
+        merge_cpu_per_byte=0.030,
+        reduce_cpu_per_byte=0.030,  # identity reduce
+        reduce_output_ratio=1.0,
+    )
+    return JobConf(
+        name="Sort",
+        splits=splits,
+        num_reduces=num_reduces,
+        model=model,
+        output_path=output_path,
+    )
+
+
+def run_sort(
+    cluster: MapReduceCluster,
+    client_node,
+    input_dir: str = "/rw-out",
+    num_reduces: Optional[int] = None,
+    output_path: str = "/sort-out",
+):
+    """Process: build splits from ``input_dir`` and run Sort."""
+    env = cluster.env
+
+    def proc():
+        splits = yield build_splits(cluster, client_node, input_dir)
+        reduces = num_reduces
+        if reduces is None:
+            per_node = cluster.conf.get_int("mapred.tasktracker.reduce.tasks.maximum")
+            reduces = per_node * len(cluster.trackers)
+        result = yield cluster.submit_job(sort_conf(splits, reduces, output_path))
+        return result
+
+    return env.process(proc(), name="sort-driver")

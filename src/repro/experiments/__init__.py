@@ -1,0 +1,30 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> dict`` (the measured rows/series)
+and ``format_result(result) -> str`` (the same rows the paper prints).
+``python -m repro.experiments all`` regenerates everything; see
+``EXPERIMENTS.md`` for paper-vs-measured values and the scaling rules
+used for the cluster-scale experiments.
+"""
+
+from repro.experiments import (
+    fig1_alloc_ratio,
+    fig3_size_locality,
+    fig5_micro,
+    fig6_mapreduce,
+    fig7_hdfs,
+    fig8_hbase,
+    table1,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "fig1": fig1_alloc_ratio,
+    "fig3": fig3_size_locality,
+    "fig5": fig5_micro,
+    "fig6": fig6_mapreduce,
+    "fig7": fig7_hdfs,
+    "fig8": fig8_hbase,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,178 @@
+"""Testbed builders matching the paper's two clusters.
+
+* **Cluster A** — up to 65 nodes, QDR InfiniBand (IPoIB + native IB);
+  used for the MapReduce, HDFS, and HBase evaluations.
+* **Cluster B** — 9 nodes with both IB QDR and 10GigE iWARP; used for
+  the micro-benchmarks.
+
+The builders assemble fabric + HDFS + MapReduce/HBase stacks for one
+experiment configuration; ``scale`` keeps full-paper task *structure*
+while shrinking data volumes (documented per experiment in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.calibration import IB_RDMA, IPOIB_QDR, NetworkSpec, ONE_GIGE
+from repro.config import Configuration
+from repro.hbase.cluster import HBaseCluster
+from repro.hdfs.cluster import HdfsCluster
+from repro.mapred.cluster import MapReduceCluster
+from repro.net.fabric import Fabric
+from repro.simcore import Environment
+
+
+@dataclass
+class MapReduceStack:
+    """A complete Hadoop deployment for one experiment run."""
+
+    env: Environment
+    fabric: Fabric
+    hdfs: HdfsCluster
+    mapred: MapReduceCluster
+    conf: Configuration
+
+    @property
+    def master(self):
+        return self.fabric.node("master")
+
+    def run(self, generator_fn):
+        """Run a driver coroutine (waits for HDFS readiness first)."""
+
+        def wrapper(env):
+            yield self.hdfs.wait_ready()
+            result = yield from generator_fn(env)
+            return result
+
+        return self.env.run(self.env.process(wrapper(self.env)))
+
+
+def build_mapreduce_stack(
+    slaves: int,
+    rpc_ib: bool,
+    network: NetworkSpec = IPOIB_QDR,
+    seed: int = 42,
+    conf_overrides: Optional[dict] = None,
+    heartbeats: bool = True,
+) -> MapReduceStack:
+    """1 master + N slaves, HDFS co-located with MapReduce."""
+    env = Environment()
+    fabric = Fabric(env)
+    master = fabric.add_node("master")
+    slave_nodes = fabric.add_nodes("slave", slaves)
+    values = {"rpc.ib.enabled": rpc_ib}
+    values.update(conf_overrides or {})
+    conf = Configuration(values)
+    rng = random.Random(seed)
+    hdfs = HdfsCluster(
+        fabric, master, slave_nodes, network, conf=conf,
+        rng=random.Random(rng.getrandbits(32)), heartbeats=heartbeats,
+    )
+    mapred = MapReduceCluster(
+        fabric, master, slave_nodes, network, hdfs=hdfs, conf=conf,
+        rng=random.Random(rng.getrandbits(32)),
+    )
+    return MapReduceStack(env, fabric, hdfs, mapred, conf)
+
+
+@dataclass
+class HdfsStack:
+    """HDFS-only deployment (Fig. 7)."""
+
+    env: Environment
+    fabric: Fabric
+    hdfs: HdfsCluster
+    client_node: object
+    conf: Configuration
+
+    def run(self, generator_fn):
+        def wrapper(env):
+            yield self.hdfs.wait_ready()
+            result = yield from generator_fn(env)
+            return result
+
+        return self.env.run(self.env.process(wrapper(self.env)))
+
+
+def build_hdfs_stack(
+    datanodes: int,
+    rpc_ib: bool,
+    rpc_network: NetworkSpec,
+    data_transport: str,
+    data_network: Optional[NetworkSpec] = None,
+    seed: int = 42,
+    conf_overrides: Optional[dict] = None,
+) -> HdfsStack:
+    """NameNode + N DataNodes + a separate client node (Fig. 7 layout)."""
+    env = Environment()
+    fabric = Fabric(env)
+    nn = fabric.add_node("namenode")
+    dn_nodes = fabric.add_nodes("dn", datanodes)
+    client_node = fabric.add_node("client")
+    values = {"rpc.ib.enabled": rpc_ib}
+    values.update(conf_overrides or {})
+    conf = Configuration(values)
+    hdfs = HdfsCluster(
+        fabric, nn, dn_nodes, rpc_network, conf=conf,
+        data_transport=data_transport, data_spec=data_network,
+        rng=random.Random(seed), heartbeats=True,
+    )
+    return HdfsStack(env, fabric, hdfs, client_node, conf)
+
+
+@dataclass
+class HBaseStack:
+    """HBase-over-HDFS deployment (Fig. 8)."""
+
+    env: Environment
+    fabric: Fabric
+    hdfs: HdfsCluster
+    hbase: HBaseCluster
+    client_nodes: List[object]
+    conf: Configuration
+
+    def run(self, generator_fn):
+        def wrapper(env):
+            yield self.hdfs.wait_ready()
+            result = yield from generator_fn(env)
+            return result
+
+        return self.env.run(self.env.process(wrapper(self.env)))
+
+
+def build_hbase_stack(
+    regionservers: int,
+    clients: int,
+    rpc_ib: bool,
+    rpc_network: NetworkSpec,
+    payload_rdma: bool,
+    hdfs_rdma: bool,
+    seed: int = 42,
+    conf_overrides: Optional[dict] = None,
+) -> HBaseStack:
+    """16 region servers + 16 client nodes + NameNode (Fig. 8 layout)."""
+    env = Environment()
+    fabric = Fabric(env)
+    nn = fabric.add_node("namenode")
+    rs_nodes = fabric.add_nodes("rs", regionservers)
+    client_nodes = fabric.add_nodes("client", clients)
+    values = {"rpc.ib.enabled": rpc_ib}
+    values.update(conf_overrides or {})
+    conf = Configuration(values)
+    rng = random.Random(seed)
+    hdfs = HdfsCluster(
+        fabric, nn, rs_nodes, rpc_network, conf=conf,
+        data_transport="rdma" if hdfs_rdma else "socket",
+        rng=random.Random(rng.getrandbits(32)), heartbeats=False,
+    )
+    hbase = HBaseCluster(
+        fabric, rs_nodes, hdfs, rpc_network, conf=conf,
+        payload_rdma=payload_rdma,
+        wal_data_spec=IB_RDMA if hdfs_rdma else rpc_network,
+        rng=random.Random(rng.getrandbits(32)),
+    )
+    return HBaseStack(env, fabric, hdfs, hbase, client_nodes, conf)

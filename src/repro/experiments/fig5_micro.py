@@ -1,0 +1,79 @@
+"""Fig. 5: RPC micro-benchmark — ping-pong latency and throughput.
+
+Cluster B: one server, payloads 1 B-4 KB for latency; 8 handlers,
+512-byte payload, 8-64 clients over 8 nodes for throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.report import gain, reduction, render_series
+from repro.rpc.microbench import latency_series, throughput_series
+
+#: the payload sweep of Fig. 5(a)
+PAYLOAD_SIZES = [1, 4, 16, 64, 256, 1024, 4096]
+#: the client sweep of Fig. 5(b)
+CLIENT_COUNTS = [8, 16, 24, 32, 40, 48, 56, 64]
+ENGINES = ["RPC-10GigE", "RPC-IPoIB", "RPCoIB"]
+
+
+def run(
+    payload_sizes: Optional[List[int]] = None,
+    client_counts: Optional[List[int]] = None,
+    iterations: int = 30,
+    ops_per_client: int = 40,
+) -> Dict:
+    """Both panels of Fig. 5 plus the derived headline statistics."""
+    latency = latency_series(
+        ENGINES, payload_sizes or PAYLOAD_SIZES, iterations=iterations
+    )
+    throughput = throughput_series(
+        ENGINES, client_counts or CLIENT_COUNTS, ops_per_client=ops_per_client
+    )
+    peaks = {engine: max(series.values()) for engine, series in throughput.items()}
+    sizes = sorted(latency["RPCoIB"])
+    reductions_10g = [
+        reduction(latency["RPCoIB"][s], latency["RPC-10GigE"][s]) for s in sizes
+    ]
+    reductions_ipoib = [
+        reduction(latency["RPCoIB"][s], latency["RPC-IPoIB"][s]) for s in sizes
+    ]
+    return {
+        "latency_us": latency,
+        "throughput_kops": throughput,
+        "peaks_kops": peaks,
+        "latency_1b_us": latency["RPCoIB"][sizes[0]],
+        "latency_4kb_us": latency["RPCoIB"][sizes[-1]],
+        "reduction_vs_10gige": (min(reductions_10g), max(reductions_10g)),
+        "reduction_vs_ipoib": (min(reductions_ipoib), max(reductions_ipoib)),
+        "peak_gain_vs_10gige": gain(peaks["RPCoIB"], peaks["RPC-10GigE"]),
+        "peak_gain_vs_ipoib": gain(peaks["RPCoIB"], peaks["RPC-IPoIB"]),
+    }
+
+
+def format_result(result: Dict) -> str:
+    parts = [
+        render_series(
+            "Fig. 5(a) ping-pong latency (us) vs payload (bytes)",
+            result["latency_us"],
+        ),
+        "",
+        render_series(
+            "Fig. 5(b) throughput (Kops/s) vs concurrent clients",
+            result["throughput_kops"],
+        ),
+        "",
+        f"RPCoIB latency: {result['latency_1b_us']:.1f} us @1B, "
+        f"{result['latency_4kb_us']:.1f} us @4KB   (paper: 39 / ~52)",
+        "reduction vs 10GigE: {:.0%}-{:.0%}   (paper: 42%-49%)".format(
+            *result["reduction_vs_10gige"]
+        ),
+        "reduction vs IPoIB:  {:.0%}-{:.0%}   (paper: 46%-50%)".format(
+            *result["reduction_vs_ipoib"]
+        ),
+        f"peak throughput: {result['peaks_kops']['RPCoIB']:.1f} Kops/s "
+        f"(paper: 135.22); gains +{result['peak_gain_vs_10gige']:.0%} vs 10GigE "
+        f"(paper +82%), +{result['peak_gain_vs_ipoib']:.0%} vs IPoIB (paper +64%)",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,51 @@
+"""Plain-text table/series rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width table with a header rule, like the paper's tables."""
+    rendered_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: Dict[str, Dict]) -> str:
+    """Render {line -> {x -> y}} as a table with one column per line."""
+    xs = sorted({x for line in series.values() for x in line})
+    headers = ["x"] + list(series)
+    rows = []
+    for x in xs:
+        rows.append([x] + [series[name].get(x, "") for name in series])
+    return f"{title}\n" + render_table(headers, rows)
+
+
+def gain(new: float, old: float) -> float:
+    """Relative improvement of ``new`` over ``old`` (throughput-style)."""
+    if old == 0:
+        raise ValueError("cannot compute gain against zero")
+    return new / old - 1.0
+
+
+def reduction(new: float, old: float) -> float:
+    """Relative reduction of ``new`` vs ``old`` (latency-style)."""
+    if old == 0:
+        raise ValueError("cannot compute reduction against zero")
+    return 1.0 - new / old
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

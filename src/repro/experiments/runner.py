@@ -1,0 +1,42 @@
+"""Experiment CLI: ``python -m repro.experiments <name|all>``.
+
+Runs the requested experiments at their default (scaled) parameters and
+prints the same tables/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="experiment ids (table1, fig1, fig3, fig5, fig6, fig7, fig8) or 'all'",
+    )
+    args = parser.parse_args(argv)
+    names = (
+        sorted(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    )
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        print(f"=== {name} " + "=" * max(1, 68 - len(name)))
+        started = time.time()
+        result = module.run()
+        print(module.format_result(result))
+        print(f"--- {name} finished in {time.time() - started:.1f}s wall clock\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

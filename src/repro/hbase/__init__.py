@@ -1,0 +1,34 @@
+"""HBase substrate: region servers, WAL on HDFS, YCSB workloads.
+
+Models HBase 0.90.3 far enough for the paper's Fig. 8: client ops
+travel over Hadoop RPC (HBase's RPC was a fork of it) to 16 region
+servers; puts append to a WAL whose group-commit pipeline replicates to
+DataNodes; memstores flush to HDFS files and periodically compact —
+both paths issuing the NameNode RPCs whose acceleration gives RPCoIB
+its mix-workload win.
+
+Transport configurations mirror the figure:
+
+* ``HBase(sockets)`` — ops fully over socket RPC;
+* ``HBaseoIB`` — the RDMA get/put design of reference [7]: payloads
+  move between registered buffers over IB while the op envelope stays
+  on socket RPC;
+* ``HBaseoIB-RPCoIB`` — envelope over RPCoIB too (the paper's
+  integrated design).
+"""
+
+from repro.hbase.protocol import HRegionInterface
+from repro.hbase.regionserver import HRegionServer
+from repro.hbase.client import HTable
+from repro.hbase.cluster import HBaseCluster
+from repro.hbase.ycsb import YcsbResult, YcsbWorkload, run_ycsb
+
+__all__ = [
+    "HBaseCluster",
+    "HRegionInterface",
+    "HRegionServer",
+    "HTable",
+    "YcsbResult",
+    "YcsbWorkload",
+    "run_ycsb",
+]

@@ -1,0 +1,92 @@
+"""HBaseCluster: region servers over HDFS, plus client factories.
+
+Builds the paper's Fig. 8 testbed: 16 region servers co-located with
+DataNodes, 16 client nodes, HMaster on a separate node (the master is
+pure bookkeeping here — region locations are static)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.calibration import NetworkSpec
+from repro.config import Configuration
+from repro.hbase.client import HTable
+from repro.hbase.regionserver import HRegionServer
+from repro.hdfs.cluster import HdfsCluster
+from repro.net.fabric import Fabric, Node
+from repro.rpc.metrics import RpcMetrics
+
+
+class HBaseCluster:
+    """One HBase deployment on top of an HdfsCluster."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        regionserver_nodes: List[Node],
+        hdfs: HdfsCluster,
+        rpc_spec: NetworkSpec,
+        conf: Optional[Configuration] = None,
+        payload_rdma: bool = False,
+        wal_data_spec: Optional[NetworkSpec] = None,
+        rng: Optional[random.Random] = None,
+        metrics: Optional[RpcMetrics] = None,
+    ):
+        self.fabric = fabric
+        self.env = fabric.env
+        self.hdfs = hdfs
+        self.conf = conf or Configuration()
+        self.rpc_spec = rpc_spec
+        self.payload_rdma = payload_rdma
+        self.metrics = metrics or RpcMetrics()
+        rng = rng or random.Random(0xCAFE)
+        self._rng = rng
+        self.regionservers: List[HRegionServer] = []
+        for node in regionserver_nodes:
+            self.regionservers.append(
+                HRegionServer(
+                    fabric,
+                    node,
+                    hdfs,
+                    conf=self.conf,
+                    rpc_spec=rpc_spec,
+                    payload_rdma=payload_rdma,
+                    wal_data_spec=wal_data_spec,
+                    metrics=self.metrics,
+                    rng=random.Random(rng.getrandbits(32)),
+                )
+            )
+        nodes = [server.node for server in self.regionservers]
+        for server in self.regionservers:
+            server.choose_wal_peers(nodes)
+
+    def preload(self, record_count: int, record_bytes: int = 1024) -> None:
+        """Install a YCSB dataset of ``record_count`` x ``record_bytes``."""
+        per_server = record_count * record_bytes // len(self.regionservers)
+        rows_per_server = record_count // len(self.regionservers)
+        for server in self.regionservers:
+            server.preload(per_server, rows_per_server)
+
+    def table(self, node: Node, record_bytes: int = 1024) -> HTable:
+        return HTable(
+            self.fabric,
+            node,
+            self.regionservers,
+            self.rpc_spec,
+            conf=self.conf,
+            payload_rdma=self.payload_rdma,
+            metrics=self.metrics,
+            rng=random.Random(self._rng.getrandbits(32)),
+            record_bytes=record_bytes,
+        )
+
+    def totals(self) -> Dict[str, int]:
+        """Aggregate op/maintenance counters across region servers."""
+        return {
+            "gets": sum(s.gets for s in self.regionservers),
+            "puts": sum(s.puts for s in self.regionservers),
+            "flushes": sum(s.flushes for s in self.regionservers),
+            "compactions": sum(s.compactions for s in self.regionservers),
+            "cache_misses": sum(s.cache_misses for s in self.regionservers),
+        }

@@ -1,0 +1,97 @@
+"""HBase RPC protocol (HRegionInterface, 0.90.x style)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.io.data_input import DataInput
+from repro.io.data_output import DataOutput
+from repro.io.writable import Writable, writable_factory
+from repro.rpc.protocol import RpcProtocol
+
+
+@writable_factory
+class GetWritable(Writable):
+    """A Get request: table row key (plus family/qualifier flavor)."""
+
+    def __init__(self, row: str = "", family: str = "f", qualifier: str = "q"):
+        self.row = row
+        self.family = family
+        self.qualifier = qualifier
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.row)
+        out.write_utf(self.family)
+        out.write_utf(self.qualifier)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.row = inp.read_utf()
+        self.family = inp.read_utf()
+        self.qualifier = inp.read_utf()
+
+
+@writable_factory
+class PutWritable(Writable):
+    """A Put request: row key + value bytes (possibly detached to RDMA)."""
+
+    def __init__(self, row: str = "", value: bytes = b"", detached_bytes: int = 0):
+        self.row = row
+        self.value = value
+        #: when the HBaseoIB design carries the payload over RDMA, the
+        #: envelope holds only its length.
+        self.detached_bytes = detached_bytes
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.row)
+        out.write_int(self.detached_bytes)
+        out.write_int(len(self.value))
+        out.write_bytes_raw(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.row = inp.read_utf()
+        self.detached_bytes = inp.read_int()
+        length = inp.read_int()
+        if length:
+            inp.ledger.charge_heap_alloc(length)
+        self.value = inp.read_fully(length)
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.detached_bytes or len(self.value)
+
+
+@writable_factory
+class ResultWritable(Writable):
+    """A Get response: value bytes (or a detached-length envelope)."""
+
+    def __init__(self, value: bytes = b"", detached_bytes: int = 0, found: bool = True):
+        self.value = value
+        self.detached_bytes = detached_bytes
+        self.found = found
+
+    def write(self, out: DataOutput) -> None:
+        out.write_boolean(self.found)
+        out.write_int(self.detached_bytes)
+        out.write_int(len(self.value))
+        out.write_bytes_raw(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.found = inp.read_boolean()
+        self.detached_bytes = inp.read_int()
+        length = inp.read_int()
+        if length:
+            inp.ledger.charge_heap_alloc(length)
+        self.value = inp.read_fully(length)
+
+
+class HRegionInterface(RpcProtocol):
+    """Client <-> HRegionServer operations."""
+
+    PROTOCOL_NAME = "hbase.HRegionInterface"
+    VERSION = 26
+
+    def get(self, request):
+        raise NotImplementedError
+
+    def put(self, request):
+        raise NotImplementedError

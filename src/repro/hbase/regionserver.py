@@ -1,0 +1,297 @@
+"""HRegionServer: memstore, WAL group commit, flushes, compactions.
+
+The server-side op costs are where Fig. 8's curve shapes come from:
+
+* Get — memstore/block-cache hit or an HFile block read off the local
+  spindle; the hit rate falls as the record count grows (the declining
+  Fig. 8(a) curves);
+* Put — WAL append through a group-commit pipeline replicated to two
+  peer DataNodes, then memstore insert; memstore pressure triggers
+  flushes, and every few flushes a compaction — both write HDFS files
+  whose ``create``/``addBlock``/``complete`` NameNode traffic rides the
+  Hadoop RPC engine under test (the paper's explanation for the 24 %
+  mix-workload gain).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional
+
+from repro.calibration import IB_RDMA, NetworkSpec
+from repro.config import Configuration
+from repro.hbase.protocol import GetWritable, HRegionInterface, PutWritable, ResultWritable
+from repro.net.fabric import Fabric, Node
+from repro.rpc.engine import RPC
+from repro.rpc.metrics import RpcMetrics
+from repro.simcore import Store
+
+#: HFile block size (what one cache miss reads off disk)
+HFILE_BLOCK = 64 * 1024
+#: flushes per region between compactions (0.90.x minor compaction cadence)
+FLUSHES_PER_COMPACTION = 3
+#: group-commit sync overhead beyond the pipeline transfer
+WAL_SYNC_OVERHEAD_US = 40.0
+
+
+class HRegionServer(HRegionInterface):
+    """One region server daemon."""
+
+    _ids = itertools.count(0)
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        node: Node,
+        hdfs,
+        conf: Optional[Configuration] = None,
+        rpc_spec: Optional[NetworkSpec] = None,
+        payload_rdma: bool = False,
+        wal_data_spec: Optional[NetworkSpec] = None,
+        metrics: Optional[RpcMetrics] = None,
+        rng: Optional[random.Random] = None,
+        port: int = 60020,
+    ):
+        assert rpc_spec is not None, "HRegionServer needs the RPC network spec"
+        self.index = next(self._ids)
+        self.fabric = fabric
+        self.env = fabric.env
+        self.node = node
+        self.hdfs = hdfs
+        self.conf = conf or Configuration()
+        self.model = fabric.model
+        self.rng = rng or random.Random(hash(node.name) ^ 0xBA5E)
+        #: HBaseoIB: payloads move over RDMA, not inside the RPC message
+        self.payload_rdma = payload_rdma
+        self.wal_data_spec = wal_data_spec or rpc_spec
+        self.metrics = metrics
+        server_conf = self.conf.copy().set(
+            "ipc.server.handler.count",
+            self.conf.get_int("hbase.regionserver.handler.count"),
+        )
+        self.server = RPC.get_server(
+            fabric, node, port, self, HRegionInterface, rpc_spec,
+            conf=server_conf, metrics=metrics, name=f"regionserver@{node.name}",
+        )
+        # -- storage state ------------------------------------------------
+        self.memstore_bytes = 0
+        self.flush_threshold = self.conf.get_int("hbase.hregion.memstore.flush.size")
+        #: bytes of HFiles this server serves (set by the YCSB preload)
+        self.store_bytes = 0
+        #: rows resident in this server's key range (set by preload)
+        self.resident_rows = 0
+        self.block_cache_bytes = self.conf.get_int(
+            "hbase.blockcache.size", 200 * 1024 * 1024
+        )
+        #: rows resident in the memstore (recent puts always hit)
+        self.memstore_rows: set = set()
+        self.flushes = 0
+        self.compactions = 0
+        self.gets = 0
+        self.puts = 0
+        self.cache_misses = 0
+        self.put_blocks = 0
+        self._flush_in_progress = False
+        self._flush_done = None
+        #: HDFS paths of live store files (compaction inputs)
+        self._store_files: List[str] = []
+        # -- WAL group commit ----------------------------------------------
+        self._wal_queue: Store = Store(self.env)
+        self._wal_writer = self.env.process(
+            self._wal_loop(), name=f"wal:{node.name}"
+        )
+        self._wal_peers: List[Node] = []
+        self._value_cache: Dict[str, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    @property
+    def address(self):
+        return self.server.address
+
+    def choose_wal_peers(self, candidates: List[Node]) -> None:
+        """Pick the two remote DataNodes of this server's WAL pipeline."""
+        others = [n for n in candidates if n is not self.node]
+        self._wal_peers = self.rng.sample(others, min(2, len(others)))
+
+    def preload(self, store_bytes: int, resident_rows: int = 0) -> None:
+        """Install the YCSB dataset share served by this region server."""
+        self.store_bytes = store_bytes
+        self.resident_rows = resident_rows
+
+    @property
+    def local_disk(self):
+        datanode = (
+            self.hdfs.datanodes.get(self.node.name) if self.hdfs is not None else None
+        )
+        if datanode is not None:
+            return datanode.disk
+        raise RuntimeError(f"{self.node.name}: no co-located DataNode spindle")
+
+    # ------------------------------------------------------------------
+    # HRegionInterface
+    # ------------------------------------------------------------------
+    def get(self, request: GetWritable):
+        self.gets += 1
+        yield self.env.timeout(self.model.compute.hbase_get_cpu_us)
+        found = True
+        if request.row not in self.memstore_rows and not self._cache_hit():
+            self.cache_misses += 1
+            yield from self._read_hfile_block()
+        value = self._value_cache.get(request.row, b"\x00" * 1024)
+        if self.payload_rdma:
+            # HBaseoIB: ship the value through registered buffers; the
+            # RPC response carries only the envelope.
+            yield self.fabric.env.timeout(
+                self.model.software.jni_crossing_us + self.model.software.verbs_post_us
+            )
+            return ResultWritable(b"", detached_bytes=len(value), found=found)
+        return ResultWritable(value, found=found)
+
+    def put(self, request: PutWritable):
+        self.puts += 1
+        nbytes = request.payload_bytes
+        yield self.env.timeout(self.model.compute.hbase_put_cpu_us)
+        # WAL append + group-commit sync
+        sync_done = self.env.event()
+        yield self._wal_queue.put((nbytes, sync_done))
+        yield sync_done
+        # memstore insert
+        self.memstore_rows.add(request.row)
+        if request.value:
+            self._value_cache[request.row] = request.value
+        self.memstore_bytes += nbytes
+        if self.memstore_bytes >= self.flush_threshold and not self._flush_in_progress:
+            self._flush_in_progress = True
+            self._flush_done = self.env.event()
+            self.env.process(self._flush(), name=f"flush:{self.node.name}")
+        elif self._flush_in_progress and self.memstore_bytes >= 2 * self.flush_threshold:
+            # memstore blocking: the region refuses writes until the
+            # in-flight flush lands (HBase's updatesBlockedMs) — this is
+            # how flush latency (and its NameNode RPCs) throttles puts.
+            self.put_blocks += 1
+            yield self._flush_done
+        return ResultWritable(b"", found=True)
+
+    # ------------------------------------------------------------------
+    # WAL group commit
+    # ------------------------------------------------------------------
+    def _wal_loop(self):
+        while True:
+            first = yield self._wal_queue.get()
+            batch = [first]
+            while len(self._wal_queue) > 0:
+                batch.append((yield self._wal_queue.get()))
+            total = sum(nbytes for nbytes, _ in batch)
+            yield from self._wal_sync(total)
+            for _, done in batch:
+                done.succeed()
+
+    def _wal_sync(self, nbytes: int):
+        """Replicate one WAL batch: local spindle + two remote peers."""
+        disk = self.model.disk
+        writes = []
+        with self.local_disk.request() as grant:
+            yield grant
+            yield self.env.timeout(nbytes / disk.seq_write)
+        for peer in self._wal_peers:
+            if self.wal_data_spec.rdma_capable:
+                yield self.env.timeout(
+                    self.model.software.jni_crossing_us
+                    + self.model.software.verbs_post_us
+                )
+            else:
+                yield self.env.timeout(
+                    self.model.software.socket_syscall_us
+                    + self.model.memory.copy_us(nbytes)
+                )
+            writes.append(
+                self.fabric.transfer(self.node, peer, nbytes, self.wal_data_spec)
+            )
+        for write in writes:
+            yield write
+        yield self.env.timeout(WAL_SYNC_OVERHEAD_US)
+
+    # ------------------------------------------------------------------
+    # reads, flushes, compactions
+    # ------------------------------------------------------------------
+    def _cache_hit(self) -> bool:
+        """LRU block-cache model with cold-start warmth.
+
+        A block can only hit if (a) it fits in the cache alongside the
+        working set and (b) it has been read before (the cache starts
+        cold).  The warmth term ``1 - exp(-reads/rows)`` is the expected
+        fraction of rows already touched after ``reads`` uniform reads —
+        this is what makes Fig. 8(a)'s throughput fall as the record
+        count grows.
+        """
+        import math
+
+        if self.store_bytes <= 0:
+            return True
+        capacity = min(1.0, self.block_cache_bytes / self.store_bytes)
+        if self.resident_rows > 0:
+            warmth = 1.0 - math.exp(-self.gets / self.resident_rows)
+        else:
+            warmth = 1.0
+        return self.rng.random() < capacity * warmth
+
+    def _read_hfile_block(self):
+        """One block-cache miss.
+
+        The YCSB dataset (6-19 MB per server) sits in the OS page cache
+        after the load phase, so a miss is usually read+decode+copy of
+        one HFile block (CPU-bound), with an occasional real disk access
+        when flush/compaction traffic evicted the page.
+        """
+        yield self.env.timeout(
+            400.0 + HFILE_BLOCK * self.model.memory.memcpy_per_byte_us
+        )
+        # ~25% of misses touch the spindle; charged as the expected
+        # share per miss (deterministic, for cross-config comparability)
+        disk = self.model.disk
+        with self.local_disk.request() as grant:
+            yield grant
+            yield self.env.timeout(
+                0.25 * (disk.seek_us / 4.0 + HFILE_BLOCK / disk.seq_read)
+            )
+
+    def _flush(self):
+        """Write the memstore snapshot as an HFile on HDFS."""
+        snapshot = self.memstore_bytes
+        self.memstore_bytes = 0
+        self.memstore_rows.clear()
+        self.flushes += 1
+        flush_id = self.flushes
+        dfs = self.hdfs.client(self.node)
+        path = f"/hbase/{self.node.name}/hfile-{flush_id:05d}"
+        yield dfs.write_file(path, max(snapshot, 1024))
+        self._store_files.append(path)
+        self.store_bytes += snapshot
+        self._flush_in_progress = False
+        if self._flush_done is not None and not self._flush_done.triggered:
+            self._flush_done.succeed()
+        if len(self._store_files) >= FLUSHES_PER_COMPACTION:
+            yield from self._compact()
+
+    def _compact(self):
+        """Minor compaction: rewrite the accumulated store files."""
+        inputs, self._store_files = self._store_files, []
+        if not inputs:
+            return
+        self.compactions += 1
+        span = min(self.store_bytes, FLUSHES_PER_COMPACTION * self.flush_threshold)
+        if span <= 0:
+            return
+        disk = self.model.disk
+        with self.local_disk.request() as grant:
+            yield grant
+            yield self.env.timeout(span / disk.seq_read)
+        dfs = self.hdfs.client(self.node)
+        yield dfs.write_file(
+            f"/hbase/{self.node.name}/compacted-{self.compactions:05d}", span
+        )
+        for path in inputs:
+            yield dfs.delete(path)

@@ -1,0 +1,147 @@
+"""YCSB: the Yahoo! Cloud Serving Benchmark, as Fig. 8 runs it.
+
+Workloads are read/write mixes over a keyspace of ``record_count``
+1 KB records, driven by concurrent clients; the harness reports
+aggregate throughput (Kops/sec) and latency tallies, exactly the
+numbers the figure plots.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hbase.cluster import HBaseCluster
+from repro.net.fabric import Node
+from repro.simcore import Tally
+
+
+@dataclass
+class YcsbWorkload:
+    """One YCSB workload definition."""
+
+    name: str
+    read_fraction: float
+    record_count: int
+    operation_count: int
+    record_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"read fraction {self.read_fraction} out of [0,1]")
+        if self.record_count <= 0 or self.operation_count <= 0:
+            raise ValueError("record/operation counts must be positive")
+
+    @staticmethod
+    def get_100(records: int, ops: int) -> "YcsbWorkload":
+        return YcsbWorkload("100% Get", 1.0, records, ops)
+
+    @staticmethod
+    def put_100(records: int, ops: int) -> "YcsbWorkload":
+        return YcsbWorkload("100% Put", 0.0, records, ops)
+
+    @staticmethod
+    def mix_50_50(records: int, ops: int) -> "YcsbWorkload":
+        return YcsbWorkload("50%-Get-50%-Put", 0.5, records, ops)
+
+
+@dataclass
+class YcsbResult:
+    """Aggregate outcome of one YCSB run."""
+
+    workload: str
+    operations: int
+    elapsed_us: float
+    get_latency: Tally
+    put_latency: Tally
+    totals: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_kops(self) -> float:
+        return self.operations / self.elapsed_us * 1000.0
+
+    @property
+    def mean_get_us(self) -> float:
+        return self.get_latency.mean if self.get_latency.count else 0.0
+
+    @property
+    def mean_put_us(self) -> float:
+        return self.put_latency.mean if self.put_latency.count else 0.0
+
+
+def run_ycsb(
+    cluster: HBaseCluster,
+    client_nodes: List[Node],
+    workload: YcsbWorkload,
+    seed: int = 99,
+    warmup_ops_per_client: int = 20,
+    threads_per_node: int = 4,
+) -> object:
+    """Process: drive ``workload`` from ``client_nodes``; value: YcsbResult.
+
+    Each client node runs ``threads_per_node`` closed-loop YCSB threads
+    (one outstanding op each) sharing the node's HTable connection, and
+    the operation count is split evenly across all threads.
+    """
+    env = cluster.env
+    cluster.preload(workload.record_count, workload.record_bytes)
+    rng = random.Random(seed)
+    get_latency = Tally("ycsb.get")
+    put_latency = Tally("ycsb.put")
+    window = {"start": None, "end": 0.0, "ops": 0}
+    total_threads = len(client_nodes) * threads_per_node
+    ops_per_client = max(1, workload.operation_count // total_threads)
+    tables = {}
+
+    def client_proc(env, node, client_seed):
+        local = random.Random(client_seed)
+        if node.name not in tables:
+            tables[node.name] = cluster.table(node, workload.record_bytes)
+        table = tables[node.name]
+
+        def one_op(measure: bool):
+            row = f"user{local.randrange(workload.record_count):012d}"
+            is_read = local.random() < workload.read_fraction
+            start = env.now
+            if is_read:
+                yield table.get(row)
+                if measure:
+                    get_latency.observe(env.now - start)
+            else:
+                yield table.put(row)
+                if measure:
+                    put_latency.observe(env.now - start)
+
+        for _ in range(warmup_ops_per_client):
+            yield from one_op(measure=False)
+        if window["start"] is None:
+            window["start"] = env.now
+        for _ in range(ops_per_client):
+            yield from one_op(measure=True)
+            window["ops"] += 1
+        window["end"] = env.now
+
+    def runner(env):
+        procs = [
+            env.process(
+                client_proc(env, node, rng.getrandbits(32)),
+                name=f"ycsb:{node.name}",
+            )
+            for node in client_nodes
+            for _ in range(threads_per_node)
+        ]
+        yield env.all_of(procs)
+        elapsed = window["end"] - window["start"]
+        if elapsed <= 0:
+            raise RuntimeError("YCSB measurement window collapsed")
+        return YcsbResult(
+            workload=workload.name,
+            operations=window["ops"],
+            elapsed_us=elapsed,
+            get_latency=get_latency,
+            put_latency=put_latency,
+            totals=cluster.totals(),
+        )
+
+    return env.process(runner(env), name=f"ycsb:{workload.name}")

@@ -1,0 +1,42 @@
+"""HDFS substrate: NameNode, DataNodes, DFSClient over the simulated fabric.
+
+Models Hadoop 0.20.2 HDFS far enough to reproduce the paper's Fig. 7
+integrated evaluation and to serve as the storage substrate for
+MapReduce (Fig. 6) and HBase (Fig. 8):
+
+* metadata plane — every ``ClientProtocol``/``DatanodeProtocol`` call
+  goes through :mod:`repro.rpc`, so the engine choice (sockets vs
+  RPCoIB) affects exactly what it affected in the paper;
+* data plane — 3-replica write pipelines and block reads, over either
+  socket streaming or RDMA (the HDFSoIB design of reference [6]);
+* the real 0.20.2 client-visible synchronization points that couple
+  RPC latency to write latency: per-block ``addBlock`` with the
+  ``NotReplicatedYetException`` retry/backoff race against the
+  DataNodes' ``blockReceived`` reports, and ``complete()`` polling with
+  400 ms sleeps.
+"""
+
+from repro.hdfs.protocol import (
+    BlockWritable,
+    ClientProtocol,
+    DatanodeProtocol,
+    FileStatusWritable,
+    LocatedBlockWritable,
+)
+from repro.hdfs.namenode import NameNode, NotReplicatedYet
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.client import DFSClient
+from repro.hdfs.cluster import HdfsCluster
+
+__all__ = [
+    "BlockWritable",
+    "ClientProtocol",
+    "DataNode",
+    "DatanodeProtocol",
+    "DFSClient",
+    "FileStatusWritable",
+    "HdfsCluster",
+    "LocatedBlockWritable",
+    "NameNode",
+    "NotReplicatedYet",
+]

@@ -1,0 +1,210 @@
+"""DFSClient: the client-side write/read paths with 0.20.2 semantics.
+
+The write path carries the two RPC-latency amplifiers the paper's
+Fig. 7 rides on:
+
+* ``addBlock`` retry — when the NameNode has not yet processed the
+  previous block's ``blockReceived``, it throws
+  ``NotReplicatedYetException`` and the client sleeps (400 ms, then
+  doubling) before retrying: a microsecond-scale race decided by RPC
+  latency, paid in hundreds of milliseconds;
+* ``complete()`` polling — the client spins on ``complete`` with 400 ms
+  sleeps until all replicas are confirmed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.calibration import NetworkSpec
+from repro.config import Configuration
+from repro.hdfs.datanode import PIPELINE_CHUNK, DataNode
+from repro.hdfs.protocol import ClientProtocol
+from repro.io.writables import IntWritable, LongWritable, Text
+from repro.net.fabric import Fabric, Node
+from repro.net.sockets import SocketAddress
+from repro.rpc.call import RemoteException
+from repro.rpc.engine import RPC
+from repro.rpc.metrics import RpcMetrics
+from repro.simcore import Store
+
+#: 0.20.2 DFSClient retry/poll sleep quantum.
+RETRY_SLEEP_US = 400_000.0
+#: Maximum addBlock retries before giving up (0.20.2: 5).
+MAX_BLOCK_RETRIES = 8
+
+
+class DFSClient:
+    """One HDFS client (a JVM on some node)."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        node: Node,
+        namenode_address: SocketAddress,
+        datanode_registry,
+        conf: Optional[Configuration] = None,
+        rpc_spec: Optional[NetworkSpec] = None,
+        rng: Optional[random.Random] = None,
+        metrics: Optional[RpcMetrics] = None,
+        name: str = "",
+    ):
+        self.fabric = fabric
+        self.env = fabric.env
+        self.node = node
+        self.conf = conf or Configuration()
+        assert rpc_spec is not None, "DFSClient needs the cluster's RPC network spec"
+        self.rng = rng or random.Random(hash(node.name) ^ 0xD5F5)
+        self.name = name or f"dfsclient@{node.name}"
+        #: callable: datanode name -> DataNode (the cluster's registry)
+        self.datanode_registry = datanode_registry
+        self.rpc_client = RPC.get_client(
+            fabric, node, rpc_spec, conf=self.conf, metrics=metrics,
+            name=self.name,
+        )
+        self.namenode = RPC.get_proxy(ClientProtocol, namenode_address, self.rpc_client)
+        self.addblock_retries = 0
+        self.complete_polls = 0
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def write_file(self, path: str, nbytes: int, replication: Optional[int] = None):
+        """Process: create ``path`` and stream ``nbytes`` into it."""
+        return self.env.process(
+            self._write_proc(path, nbytes, replication), name=f"hdfswrite:{path}"
+        )
+
+    def _write_proc(self, path: str, nbytes: int, replication: Optional[int]):
+        replication = replication or self.conf.get_int("dfs.replication")
+        block_size = self.conf.get_int("dfs.block.size")
+        yield self.namenode.create(
+            Text(path), IntWritable(replication), LongWritable(block_size)
+        )
+        remaining = nbytes
+        while remaining > 0:
+            this_block = min(block_size, remaining)
+            located = yield from self._add_block_with_retry(path)
+            yield from self._write_block(located, this_block)
+            remaining -= this_block
+            # end-of-block client bookkeeping (block file close, ack
+            # bookkeeping, next-stream setup) before addBlock — the
+            # DataNodes' blockReceived reports usually win the race
+            # against this window; they lose only on NameNode queueing
+            # and jitter tails, which is where the RPC engine matters
+            yield self.env.timeout(self.rng.uniform(400.0, 1200.0))
+        yield from self._complete_with_polling(path)
+        return nbytes
+
+    def _add_block_with_retry(self, path: str):
+        backoff = RETRY_SLEEP_US
+        for _ in range(MAX_BLOCK_RETRIES):
+            try:
+                located = yield self.namenode.addBlock(Text(path), Text(self.node.name))
+                return located
+            except RemoteException as exc:
+                if exc.class_name != "NotReplicatedYet":
+                    raise
+                self.addblock_retries += 1
+                yield self.env.timeout(backoff)
+                backoff *= 2
+        raise RuntimeError(f"{path}: addBlock retries exhausted")
+
+    def _write_block(self, located, nbytes: int):
+        pipeline: List[DataNode] = [
+            self.datanode_registry(info.name) for info in located.locations
+        ]
+        if not pipeline:
+            raise RuntimeError("empty pipeline")
+        first, rest = pipeline[0], pipeline[1:]
+        chunks = Store(self.env)
+        ingest = self.env.process(
+            first.ingest_block(located.block, nbytes, chunks, rest),
+            name=f"ingest:{first.name}",
+        )
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(PIPELINE_CHUNK, remaining)
+            # client-side push cost on the data transport of DN1
+            yield self.env.timeout(first._chunk_cost_us(chunk, sending=True))
+            yield self.fabric.transfer(self.node, first.node, chunk, first.data_spec)
+            yield chunks.put(chunk)
+            remaining -= chunk
+        yield ingest  # pipeline close ack
+        # ack propagation back up the pipeline
+        yield self.env.timeout(len(pipeline) * first.data_spec.latency_us)
+
+    def _complete_with_polling(self, path: str):
+        while True:
+            self.complete_polls += 1
+            done = yield self.namenode.complete(Text(path), Text(self.node.name))
+            if done.value:
+                return
+            yield self.env.timeout(RETRY_SLEEP_US)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read_file(self, path: str):
+        """Process: read all of ``path``; value is bytes read."""
+        return self.env.process(self._read_proc(path), name=f"hdfsread:{path}")
+
+    def _read_proc(self, path: str):
+        located = yield self.namenode.getBlockLocations(
+            Text(path), LongWritable(0), LongWritable(1 << 62)
+        )
+        total = 0
+        for block in located.blocks:
+            replica_names = [info.name for info in block.locations]
+            if not replica_names:
+                raise RuntimeError(f"block {block.block.block_id} has no replicas")
+            # prefer a node-local replica, like HDFS short-circuit reads
+            chosen = next(
+                (n for n in replica_names if n == self.node.name),
+                self.rng.choice(replica_names),
+            )
+            datanode = self.datanode_registry(chosen)
+            total += yield datanode.read_block(block.block.block_id, self.node)
+        return total
+
+    def read_span(self, path: str, offset: int, length: int):
+        """Process: read ``length`` bytes of ``path`` from ``offset``
+        (a map task reading its input split)."""
+        return self.env.process(
+            self._read_span_proc(path, offset, length), name=f"hdfsspan:{path}"
+        )
+
+    def _read_span_proc(self, path: str, offset: int, length: int):
+        located = yield self.namenode.getBlockLocations(
+            Text(path), LongWritable(offset), LongWritable(length)
+        )
+        total = 0
+        for block in located.blocks:
+            replica_names = [info.name for info in block.locations]
+            if not replica_names:
+                raise RuntimeError(f"block {block.block.block_id} has no replicas")
+            chosen = next(
+                (n for n in replica_names if n == self.node.name),
+                self.rng.choice(replica_names),
+            )
+            datanode = self.datanode_registry(chosen)
+            total += yield datanode.read_block(block.block.block_id, self.node)
+            if total >= length:
+                break
+        return min(total, length)
+
+    # ------------------------------------------------------------------
+    # convenience metadata wrappers (used by MapReduce/HBase daemons)
+    # ------------------------------------------------------------------
+    def get_file_info(self, path: str):
+        return self.namenode.getFileInfo(Text(path))
+
+    def mkdirs(self, path: str):
+        return self.namenode.mkdirs(Text(path))
+
+    def delete(self, path: str):
+        return self.namenode.delete(Text(path))
+
+    def rename(self, src: str, dst: str):
+        return self.namenode.rename(Text(src), Text(dst))

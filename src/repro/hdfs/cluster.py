@@ -1,0 +1,89 @@
+"""HdfsCluster: wires a NameNode and DataNodes onto a fabric.
+
+Encodes the paper's Fig. 7 configuration matrix: the *data* transport
+(socket over 1GigE/IPoIB, or RDMA = HDFSoIB) and the *RPC* transport
+(sockets over 1GigE/IPoIB, or RPCoIB) vary independently.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.calibration import NetworkSpec
+from repro.config import Configuration
+from repro.hdfs.client import DFSClient
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.net.fabric import Fabric, Node
+from repro.rpc.metrics import RpcMetrics
+
+
+class HdfsCluster:
+    """A complete HDFS deployment on an existing fabric."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        namenode_node: Node,
+        datanode_nodes: List[Node],
+        rpc_spec: NetworkSpec,
+        conf: Optional[Configuration] = None,
+        data_transport: str = "socket",
+        data_spec: Optional[NetworkSpec] = None,
+        rng: Optional[random.Random] = None,
+        metrics: Optional[RpcMetrics] = None,
+        heartbeats: bool = True,
+    ):
+        self.fabric = fabric
+        self.env = fabric.env
+        self.conf = conf or Configuration()
+        self.rpc_spec = rpc_spec
+        self.metrics = metrics or RpcMetrics()
+        rng = rng or random.Random(4242)
+        self.namenode = NameNode(
+            fabric,
+            namenode_node,
+            conf=self.conf,
+            spec=rpc_spec,
+            metrics=self.metrics,
+            rng=random.Random(rng.getrandbits(32)),
+        )
+        self.datanodes: Dict[str, DataNode] = {}
+        for node in datanode_nodes:
+            self.datanodes[node.name] = DataNode(
+                fabric,
+                node,
+                self.namenode.address,
+                conf=self.conf,
+                rpc_spec=rpc_spec,
+                data_transport=data_transport,
+                data_spec=data_spec,
+                metrics=self.metrics,
+                rng=random.Random(rng.getrandbits(32)),
+                heartbeats=heartbeats,
+            )
+        self._rng = rng
+
+    def datanode(self, name: str) -> DataNode:
+        try:
+            return self.datanodes[name]
+        except KeyError:
+            raise KeyError(f"no DataNode named {name!r}") from None
+
+    def client(self, node: Node, name: str = "") -> DFSClient:
+        """A DFSClient on ``node`` wired to this cluster."""
+        return DFSClient(
+            self.fabric,
+            node,
+            self.namenode.address,
+            self.datanode,
+            conf=self.conf,
+            rpc_spec=self.rpc_spec,
+            rng=random.Random(self._rng.getrandbits(32)),
+            metrics=self.metrics,
+        )
+
+    def wait_ready(self):
+        """Event: all DataNodes have registered with the NameNode."""
+        return self.env.all_of([dn._registered for dn in self.datanodes.values()])

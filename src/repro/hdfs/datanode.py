@@ -1,0 +1,223 @@
+"""The DataNode: heartbeats, block storage, and the write/read data plane.
+
+The data plane runs in one of two modes:
+
+* ``socket`` — the stock HDFS streaming path: per-64KB-write syscalls,
+  kernel<->user copies on each hop, over whichever fabric the cluster
+  uses (1GigE / IPoIB);
+* ``rdma`` — the HDFSoIB design of the paper's reference [6]: chunks
+  move between registered buffers with verbs posts, no per-byte host
+  CPU, over the IB RDMA path.
+
+Blocks stream through the replication pipeline in 8 MB chunks so a
+64 MB block overlaps network hops and disk writes realistically without
+simulating every 64 KB packet.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional
+
+from repro.calibration import IB_RDMA, NetworkSpec
+from repro.config import Configuration
+from repro.hdfs.protocol import (
+    BlockReportWritable,
+    BlockWritable,
+    DatanodeInfoWritable,
+    DatanodeProtocol,
+    HeartbeatWritable,
+)
+from repro.io.writables import Text
+from repro.net.fabric import Fabric, Node
+from repro.net.sockets import SYSCALL_CHUNK, SocketAddress
+from repro.rpc.engine import RPC
+from repro.rpc.metrics import RpcMetrics
+from repro.simcore import Resource, Store
+
+#: Pipeline streaming granularity (aggregates HDFS's 64 KB packets).
+PIPELINE_CHUNK = 8 * 1024 * 1024
+
+
+class DataNode:
+    """One DataNode daemon: storage, pipeline stage, NN control traffic."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        node: Node,
+        namenode_address: SocketAddress,
+        conf: Optional[Configuration] = None,
+        rpc_spec: Optional[NetworkSpec] = None,
+        data_transport: str = "socket",
+        data_spec: Optional[NetworkSpec] = None,
+        metrics: Optional[RpcMetrics] = None,
+        rng: Optional[random.Random] = None,
+        heartbeats: bool = True,
+    ):
+        if data_transport not in ("socket", "rdma"):
+            raise ValueError(f"unknown data transport {data_transport!r}")
+        self.fabric = fabric
+        self.env = fabric.env
+        self.node = node
+        self.name = node.name
+        self.conf = conf or Configuration()
+        self.model = fabric.model
+        self.rng = rng or random.Random(hash(node.name) & 0xFFFF)
+        self.data_transport = data_transport
+        self.data_spec = data_spec or (IB_RDMA if data_transport == "rdma" else rpc_spec)
+        assert rpc_spec is not None, "DataNode needs the cluster's RPC network spec"
+        self.rpc_client = RPC.get_client(
+            fabric, node, rpc_spec, conf=self.conf, metrics=metrics,
+            name=f"dn-rpc@{node.name}",
+        )
+        self.nn = RPC.get_proxy(DatanodeProtocol, namenode_address, self.rpc_client)
+        #: local block store: block_id -> byte length
+        self.blocks: Dict[int, int] = {}
+        #: one disk arm; all block IO serializes here
+        self.disk = Resource(self.env, capacity=1)
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self._registered = self.env.event()
+        self.env.process(self._startup(heartbeats), name=f"dn-start:{self.name}")
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def _startup(self, heartbeats: bool):
+        yield self.nn.register(DatanodeInfoWritable(self.name, 1 << 40, 1 << 40))
+        self._registered.succeed()
+        if heartbeats:
+            self.env.process(self._heartbeat_loop(), name=f"dn-hb:{self.name}")
+
+    def _heartbeat_loop(self):
+        interval = self.conf.get_float("dfs.heartbeat.interval")
+        # desynchronize the fleet
+        yield self.env.timeout(self.rng.uniform(0, interval))
+        while True:
+            yield self.nn.sendHeartbeat(
+                HeartbeatWritable(self.name, 1 << 40, self.bytes_written, 1 << 40, 0)
+            )
+            yield self.env.timeout(interval)
+
+    def send_block_report(self):
+        """One full block report (a large RPC message)."""
+        return self.nn.blockReport(
+            BlockReportWritable(self.name, sorted(self.blocks))
+        )
+
+    # ------------------------------------------------------------------
+    # data plane: write pipeline stage
+    # ------------------------------------------------------------------
+    def _chunk_cost_us(self, nbytes: int, sending: bool) -> float:
+        """Host CPU to push/accept one chunk on this transport."""
+        sw = self.model.software
+        mem = self.model.memory
+        if self.data_transport == "rdma":
+            return sw.jni_crossing_us + (
+                sw.verbs_post_us if sending else sw.cq_poll_us
+            )
+        syscalls = max(1, math.ceil(nbytes / SYSCALL_CHUNK))
+        return (
+            syscalls * (sw.socket_syscall_us + self.data_spec.host_overhead_us / 8)
+            + nbytes * self.data_spec.cpu_per_byte_us
+            + mem.copy_us(nbytes)
+        )
+
+    def ingest_block(
+        self,
+        block: BlockWritable,
+        nbytes: int,
+        chunks_in: Store,
+        downstream: List["DataNode"],
+    ):
+        """Process: receive a replica, write it to disk, forward it.
+
+        Returns (via the Process value) when this stage *and all
+        downstream stages* have durably written the block.  Afterwards,
+        asynchronously reports ``blockReceived`` to the NameNode — the
+        report that the client's next ``addBlock`` races against.
+        """
+        next_q: Optional[Store] = None
+        next_proc = None
+        if downstream:
+            next_q = Store(self.env)
+            next_proc = self.env.process(
+                downstream[0].ingest_block(block, nbytes, next_q, downstream[1:]),
+                name=f"ingest:{downstream[0].name}",
+            )
+        disk_writes = []
+        received = 0
+        first_chunk = True
+        while received < nbytes:
+            chunk = yield chunks_in.get()
+            received += chunk
+            yield self.env.timeout(self._chunk_cost_us(chunk, sending=False))
+            if downstream:
+                yield self.env.timeout(self._chunk_cost_us(chunk, sending=True))
+                yield self.fabric.transfer(
+                    self.node, downstream[0].node, chunk, self.data_spec
+                )
+                yield next_q.put(chunk)
+            disk_writes.append(
+                self.env.process(
+                    self._disk_write(chunk, seek=first_chunk),
+                    name=f"dwrite:{self.name}",
+                )
+            )
+            first_chunk = False
+        for write in disk_writes:
+            yield write
+        self.blocks[block.block_id] = nbytes
+        self.bytes_written += nbytes
+        # blockReceived goes to the NameNode as soon as the *local*
+        # replica is durable (0.20.2 semantics) — concurrently with the
+        # ack still propagating up the pipeline.  The client's next
+        # addBlock races these reports.
+        self.env.process(self._report_received(block, nbytes), name=f"brcv:{self.name}")
+        if next_proc is not None:
+            yield next_proc
+
+    def _disk_write(self, nbytes: int, seek: bool):
+        disk_spec = self.model.disk
+        with self.disk.request() as grant:
+            yield grant
+            cost = nbytes / disk_spec.seq_write + (disk_spec.seek_us if seek else 0.0)
+            yield self.env.timeout(cost)
+
+    def _report_received(self, block: BlockWritable, nbytes: int):
+        # post-block finalization (CRC/meta flush) before reporting
+        yield self.env.timeout(self.rng.uniform(150.0, 700.0))
+        yield self.nn.blockReceived(
+            Text(self.name), BlockWritable(block.block_id, nbytes, 0)
+        )
+
+    # ------------------------------------------------------------------
+    # data plane: reads
+    # ------------------------------------------------------------------
+    def read_block(self, block_id: int, dest: Node):
+        """Process: stream a stored block to ``dest`` (loopback if local)."""
+        if block_id not in self.blocks:
+            raise KeyError(f"{self.name} has no block {block_id}")
+        nbytes = self.blocks[block_id]
+        return self.env.process(self._read_proc(block_id, nbytes, dest))
+
+    def _read_proc(self, block_id: int, nbytes: int, dest: Node):
+        disk_spec = self.model.disk
+        remaining = nbytes
+        first = True
+        while remaining > 0:
+            chunk = min(PIPELINE_CHUNK, remaining)
+            with self.disk.request() as grant:
+                yield grant
+                yield self.env.timeout(
+                    chunk / disk_spec.seq_read + (disk_spec.seek_us if first else 0.0)
+                )
+            first = False
+            if dest is not self.node:
+                yield self.env.timeout(self._chunk_cost_us(chunk, sending=True))
+                yield self.fabric.transfer(self.node, dest, chunk, self.data_spec)
+            remaining -= chunk
+        self.bytes_read += nbytes
+        return nbytes

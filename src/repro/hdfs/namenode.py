@@ -1,0 +1,327 @@
+"""The NameNode: FSNamesystem + its RPC service.
+
+Implements the 0.20.2 semantics that matter for the paper's results:
+
+* ``addBlock`` checks the *previous* block's replication and throws
+  ``NotReplicatedYetException`` when no ``blockReceived`` has arrived
+  yet — the client then backs off and retries.  This race between the
+  client's next ``addBlock`` and the DataNodes' ``blockReceived``
+  reports is how microsecond-scale RPC latency differences become
+  100 ms-scale write-latency differences (Fig. 7).
+* ``complete`` returns false until every block has a replica; the
+  client polls it on a 400 ms sleep.
+* mutating namespace operations pay an edit-log sync.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.calibration import NetworkSpec
+from repro.config import Configuration
+from repro.io.writables import BooleanWritable, IntWritable, LongWritable, NullWritable, Text
+from repro.io.writable import ObjectWritable
+from repro.io.writables import ArrayWritable
+from repro.hdfs.protocol import (
+    BlockReportWritable,
+    BlockWritable,
+    ClientProtocol,
+    DatanodeInfoWritable,
+    DatanodeProtocol,
+    FileStatusWritable,
+    HeartbeatWritable,
+    LocatedBlockWritable,
+    LocatedBlocksWritable,
+)
+from repro.net.fabric import Fabric, Node
+from repro.rpc.engine import RPC
+from repro.rpc.metrics import RpcMetrics
+
+
+class NotReplicatedYet(RuntimeError):
+    """0.20.2's NotReplicatedYetException: previous block has no replica."""
+
+
+@dataclass
+class BlockInfo:
+    """Namesystem view of one block."""
+
+    block_id: int
+    num_bytes: int
+    replicas: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class INode:
+    """One namespace entry (file or directory)."""
+
+    path: str
+    is_dir: bool = False
+    replication: int = 3
+    block_size: int = 64 * 1024 * 1024
+    blocks: List[BlockInfo] = field(default_factory=list)
+    under_construction: bool = False
+    client_name: str = ""
+
+    @property
+    def length(self) -> int:
+        return sum(b.num_bytes for b in self.blocks)
+
+
+@dataclass
+class DatanodeDescriptor:
+    """Registry entry for a live DataNode."""
+
+    name: str
+    node: Node
+    capacity: int = 1 << 40
+    remaining: int = 1 << 40
+    last_heartbeat_us: float = 0.0
+    xceivers: int = 0
+
+
+class NameNode(ClientProtocol, DatanodeProtocol):
+    """NameNode daemon: namespace, block map, DataNode registry."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        node: Node,
+        port: int = 8020,
+        conf: Optional[Configuration] = None,
+        spec: Optional[NetworkSpec] = None,
+        metrics: Optional[RpcMetrics] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.fabric = fabric
+        self.env = fabric.env
+        self.node = node
+        self.conf = conf or Configuration()
+        self.rng = rng or random.Random(17)
+        self.metrics = metrics or RpcMetrics()
+        assert spec is not None, "NameNode needs the cluster's RPC network spec"
+        self.spec = spec
+        self.namespace: Dict[str, INode] = {"/": INode("/", is_dir=True)}
+        self.block_map: Dict[int, BlockInfo] = {}
+        self.datanodes: Dict[str, DatanodeDescriptor] = {}
+        self._block_ids = itertools.count(1_000_000)
+        self.stats = {
+            "addBlock": 0,
+            "addBlock_retries_rejected": 0,
+            "blockReceived": 0,
+            "heartbeats": 0,
+            "completes": 0,
+            "completes_false": 0,
+        }
+        self.server = RPC.get_server(
+            fabric,
+            node,
+            port,
+            instance=self,
+            protocols=[ClientProtocol, DatanodeProtocol],
+            spec=self.spec,
+            conf=self.conf,
+            metrics=self.metrics,
+            name=f"namenode@{node.name}",
+        )
+
+    @property
+    def address(self):
+        return self.server.address
+
+    # ------------------------------------------------------------------
+    # ClientProtocol
+    # ------------------------------------------------------------------
+    def getFileInfo(self, path: Text):
+        inode = self.namespace.get(path.value)
+        if inode is None:
+            return NullWritable()
+        return FileStatusWritable(
+            path=inode.path,
+            length=inode.length,
+            is_dir=inode.is_dir,
+            replication=inode.replication,
+            block_size=inode.block_size,
+            modification_time=int(self.env.now),
+        )
+
+    def mkdirs(self, path: Text):
+        yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
+        parts = [p for p in path.value.split("/") if p]
+        current = ""
+        for part in parts:
+            current += "/" + part
+            if current not in self.namespace:
+                self.namespace[current] = INode(current, is_dir=True)
+        return BooleanWritable(True)
+
+    def create(self, path: Text, replication: IntWritable, block_size: LongWritable):
+        if path.value in self.namespace:
+            raise FileExistsError(f"{path.value} already exists")
+        yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
+        self.namespace[path.value] = INode(
+            path.value,
+            replication=replication.value,
+            block_size=block_size.value,
+            under_construction=True,
+        )
+        return BooleanWritable(True)
+
+    def renewLease(self, client_name: Text):
+        return NullWritable()
+
+    def addBlock(self, path: Text, client_name: Text):
+        """Allocate the next block — after checking file progress.
+
+        Raises :class:`NotReplicatedYet` (travelling as a
+        RemoteException) when the previous block has no confirmed
+        replica yet, exactly like 0.20.2's ``getAdditionalBlock``.
+        """
+        inode = self._file(path)
+        self.stats["addBlock"] += 1
+        min_replication = min(
+            self.conf.get_int("dfs.replication.min", 1), inode.replication
+        )
+        if inode.blocks and len(inode.blocks[-1].replicas) < min_replication:
+            self.stats["addBlock_retries_rejected"] += 1
+            raise NotReplicatedYet(
+                f"{path.value}: block {inode.blocks[-1].block_id} not replicated yet"
+            )
+        block = BlockInfo(next(self._block_ids), 0)
+        inode.blocks.append(block)
+        self.block_map[block.block_id] = block
+        targets = self._choose_targets(client_name.value, inode.replication)
+        return LocatedBlockWritable(
+            BlockWritable(block.block_id, 0, 0),
+            [DatanodeInfoWritable(d.name, d.capacity, d.remaining) for d in targets],
+        )
+
+    def complete(self, path: Text, client_name: Text):
+        """True when every block has >= 1 confirmed replica."""
+        inode = self._file(path)
+        self.stats["completes"] += 1
+        min_replication = min(
+            self.conf.get_int("dfs.replication.min", 1), inode.replication
+        )
+        if all(len(b.replicas) >= min_replication for b in inode.blocks):
+            if inode.under_construction:
+                inode.under_construction = False
+                yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
+            return BooleanWritable(True)
+        self.stats["completes_false"] += 1
+        return BooleanWritable(False)
+
+    def getListing(self, path: Text):
+        prefix = path.value.rstrip("/") + "/"
+        children = [
+            self.getFileInfo(Text(p))
+            for p in sorted(self.namespace)
+            if p.startswith(prefix) and "/" not in p[len(prefix):] and p != path.value
+        ]
+        return ArrayWritable([c for c in children if isinstance(c, FileStatusWritable)])
+
+    def rename(self, src: Text, dst: Text):
+        inode = self.namespace.pop(src.value, None)
+        if inode is None:
+            return BooleanWritable(False)
+        yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
+        inode.path = dst.value
+        self.namespace[dst.value] = inode
+        return BooleanWritable(True)
+
+    def delete(self, path: Text):
+        inode = self.namespace.pop(path.value, None)
+        if inode is None:
+            return BooleanWritable(False)
+        yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
+        for block in inode.blocks:
+            self.block_map.pop(block.block_id, None)
+        return BooleanWritable(True)
+
+    def getBlockLocations(self, path: Text, offset: LongWritable, length: LongWritable):
+        inode = self._file(path)
+        located = []
+        position = 0
+        for block in inode.blocks:
+            if position + block.num_bytes > offset.value and position < (
+                offset.value + length.value
+            ):
+                located.append(
+                    LocatedBlockWritable(
+                        BlockWritable(block.block_id, block.num_bytes, 0),
+                        [
+                            DatanodeInfoWritable(name)
+                            for name in sorted(block.replicas)
+                        ],
+                    )
+                )
+            position += block.num_bytes
+        return LocatedBlocksWritable(inode.length, located)
+
+    # ------------------------------------------------------------------
+    # DatanodeProtocol
+    # ------------------------------------------------------------------
+    def register(self, info: DatanodeInfoWritable):
+        node = self.fabric.nodes.get(info.name)
+        if node is None:
+            raise ValueError(f"unknown fabric node {info.name!r}")
+        self.datanodes[info.name] = DatanodeDescriptor(
+            info.name, node, info.capacity, info.remaining, self.env.now
+        )
+        return NullWritable()
+
+    def sendHeartbeat(self, heartbeat: HeartbeatWritable):
+        descriptor = self.datanodes.get(heartbeat.name)
+        if descriptor is not None:
+            descriptor.last_heartbeat_us = self.env.now
+            descriptor.remaining = heartbeat.remaining
+            descriptor.xceivers = heartbeat.xceiver_count
+        self.stats["heartbeats"] += 1
+        return NullWritable()
+
+    def blockReceived(self, name: Text, block: BlockWritable):
+        info = self.block_map.get(block.block_id)
+        if info is not None:
+            info.replicas.add(name.value)
+            info.num_bytes = max(info.num_bytes, block.num_bytes)
+        self.stats["blockReceived"] += 1
+        return NullWritable()
+
+    def blockReport(self, report: BlockReportWritable):
+        # per-block bookkeeping under the namesystem lock
+        yield self.env.timeout(0.4 * len(report.block_ids))
+        for block_id in report.block_ids:
+            info = self.block_map.get(block_id)
+            if info is not None:
+                info.replicas.add(report.name)
+        return NullWritable()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _file(self, path: Text) -> INode:
+        inode = self.namespace.get(path.value)
+        if inode is None or inode.is_dir:
+            raise FileNotFoundError(f"no such file: {path.value}")
+        return inode
+
+    def _choose_targets(self, client_name: str, replication: int) -> List[DatanodeDescriptor]:
+        """Default placement: writer-local first, then random distinct."""
+        alive = list(self.datanodes.values())
+        if not alive:
+            raise RuntimeError("no DataNodes registered")
+        replication = min(replication, len(alive))
+        targets: List[DatanodeDescriptor] = []
+        local = self.datanodes.get(client_name)
+        if local is not None:
+            targets.append(local)
+        others = [d for d in alive if d is not (local if local else None)]
+        self.rng.shuffle(others)
+        for descriptor in others:
+            if len(targets) >= replication:
+                break
+            targets.append(descriptor)
+        return targets[:replication]

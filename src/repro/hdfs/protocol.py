@@ -1,0 +1,257 @@
+"""HDFS RPC protocols and their Writable message types.
+
+The method set matches the calls Table I profiles
+(``hdfs.ClientProtocol``: getFileInfo, mkdirs, create, renewLease,
+addBlock, complete, getListing, rename, delete, getBlockLocations) plus
+the DataNode side (sendHeartbeat, blockReceived, blockReport,
+register).  The Writable layouts are faithful enough that message sizes
+land in the same size classes the paper observes (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.io.data_input import DataInput
+from repro.io.data_output import DataOutput
+from repro.io.writable import Writable, writable_factory
+from repro.rpc.protocol import RpcProtocol
+
+
+@writable_factory
+class BlockWritable(Writable):
+    """An HDFS block: id, byte length, generation stamp."""
+
+    def __init__(self, block_id: int = 0, num_bytes: int = 0, generation: int = 0):
+        self.block_id = block_id
+        self.num_bytes = num_bytes
+        self.generation = generation
+
+    def write(self, out: DataOutput) -> None:
+        out.write_long(self.block_id)
+        out.write_long(self.num_bytes)
+        out.write_long(self.generation)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.block_id = inp.read_long()
+        self.num_bytes = inp.read_long()
+        self.generation = inp.read_long()
+
+
+@writable_factory
+class DatanodeInfoWritable(Writable):
+    """Identity + usage summary of one DataNode."""
+
+    def __init__(self, name: str = "", capacity: int = 0, remaining: int = 0):
+        self.name = name
+        self.capacity = capacity
+        self.remaining = remaining
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.name)
+        out.write_long(self.capacity)
+        out.write_long(self.remaining)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.name = inp.read_utf()
+        self.capacity = inp.read_long()
+        self.remaining = inp.read_long()
+
+
+@writable_factory
+class LocatedBlockWritable(Writable):
+    """A block plus its replica locations — ``addBlock``'s return."""
+
+    def __init__(
+        self,
+        block: Optional[BlockWritable] = None,
+        locations: Optional[List[DatanodeInfoWritable]] = None,
+    ):
+        self.block = block or BlockWritable()
+        self.locations = list(locations or [])
+
+    def write(self, out: DataOutput) -> None:
+        self.block.write(out)
+        out.write_int(len(self.locations))
+        for location in self.locations:
+            location.write(out)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.block = BlockWritable()
+        self.block.read_fields(inp)
+        count = inp.read_int()
+        self.locations = []
+        for _ in range(count):
+            info = DatanodeInfoWritable()
+            info.read_fields(inp)
+            self.locations.append(info)
+
+
+@writable_factory
+class LocatedBlocksWritable(Writable):
+    """All blocks of a file with locations — ``getBlockLocations``."""
+
+    def __init__(self, file_length: int = 0, blocks: Optional[List[LocatedBlockWritable]] = None):
+        self.file_length = file_length
+        self.blocks = list(blocks or [])
+
+    def write(self, out: DataOutput) -> None:
+        out.write_long(self.file_length)
+        out.write_int(len(self.blocks))
+        for block in self.blocks:
+            block.write(out)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.file_length = inp.read_long()
+        count = inp.read_int()
+        self.blocks = []
+        for _ in range(count):
+            block = LocatedBlockWritable()
+            block.read_fields(inp)
+            self.blocks.append(block)
+
+
+@writable_factory
+class FileStatusWritable(Writable):
+    """``getFileInfo``'s return: path metadata."""
+
+    def __init__(
+        self,
+        path: str = "",
+        length: int = 0,
+        is_dir: bool = False,
+        replication: int = 0,
+        block_size: int = 0,
+        modification_time: int = 0,
+    ):
+        self.path = path
+        self.length = length
+        self.is_dir = is_dir
+        self.replication = replication
+        self.block_size = block_size
+        self.modification_time = modification_time
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.path)
+        out.write_long(self.length)
+        out.write_boolean(self.is_dir)
+        out.write_short(self.replication)
+        out.write_long(self.block_size)
+        out.write_long(self.modification_time)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.path = inp.read_utf()
+        self.length = inp.read_long()
+        self.is_dir = inp.read_boolean()
+        self.replication = inp.read_short()
+        self.block_size = inp.read_long()
+        self.modification_time = inp.read_long()
+
+
+@writable_factory
+class HeartbeatWritable(Writable):
+    """DataNode heartbeat payload (~the paper's steady ~430-byte kin)."""
+
+    def __init__(
+        self,
+        name: str = "",
+        capacity: int = 0,
+        dfs_used: int = 0,
+        remaining: int = 0,
+        xceiver_count: int = 0,
+    ):
+        self.name = name
+        self.capacity = capacity
+        self.dfs_used = dfs_used
+        self.remaining = remaining
+        self.xceiver_count = xceiver_count
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.name)
+        out.write_long(self.capacity)
+        out.write_long(self.dfs_used)
+        out.write_long(self.remaining)
+        out.write_int(self.xceiver_count)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.name = inp.read_utf()
+        self.capacity = inp.read_long()
+        self.dfs_used = inp.read_long()
+        self.remaining = inp.read_long()
+        self.xceiver_count = inp.read_int()
+
+
+@writable_factory
+class BlockReportWritable(Writable):
+    """Periodic full block listing from a DataNode (a *large* message)."""
+
+    def __init__(self, name: str = "", block_ids: Optional[List[int]] = None):
+        self.name = name
+        self.block_ids = list(block_ids or [])
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.name)
+        out.write_int(len(self.block_ids))
+        for block_id in self.block_ids:
+            out.write_long(block_id)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.name = inp.read_utf()
+        count = inp.read_int()
+        self.block_ids = [inp.read_long() for _ in range(count)]
+
+
+class ClientProtocol(RpcProtocol):
+    """Client <-> NameNode metadata operations (Table I's hdfs rows)."""
+
+    PROTOCOL_NAME = "hdfs.ClientProtocol"
+    VERSION = 41
+
+    def getFileInfo(self, path):
+        raise NotImplementedError
+
+    def mkdirs(self, path):
+        raise NotImplementedError
+
+    def create(self, path, replication, block_size):
+        raise NotImplementedError
+
+    def renewLease(self, client_name):
+        raise NotImplementedError
+
+    def addBlock(self, path, client_name):
+        raise NotImplementedError
+
+    def complete(self, path, client_name):
+        raise NotImplementedError
+
+    def getListing(self, path):
+        raise NotImplementedError
+
+    def rename(self, src, dst):
+        raise NotImplementedError
+
+    def delete(self, path):
+        raise NotImplementedError
+
+    def getBlockLocations(self, path, offset, length):
+        raise NotImplementedError
+
+
+class DatanodeProtocol(RpcProtocol):
+    """DataNode <-> NameNode control traffic."""
+
+    PROTOCOL_NAME = "hdfs.DatanodeProtocol"
+    VERSION = 25
+
+    def register(self, info):
+        raise NotImplementedError
+
+    def sendHeartbeat(self, heartbeat):
+        raise NotImplementedError
+
+    def blockReceived(self, name, block):
+        raise NotImplementedError
+
+    def blockReport(self, report):
+        raise NotImplementedError

@@ -1,0 +1,72 @@
+"""Buffered stream plumbing for the socket send path.
+
+Listing 1 line 10: ``new DataOutputStream(new BufferedOutputStream(
+socketStream))`` — the extra copy through the BufferedOutputStream's
+internal heap buffer is one of the Section II bottlenecks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.mem.cost import CostLedger
+
+
+class BytesSink:
+    """Terminal sink that collects written chunks (tests, local pipes)."""
+
+    def __init__(self) -> None:
+        self.chunks: List[bytes] = []
+        self.flushes = 0
+
+    def write_bytes(self, data: bytes) -> None:
+        self.chunks.append(bytes(data))
+
+    def flush(self) -> None:
+        self.flushes += 1
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class BufferedOutputStream:
+    """Heap-buffered writer in front of a raw sink.
+
+    Writes smaller than the remaining buffer space are copied into the
+    internal heap buffer (charged); larger writes flush and pass
+    through.  The internal buffer allocation is charged at
+    construction, as the JVM does.
+    """
+
+    def __init__(self, sink, ledger: CostLedger, buffer_size: int = 8192):
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        self.sink = sink
+        self.ledger = ledger
+        self.buffer_size = buffer_size
+        self._buffer = bytearray()
+        ledger.charge_heap_alloc(buffer_size)
+
+    def write_bytes(self, data: bytes) -> None:
+        if len(data) >= self.buffer_size:
+            # Too big to buffer: flush what we have, write through.
+            self._flush_buffer()
+            self.sink.write_bytes(data)
+            return
+        if len(self._buffer) + len(data) > self.buffer_size:
+            self._flush_buffer()
+        self._buffer.extend(data)
+        self.ledger.charge_copy(len(data))
+
+    def _flush_buffer(self) -> None:
+        if self._buffer:
+            self.sink.write_bytes(bytes(self._buffer))
+            self._buffer.clear()
+
+    def flush(self) -> None:
+        self._flush_buffer()
+        self.sink.flush()
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,183 @@
+"""DataOutput: Java-compatible primitive encoding + Algorithm 1 buffers.
+
+``DataOutputBuffer.write`` is the paper's Algorithm 1, verbatim: grow
+by ``max(2*capacity, needed)``, copy old data, copy new data.  Its
+adjustment counter is the source of Table I's "Avg. Mem Adjustment
+Times" column.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Protocol, Union
+
+from repro.mem.cost import CostLedger
+
+_INT = struct.Struct(">i")
+_LONG = struct.Struct(">q")
+_SHORT = struct.Struct(">h")
+_FLOAT = struct.Struct(">f")
+_DOUBLE = struct.Struct(">d")
+
+
+class Sink(Protocol):
+    """Anything raw bytes can be pushed into."""
+
+    def write_bytes(self, data: bytes) -> None: ...
+
+    def flush(self) -> None: ...
+
+
+class DataOutput:
+    """Java ``DataOutput`` primitives over an abstract raw ``write``.
+
+    Subclasses implement :meth:`write` (raw bytes) and inherit the
+    primitive encoders.  Every primitive charges one Writable write op
+    to the ledger; bulk byte copies are charged by :meth:`write`
+    implementations.
+    """
+
+    ledger: CostLedger
+
+    # -- raw ------------------------------------------------------------
+    def write(self, data: Union[bytes, bytearray, memoryview]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered data toward the final sink (default: no-op)."""
+
+    # -- primitives -------------------------------------------------------
+    def write_byte(self, value: int) -> None:
+        self.ledger.charge_write_op(1)
+        self.write(bytes(((value + 256) % 256,)))
+
+    def write_boolean(self, value: bool) -> None:
+        self.ledger.charge_write_op(1)
+        self.write(b"\x01" if value else b"\x00")
+
+    def write_short(self, value: int) -> None:
+        self.ledger.charge_write_op(2)
+        self.write(_SHORT.pack(value))
+
+    def write_int(self, value: int) -> None:
+        self.ledger.charge_write_op(4)
+        self.write(_INT.pack(value))
+
+    def write_long(self, value: int) -> None:
+        self.ledger.charge_write_op(8)
+        self.write(_LONG.pack(value))
+
+    def write_float(self, value: float) -> None:
+        self.ledger.charge_write_op(4)
+        self.write(_FLOAT.pack(value))
+
+    def write_double(self, value: float) -> None:
+        self.ledger.charge_write_op(8)
+        self.write(_DOUBLE.pack(value))
+
+    def write_bytes_raw(self, data: bytes) -> None:
+        """Bulk byte write counted as a single op (BytesWritable body)."""
+        self.ledger.charge_write_op(len(data))
+        self.write(data)
+
+    def write_utf(self, text: str) -> None:
+        """Java ``writeUTF``: 2-byte length + UTF-8 bytes."""
+        encoded = text.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise ValueError(f"writeUTF string too long: {len(encoded)} bytes")
+        self.write_short(len(encoded))
+        self.ledger.charge_write_op(len(encoded))
+        self.write(encoded)
+
+    # -- Hadoop WritableUtils variable-length encodings -----------------------
+    def write_vlong(self, value: int) -> None:
+        """Hadoop ``WritableUtils.writeVLong`` encoding (1-9 bytes)."""
+        self.ledger.charge_write_op(1)
+        if -112 <= value <= 127:
+            self.write(bytes(((value + 256) % 256,)))
+            return
+        length = -112
+        if value < 0:
+            value = ~value
+            length = -120
+        tmp = value
+        while tmp != 0:
+            tmp >>= 8
+            length -= 1
+        out = bytearray()
+        out.append((length + 256) % 256)
+        length = -(length + 120) if length < -120 else -(length + 112)
+        for idx in range(length, 0, -1):
+            shift = (idx - 1) * 8
+            out.append((value >> shift) & 0xFF)
+        self.write(bytes(out))
+
+    def write_vint(self, value: int) -> None:
+        self.write_vlong(value)
+
+
+class DataOutputBuffer(DataOutput):
+    """Growable in-memory output buffer — Listing 1's serialization target.
+
+    Models a JVM heap ``byte[]`` with explicit capacity: the initial
+    allocation and every Algorithm-1 growth charge heap-allocation
+    (with zeroing + GC debt) and copy costs to the ledger.
+    """
+
+    def __init__(self, ledger: CostLedger, initial_size: int = 32):
+        if initial_size < 1:
+            raise ValueError(f"initial_size must be >= 1, got {initial_size}")
+        self.ledger = ledger
+        self.capacity = initial_size
+        self.count = 0
+        self._data = bytearray(initial_size)
+        self.adjustments = 0
+        ledger.charge_heap_alloc(initial_size)
+
+    def write(self, data: Union[bytes, bytearray, memoryview]) -> None:
+        """Algorithm 1: grow-if-needed (doubling), then copy new data."""
+        length = len(data)
+        new_count = self.count + length
+        if new_count > self.capacity:
+            # reallocate buffer: max(double, needed)
+            new_capacity = max(self.capacity * 2, new_count)
+            self.ledger.charge_heap_alloc(new_capacity)
+            grown = bytearray(new_capacity)
+            # copy old data
+            grown[: self.count] = self._data[: self.count]
+            self.ledger.charge_copy(self.count)
+            self._data = grown
+            self.capacity = new_capacity
+            self.adjustments += 1
+            self.ledger.charge_adjustment()
+        # copy new data
+        self._data[self.count : new_count] = data
+        self.ledger.charge_copy(length)
+        self.count = new_count
+
+    def get_data(self) -> bytes:
+        """The serialized bytes written so far (Listing 1's ``getData``)."""
+        return bytes(self._data[: self.count])
+
+    def get_length(self) -> int:
+        return self.count
+
+    def reset(self) -> None:
+        """Rewind for reuse (keeps the grown capacity, like Java)."""
+        self.count = 0
+
+
+class DataOutputStream(DataOutput):
+    """Primitive encoder over a raw sink (Listing 1's sending side)."""
+
+    def __init__(self, sink: Sink, ledger: CostLedger):
+        self.sink = sink
+        self.ledger = ledger
+        self.written = 0
+
+    def write(self, data: Union[bytes, bytearray, memoryview]) -> None:
+        self.sink.write_bytes(bytes(data))
+        self.written += len(data)
+
+    def flush(self) -> None:
+        self.sink.flush()

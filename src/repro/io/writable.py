@@ -1,0 +1,116 @@
+"""The Hadoop ``Writable`` type system.
+
+Hadoop RPC parameters and return values are ``Writable`` objects; the
+RPC layer serializes them with ``write(DataOutput)`` and rebuilds them
+with ``readFields(DataInput)``.  ``ObjectWritable`` is the tagged
+envelope Hadoop's Invocation uses for dynamically-typed values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+from repro.io.data_input import DataInput
+from repro.io.data_output import DataOutput
+
+
+class Writable:
+    """Base serializable type: subclasses implement write/read_fields."""
+
+    def write(self, out: DataOutput) -> None:
+        raise NotImplementedError
+
+    def read_fields(self, inp: DataInput) -> None:
+        raise NotImplementedError
+
+    # Value semantics make tests and call matching natural.
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):  # pragma: no cover - rarely used
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.__dict__.items())
+        return f"{type(self).__name__}({fields})"
+
+
+class WritableRegistry:
+    """Name -> Writable class registry (Hadoop uses Java class names).
+
+    ``ObjectWritable`` writes the registered name on the wire so the
+    receiver can instantiate the right type reflectively.
+    """
+
+    _classes: Dict[str, Type[Writable]] = {}
+    _names: Dict[Type[Writable], str] = {}
+
+    @classmethod
+    def register(cls, writable_cls: Type[Writable], name: str = "") -> Type[Writable]:
+        key = name or writable_cls.__name__
+        existing = cls._classes.get(key)
+        if existing is not None and existing is not writable_cls:
+            raise ValueError(f"writable name collision: {key}")
+        cls._classes[key] = writable_cls
+        cls._names[writable_cls] = key
+        return writable_cls
+
+    @classmethod
+    def name_of(cls, writable_cls: Type[Writable]) -> str:
+        try:
+            return cls._names[writable_cls]
+        except KeyError:
+            raise KeyError(
+                f"{writable_cls.__name__} is not registered; decorate it with "
+                f"@writable_factory"
+            ) from None
+
+    @classmethod
+    def class_of(cls, name: str) -> Type[Writable]:
+        try:
+            return cls._classes[name]
+        except KeyError:
+            raise KeyError(f"no writable registered under {name!r}") from None
+
+    @classmethod
+    def new_instance(cls, name: str) -> Writable:
+        return cls.class_of(name)()
+
+
+def writable_factory(cls: Type[Writable]) -> Type[Writable]:
+    """Class decorator: register a Writable for ObjectWritable dispatch.
+
+    The class must be constructible with no arguments (Hadoop's
+    ``ReflectionUtils.newInstance`` contract, Listing 2 line 13).
+    """
+    return WritableRegistry.register(cls)
+
+
+class ObjectWritable(Writable):
+    """Tagged envelope: class name + payload, as Hadoop's RPC uses.
+
+    Wire format: Text-like short name (writeUTF) followed by the
+    instance's own serialization.
+    """
+
+    def __init__(self, instance: Writable | None = None):
+        self.instance = instance
+
+    def write(self, out: DataOutput) -> None:
+        if self.instance is None:
+            raise ValueError("ObjectWritable has no instance to write")
+        out.write_utf(WritableRegistry.name_of(type(self.instance)))
+        self.instance.write(out)
+
+    def read_fields(self, inp: DataInput) -> None:
+        name = inp.read_utf()
+        self.instance = WritableRegistry.new_instance(name)
+        self.instance.read_fields(inp)
+
+    @staticmethod
+    def read(inp: DataInput) -> Writable:
+        """Convenience: read one tagged object and return the payload."""
+        envelope = ObjectWritable()
+        envelope.read_fields(inp)
+        assert envelope.instance is not None
+        return envelope.instance

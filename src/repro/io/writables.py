@@ -1,0 +1,220 @@
+"""Standard Writable types (the ``org.apache.hadoop.io`` equivalents)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.io.data_input import DataInput
+from repro.io.data_output import DataOutput
+from repro.io.writable import Writable, WritableRegistry, writable_factory
+
+
+@writable_factory
+class NullWritable(Writable):
+    """Zero-byte placeholder (singleton semantics in Hadoop; value here)."""
+
+    def write(self, out: DataOutput) -> None:
+        pass
+
+    def read_fields(self, inp: DataInput) -> None:
+        pass
+
+
+@writable_factory
+class BooleanWritable(Writable):
+    def __init__(self, value: bool = False):
+        self.value = bool(value)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_boolean(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.value = inp.read_boolean()
+
+
+@writable_factory
+class ByteWritable(Writable):
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_byte(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.value = inp.read_byte()
+
+
+@writable_factory
+class IntWritable(Writable):
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_int(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.value = inp.read_int()
+
+
+@writable_factory
+class LongWritable(Writable):
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_long(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.value = inp.read_long()
+
+
+@writable_factory
+class VIntWritable(Writable):
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_vint(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.value = inp.read_vint()
+
+
+@writable_factory
+class VLongWritable(Writable):
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_vlong(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.value = inp.read_vlong()
+
+
+@writable_factory
+class FloatWritable(Writable):
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_float(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.value = inp.read_float()
+
+
+@writable_factory
+class DoubleWritable(Writable):
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_double(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.value = inp.read_double()
+
+
+@writable_factory
+class Text(Writable):
+    """UTF-8 string with vint length prefix (Hadoop ``Text``)."""
+
+    def __init__(self, value: str = ""):
+        self.value = str(value)
+
+    def write(self, out: DataOutput) -> None:
+        encoded = self.value.encode("utf-8")
+        out.write_vint(len(encoded))
+        out.write_bytes_raw(encoded)
+
+    def read_fields(self, inp: DataInput) -> None:
+        length = inp.read_vint()
+        if length < 0:
+            raise ValueError(f"negative Text length {length}")
+        self.value = inp.read_fully(length).decode("utf-8")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.value
+
+
+@writable_factory
+class BytesWritable(Writable):
+    """Length-prefixed byte payload — the micro-benchmark's parameter type.
+
+    ``read_fields`` allocates a fresh backing array (as Java does),
+    which is charged to the ledger: this is where receive-side payload
+    materialization cost lives in both RPC designs.
+    """
+
+    def __init__(self, value: bytes = b""):
+        self.value = bytes(value)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_int(len(self.value))
+        out.write_bytes_raw(self.value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        length = inp.read_int()
+        if length < 0:
+            raise ValueError(f"negative BytesWritable length {length}")
+        inp.ledger.charge_heap_alloc(length)
+        self.value = inp.read_fully(length)
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+
+@writable_factory
+class ArrayWritable(Writable):
+    """Homogeneous array of Writables, element class carried by name."""
+
+    def __init__(self, values: Optional[List[Writable]] = None):
+        self.values: List[Writable] = list(values or [])
+
+    def write(self, out: DataOutput) -> None:
+        out.write_int(len(self.values))
+        if self.values:
+            out.write_utf(WritableRegistry.name_of(type(self.values[0])))
+            for value in self.values:
+                value.write(out)
+
+    def read_fields(self, inp: DataInput) -> None:
+        count = inp.read_int()
+        if count < 0:
+            raise ValueError(f"negative array length {count}")
+        self.values = []
+        if count:
+            cls = WritableRegistry.class_of(inp.read_utf())
+            for _ in range(count):
+                element = cls()
+                element.read_fields(inp)
+                self.values.append(element)
+
+
+@writable_factory
+class MapWritable(Writable):
+    """Writable->Writable map, fully tagged per entry."""
+
+    def __init__(self, entries: Optional[Dict[Writable, Writable]] = None):
+        self.entries: Dict[Writable, Writable] = dict(entries or {})
+
+    def write(self, out: DataOutput) -> None:
+        out.write_int(len(self.entries))
+        for key, value in self.entries.items():
+            out.write_utf(WritableRegistry.name_of(type(key)))
+            key.write(out)
+            out.write_utf(WritableRegistry.name_of(type(value)))
+            value.write(out)
+
+    def read_fields(self, inp: DataInput) -> None:
+        count = inp.read_int()
+        if count < 0:
+            raise ValueError(f"negative map size {count}")
+        self.entries = {}
+        for _ in range(count):
+            key = WritableRegistry.new_instance(inp.read_utf())
+            key.read_fields(inp)
+            value = WritableRegistry.new_instance(inp.read_utf())
+            value.read_fields(inp)
+            self.entries[key] = value

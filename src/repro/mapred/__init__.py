@@ -1,0 +1,39 @@
+"""MapReduce substrate: JobTracker, TaskTrackers, tasks, shuffle.
+
+Models Hadoop 0.20.2 MapReduce closely enough to reproduce the paper's
+Fig. 6 and Table I:
+
+* scheduling — TaskTrackers heartbeat the JobTracker every 3 s; the
+  JobQueue scheduler fills free map slots (data-local first) and hands
+  out one reduce per heartbeat;
+* tasks — child JVMs (startup cost) talking ``TaskUmbilicalProtocol``
+  to their local TaskTracker: getTask / ping / statusUpdate /
+  commitPending / canCommit / done — the exact call mix Table I
+  profiles;
+* shuffle — reducers poll ``getMapCompletionEvents`` and fetch map
+  output segments over the data fabric, then merge, reduce, and write
+  job output to HDFS (where the Fig. 7 RPC couplings apply);
+* all control traffic runs on :mod:`repro.rpc`, so the engine switch
+  affects exactly what it affected in the paper.
+"""
+
+from repro.mapred.protocol import (
+    InterTrackerProtocol,
+    JobSubmissionProtocol,
+    TaskUmbilicalProtocol,
+)
+from repro.mapred.job import JobConf, JobResult
+from repro.mapred.jobtracker import JobTracker
+from repro.mapred.tasktracker import TaskTracker
+from repro.mapred.cluster import MapReduceCluster
+
+__all__ = [
+    "InterTrackerProtocol",
+    "JobConf",
+    "JobResult",
+    "JobSubmissionProtocol",
+    "JobTracker",
+    "MapReduceCluster",
+    "TaskTracker",
+    "TaskUmbilicalProtocol",
+]

@@ -1,0 +1,285 @@
+"""The JobTracker: job bookkeeping and heartbeat-driven scheduling.
+
+0.20.2 semantics: TaskTrackers drive everything by heartbeating every
+3 s; the scheduler fills all free map slots (data-local tasks first) and
+hands out at most one reduce per heartbeat, gated by the reduce
+slow-start threshold.  Map completions become TaskCompletionEvents that
+TaskTrackers fetch incrementally for their reducers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.calibration import NetworkSpec
+from repro.config import Configuration
+from repro.io.writables import BooleanWritable, IntWritable, Text
+from repro.mapred.job import InputSplit, JobConf, JobResult
+from repro.mapred.protocol import (
+    CompletionEventWritable,
+    CompletionEventsWritable,
+    InterTrackerProtocol,
+    JobStatusWritable,
+    JobSubmissionProtocol,
+    LaunchActionsWritable,
+    TaskTrackerStatusWritable,
+    TaskWritable,
+)
+from repro.net.fabric import Fabric, Node
+from repro.rpc.engine import RPC
+from repro.rpc.metrics import RpcMetrics
+
+#: fraction of maps that must complete before reduces are scheduled
+REDUCE_SLOWSTART = 0.05
+
+
+@dataclass
+class TaskInProgress:
+    """JT-side state of one task."""
+
+    task_id: str
+    is_map: bool
+    partition: int
+    split: Optional[InputSplit] = None
+    state: str = "PENDING"  # PENDING -> RUNNING -> COMPLETE
+    tracker: str = ""
+
+
+@dataclass
+class JobInProgress:
+    """JT-side state of one job."""
+
+    conf: JobConf
+    submitted_at_us: float
+    maps: List[TaskInProgress] = field(default_factory=list)
+    reduces: List[TaskInProgress] = field(default_factory=list)
+    events: List[CompletionEventWritable] = field(default_factory=list)
+    state: str = "RUNNING"
+    finished_at_us: float = 0.0
+
+    @property
+    def maps_completed(self) -> int:
+        return sum(1 for t in self.maps if t.state == "COMPLETE")
+
+    @property
+    def reduces_completed(self) -> int:
+        return sum(1 for t in self.reduces if t.state == "COMPLETE")
+
+    @property
+    def reduces_allowed(self) -> bool:
+        threshold = max(1, int(REDUCE_SLOWSTART * len(self.maps)))
+        return self.maps_completed >= threshold
+
+    def check_done(self, now: float) -> None:
+        if self.state == "RUNNING" and not any(
+            t.state != "COMPLETE" for t in self.maps + self.reduces
+        ):
+            self.state = "SUCCEEDED"
+            self.finished_at_us = now
+
+
+class JobTracker(InterTrackerProtocol, JobSubmissionProtocol):
+    """JobTracker daemon serving heartbeats and job submission."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        node: Node,
+        port: int = 9001,
+        conf: Optional[Configuration] = None,
+        spec: Optional[NetworkSpec] = None,
+        metrics: Optional[RpcMetrics] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        assert spec is not None, "JobTracker needs the cluster's RPC network spec"
+        self.fabric = fabric
+        self.env = fabric.env
+        self.node = node
+        self.conf = conf or Configuration()
+        self.rng = rng or random.Random(23)
+        self.jobs: Dict[str, JobInProgress] = {}
+        #: registered-but-not-yet-submitted confs (submission staging:
+        #: the real JobClient uploads the conf to HDFS; we stage the
+        #: Python object and the RPC carries the job id).
+        self.staged: Dict[str, JobConf] = {}
+        #: map output bytes by map task id (for completion events)
+        self.map_output_bytes: Dict[str, int] = {}
+        self.heartbeats = 0
+        self.server = RPC.get_server(
+            fabric,
+            node,
+            port,
+            instance=self,
+            protocols=[InterTrackerProtocol, JobSubmissionProtocol],
+            spec=spec,
+            conf=self.conf,
+            metrics=metrics,
+            name=f"jobtracker@{node.name}",
+        )
+
+    @property
+    def address(self):
+        return self.server.address
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def stage_job(self, conf: JobConf) -> str:
+        """Stage a job conf for a later ``submitJob`` RPC."""
+        self.staged[conf.job_id] = conf
+        return conf.job_id
+
+    def submitJob(self, job_id: Text):
+        conf = self.staged.pop(job_id.value, None)
+        if conf is None:
+            raise KeyError(f"job {job_id.value} was not staged")
+        job = JobInProgress(conf, submitted_at_us=self.env.now)
+        for index, split in enumerate(conf.splits):
+            job.maps.append(
+                TaskInProgress(f"{conf.job_id}_m_{index:06d}", True, index, split)
+            )
+        for index in range(conf.num_reduces):
+            job.reduces.append(
+                TaskInProgress(f"{conf.job_id}_r_{index:06d}", False, index)
+            )
+        self.jobs[conf.job_id] = job
+        return self._status_of(job)
+
+    def getJobStatus(self, job_id: Text):
+        job = self.jobs.get(job_id.value)
+        if job is None:
+            raise KeyError(f"unknown job {job_id.value}")
+        return self._status_of(job)
+
+    def getTaskCompletionEvents(self, job_id: Text, from_event: IntWritable, max_events: IntWritable):
+        job = self.jobs.get(job_id.value)
+        if job is None:
+            return CompletionEventsWritable([])
+        window = job.events[from_event.value : from_event.value + max_events.value]
+        return CompletionEventsWritable(list(window))
+
+    @staticmethod
+    def _status_of(job: JobInProgress) -> JobStatusWritable:
+        return JobStatusWritable(
+            job.conf.job_id,
+            job.state,
+            job.maps_completed,
+            len(job.maps),
+            job.reduces_completed,
+            len(job.reduces),
+        )
+
+    # ------------------------------------------------------------------
+    # heartbeat: status ingestion + scheduling
+    # ------------------------------------------------------------------
+    def heartbeat(self, status: TaskTrackerStatusWritable, ask: BooleanWritable):
+        self.heartbeats += 1
+        self._ingest_statuses(status)
+        launch: List[TaskWritable] = []
+        if ask.value:
+            launch = self._schedule(status)
+        interval_ms = int(self.conf.get_float("mapred.heartbeat.interval") / 1000)
+        return LaunchActionsWritable(launch, interval_ms)
+
+    def _ingest_statuses(self, status: TaskTrackerStatusWritable) -> None:
+        for task_status in status.tasks:
+            job_id = task_status.task_id.rsplit("_", 2)[0]
+            job = self.jobs.get(job_id)
+            if job is None:
+                continue
+            tip = self._find_task(job, task_status.task_id)
+            if tip is None or tip.state == "COMPLETE":
+                continue
+            if task_status.state == "COMPLETE":
+                tip.state = "COMPLETE"
+                if tip.is_map:
+                    output = self.map_output_bytes.get(tip.task_id, 0)
+                    job.events.append(
+                        CompletionEventWritable(
+                            len(job.events), tip.task_id, status.tracker, output
+                        )
+                    )
+                job.check_done(self.env.now)
+
+    @staticmethod
+    def _find_task(job: JobInProgress, task_id: str) -> Optional[TaskInProgress]:
+        pool = job.maps if "_m_" in task_id else job.reduces
+        for tip in pool:
+            if tip.task_id == task_id:
+                return tip
+        return None
+
+    def _schedule(self, status: TaskTrackerStatusWritable) -> List[TaskWritable]:
+        tracker = status.tracker
+        running_maps = sum(
+            1 for t in status.tasks if "_m_" in t.task_id and t.state == "RUNNING"
+        )
+        running_reduces = sum(
+            1 for t in status.tasks if "_r_" in t.task_id and t.state == "RUNNING"
+        )
+        free_map_slots = status.map_slots - running_maps
+        free_reduce_slots = status.reduce_slots - running_reduces
+        launch: List[TaskWritable] = []
+        # fill all free map slots, data-local first
+        for _ in range(free_map_slots):
+            tip = self._pick_map(tracker)
+            if tip is None:
+                break
+            tip.state = "RUNNING"
+            tip.tracker = tracker
+            launch.append(
+                TaskWritable(
+                    tip.task_id,
+                    True,
+                    tip.partition,
+                    tip.split.path,
+                    tip.split.offset,
+                    tip.split.length,
+                )
+            )
+        # at most one reduce per heartbeat (JobQueueTaskScheduler)
+        if free_reduce_slots > 0:
+            tip = self._pick_reduce()
+            if tip is not None:
+                tip.state = "RUNNING"
+                tip.tracker = tracker
+                launch.append(TaskWritable(tip.task_id, False, tip.partition))
+        return launch
+
+    def _pick_map(self, tracker: str) -> Optional[TaskInProgress]:
+        fallback = None
+        for job in self.jobs.values():
+            if job.state != "RUNNING":
+                continue
+            for tip in job.maps:
+                if tip.state != "PENDING":
+                    continue
+                if tip.split and tracker in tip.split.locations:
+                    return tip  # data-local
+                if fallback is None:
+                    fallback = tip
+        return fallback
+
+    def _pick_reduce(self) -> Optional[TaskInProgress]:
+        for job in self.jobs.values():
+            if job.state != "RUNNING" or not job.reduces_allowed:
+                continue
+            for tip in job.reduces:
+                if tip.state == "PENDING":
+                    return tip
+        return None
+
+    # commit coordination (canCommit forwarded by TaskTrackers)
+    def can_commit(self, task_id: str) -> bool:
+        job = self.jobs.get(task_id.rsplit("_", 2)[0])
+        if job is None:
+            return False
+        tip = self._find_task(job, task_id)
+        return tip is not None and tip.state == "RUNNING"
+
+    def record_map_output(self, task_id: str, nbytes: int) -> None:
+        """TaskTrackers report local map-output sizes out-of-band (the
+        real system serves this via the ShuffleHandler's index files)."""
+        self.map_output_bytes[task_id] = nbytes

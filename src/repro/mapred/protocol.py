@@ -1,0 +1,320 @@
+"""MapReduce RPC protocols and Writable message types.
+
+Message layouts carry realistic field counts so that serialized sizes
+(and hence Algorithm-1 adjustment counts) land where Table I and Fig. 3
+put them: ``statusUpdate`` ~600 B with counters, TaskTracker heartbeats
+growing with running-task count, completion-event lists growing with
+map count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.io.data_input import DataInput
+from repro.io.data_output import DataOutput
+from repro.io.writable import Writable, writable_factory
+from repro.rpc.protocol import RpcProtocol
+
+
+@writable_factory
+class CountersWritable(Writable):
+    """Task counters: name -> long (the bulk of statusUpdate's bytes)."""
+
+    STANDARD = (
+        "MAP_INPUT_RECORDS", "MAP_OUTPUT_RECORDS", "MAP_INPUT_BYTES",
+        "MAP_OUTPUT_BYTES", "COMBINE_INPUT_RECORDS", "COMBINE_OUTPUT_RECORDS",
+        "REDUCE_INPUT_GROUPS", "REDUCE_INPUT_RECORDS", "REDUCE_OUTPUT_RECORDS",
+        "REDUCE_SHUFFLE_BYTES", "SPILLED_RECORDS", "CPU_MILLISECONDS",
+        "PHYSICAL_MEMORY_BYTES", "VIRTUAL_MEMORY_BYTES", "COMMITTED_HEAP_BYTES",
+        "FILE_BYTES_READ", "FILE_BYTES_WRITTEN", "HDFS_BYTES_READ",
+        "HDFS_BYTES_WRITTEN",
+    )
+
+    def __init__(self, values: Optional[dict] = None):
+        self.values = dict(values or {})
+
+    @classmethod
+    def standard(cls, scale: int = 0) -> "CountersWritable":
+        return cls({name: scale for name in cls.STANDARD})
+
+    def write(self, out: DataOutput) -> None:
+        out.write_vint(len(self.values))
+        for name, value in self.values.items():
+            out.write_utf(name)
+            out.write_vlong(value)
+
+    def read_fields(self, inp: DataInput) -> None:
+        count = inp.read_vint()
+        self.values = {}
+        for _ in range(count):
+            name = inp.read_utf()
+            self.values[name] = inp.read_vlong()
+
+
+@writable_factory
+class TaskStatusWritable(Writable):
+    """One task's status: the payload of ``statusUpdate`` (Table I row)."""
+
+    def __init__(
+        self,
+        task_id: str = "",
+        progress: float = 0.0,
+        state: str = "RUNNING",
+        phase: str = "MAP",
+        diagnostic: str = "",
+        counters: Optional[CountersWritable] = None,
+    ):
+        self.task_id = task_id
+        self.progress = progress
+        self.state = state
+        self.phase = phase
+        self.diagnostic = diagnostic
+        self.counters = counters or CountersWritable.standard()
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.task_id)
+        out.write_float(self.progress)
+        out.write_utf(self.state)
+        out.write_utf(self.phase)
+        out.write_utf(self.diagnostic)
+        self.counters.write(out)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.task_id = inp.read_utf()
+        self.progress = inp.read_float()
+        self.state = inp.read_utf()
+        self.phase = inp.read_utf()
+        self.diagnostic = inp.read_utf()
+        self.counters = CountersWritable()
+        self.counters.read_fields(inp)
+
+
+@writable_factory
+class TaskTrackerStatusWritable(Writable):
+    """TaskTracker heartbeat payload (Fig. 3's ``JT_heartbeat`` kin):
+    grows with the number of running tasks."""
+
+    def __init__(
+        self,
+        tracker: str = "",
+        map_slots: int = 8,
+        reduce_slots: int = 4,
+        tasks: Optional[List[TaskStatusWritable]] = None,
+    ):
+        self.tracker = tracker
+        self.map_slots = map_slots
+        self.reduce_slots = reduce_slots
+        self.tasks = list(tasks or [])
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.tracker)
+        out.write_int(self.map_slots)
+        out.write_int(self.reduce_slots)
+        out.write_int(len(self.tasks))
+        for task in self.tasks:
+            task.write(out)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.tracker = inp.read_utf()
+        self.map_slots = inp.read_int()
+        self.reduce_slots = inp.read_int()
+        self.tasks = []
+        for _ in range(inp.read_int()):
+            status = TaskStatusWritable()
+            status.read_fields(inp)
+            self.tasks.append(status)
+
+
+@writable_factory
+class TaskWritable(Writable):
+    """A launched task: id, kind, partition, input description."""
+
+    def __init__(
+        self,
+        task_id: str = "",
+        is_map: bool = True,
+        partition: int = 0,
+        split_path: str = "",
+        split_offset: int = 0,
+        split_length: int = 0,
+    ):
+        self.task_id = task_id
+        self.is_map = is_map
+        self.partition = partition
+        self.split_path = split_path
+        self.split_offset = split_offset
+        self.split_length = split_length
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.task_id)
+        out.write_boolean(self.is_map)
+        out.write_int(self.partition)
+        out.write_utf(self.split_path)
+        out.write_long(self.split_offset)
+        out.write_long(self.split_length)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.task_id = inp.read_utf()
+        self.is_map = inp.read_boolean()
+        self.partition = inp.read_int()
+        self.split_path = inp.read_utf()
+        self.split_offset = inp.read_long()
+        self.split_length = inp.read_long()
+
+
+@writable_factory
+class LaunchActionsWritable(Writable):
+    """Heartbeat response: tasks to launch + global heartbeat interval."""
+
+    def __init__(self, tasks: Optional[List[TaskWritable]] = None, interval_ms: int = 3000):
+        self.tasks = list(tasks or [])
+        self.interval_ms = interval_ms
+
+    def write(self, out: DataOutput) -> None:
+        out.write_int(self.interval_ms)
+        out.write_int(len(self.tasks))
+        for task in self.tasks:
+            task.write(out)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.interval_ms = inp.read_int()
+        self.tasks = []
+        for _ in range(inp.read_int()):
+            task = TaskWritable()
+            task.read_fields(inp)
+            self.tasks.append(task)
+
+
+@writable_factory
+class CompletionEventWritable(Writable):
+    """One map-completion event: where a reducer fetches a segment."""
+
+    def __init__(self, event_id: int = 0, task_id: str = "", host: str = "", output_bytes: int = 0):
+        self.event_id = event_id
+        self.task_id = task_id
+        self.host = host
+        self.output_bytes = output_bytes
+
+    def write(self, out: DataOutput) -> None:
+        out.write_int(self.event_id)
+        out.write_utf(self.task_id)
+        out.write_utf(self.host)
+        out.write_long(self.output_bytes)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.event_id = inp.read_int()
+        self.task_id = inp.read_utf()
+        self.host = inp.read_utf()
+        self.output_bytes = inp.read_long()
+
+
+@writable_factory
+class CompletionEventsWritable(Writable):
+    """Batch of completion events (grows with map count — a big one)."""
+
+    def __init__(self, events: Optional[List[CompletionEventWritable]] = None):
+        self.events = list(events or [])
+
+    def write(self, out: DataOutput) -> None:
+        out.write_int(len(self.events))
+        for event in self.events:
+            event.write(out)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.events = []
+        for _ in range(inp.read_int()):
+            event = CompletionEventWritable()
+            event.read_fields(inp)
+            self.events.append(event)
+
+
+@writable_factory
+class JobStatusWritable(Writable):
+    """Submission/progress snapshot returned to the job client."""
+
+    def __init__(
+        self,
+        job_id: str = "",
+        state: str = "RUNNING",
+        maps_completed: int = 0,
+        maps_total: int = 0,
+        reduces_completed: int = 0,
+        reduces_total: int = 0,
+    ):
+        self.job_id = job_id
+        self.state = state
+        self.maps_completed = maps_completed
+        self.maps_total = maps_total
+        self.reduces_completed = reduces_completed
+        self.reduces_total = reduces_total
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.job_id)
+        out.write_utf(self.state)
+        out.write_int(self.maps_completed)
+        out.write_int(self.maps_total)
+        out.write_int(self.reduces_completed)
+        out.write_int(self.reduces_total)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.job_id = inp.read_utf()
+        self.state = inp.read_utf()
+        self.maps_completed = inp.read_int()
+        self.maps_total = inp.read_int()
+        self.reduces_completed = inp.read_int()
+        self.reduces_total = inp.read_int()
+
+
+class InterTrackerProtocol(RpcProtocol):
+    """TaskTracker <-> JobTracker heartbeats."""
+
+    PROTOCOL_NAME = "mapred.InterTrackerProtocol"
+    VERSION = 30
+
+    def heartbeat(self, status, ask_for_new_task):
+        raise NotImplementedError
+
+
+class TaskUmbilicalProtocol(RpcProtocol):
+    """Child task <-> local TaskTracker (the Table I call mix)."""
+
+    PROTOCOL_NAME = "mapred.TaskUmbilicalProtocol"
+    VERSION = 19
+
+    def getTask(self, jvm_id):
+        raise NotImplementedError
+
+    def ping(self, task_id):
+        raise NotImplementedError
+
+    def statusUpdate(self, task_id, status):
+        raise NotImplementedError
+
+    def commitPending(self, task_id, status):
+        raise NotImplementedError
+
+    def canCommit(self, task_id):
+        raise NotImplementedError
+
+    def done(self, task_id):
+        raise NotImplementedError
+
+    def getMapCompletionEvents(self, job_id, from_event, max_events):
+        raise NotImplementedError
+
+
+class JobSubmissionProtocol(RpcProtocol):
+    """Job client <-> JobTracker."""
+
+    PROTOCOL_NAME = "mapred.JobSubmissionProtocol"
+    VERSION = 28
+
+    def submitJob(self, job_id):
+        raise NotImplementedError
+
+    def getJobStatus(self, job_id):
+        raise NotImplementedError
+
+    def getTaskCompletionEvents(self, job_id, from_event, max_events):
+        raise NotImplementedError

@@ -1,0 +1,210 @@
+"""The TaskTracker: slots, child tasks, umbilical service, heartbeats.
+
+Each TaskTracker runs an RPC server for ``TaskUmbilicalProtocol`` (its
+child tasks connect over the loopback-equivalent path) and drives the
+JobTracker with 3-second heartbeats carrying per-task statuses — the
+very messages whose sizes Fig. 3 traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional
+
+from repro.calibration import NetworkSpec
+from repro.config import Configuration
+from repro.io.writables import BooleanWritable, IntWritable, NullWritable, Text
+from repro.mapred.protocol import (
+    CompletionEventsWritable,
+    InterTrackerProtocol,
+    JobSubmissionProtocol,
+    TaskStatusWritable,
+    TaskTrackerStatusWritable,
+    TaskUmbilicalProtocol,
+    TaskWritable,
+)
+from repro.net.fabric import Fabric, Node
+from repro.rpc.engine import RPC
+from repro.rpc.metrics import RpcMetrics
+from repro.simcore import Resource
+
+
+class TaskTracker(TaskUmbilicalProtocol):
+    """One TaskTracker daemon and its task slots."""
+
+    _jvm_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        node: Node,
+        jobtracker,
+        cluster,
+        conf: Optional[Configuration] = None,
+        spec: Optional[NetworkSpec] = None,
+        metrics: Optional[RpcMetrics] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        assert spec is not None, "TaskTracker needs the cluster's RPC network spec"
+        self.fabric = fabric
+        self.env = fabric.env
+        self.node = node
+        self.name = node.name
+        self.jobtracker = jobtracker
+        self.cluster = cluster
+        self.conf = conf or Configuration()
+        self.spec = spec
+        self.metrics = metrics
+        self.rng = rng or random.Random(hash(node.name) ^ 0x7A5)
+        self.map_slots = self.conf.get_int("mapred.tasktracker.map.tasks.maximum")
+        self.reduce_slots = self.conf.get_int("mapred.tasktracker.reduce.tasks.maximum")
+        # umbilical RPC server (child tasks -> this tracker)
+        self.umbilical_server = RPC.get_server(
+            fabric, node, 50060, self, TaskUmbilicalProtocol, spec,
+            conf=self.conf, metrics=metrics, name=f"tt-umbilical@{node.name}",
+        )
+        self.jt_client = RPC.get_client(
+            fabric, node, spec, conf=self.conf, metrics=metrics,
+            name=f"tt-rpc@{node.name}",
+        )
+        self.jt = RPC.get_proxy(InterTrackerProtocol, jobtracker.address, self.jt_client)
+        self.jt_submission = RPC.get_proxy(
+            JobSubmissionProtocol, jobtracker.address, self.jt_client
+        )
+        #: jvm id -> assigned TaskWritable, consumed by getTask
+        self._assignments: Dict[str, TaskWritable] = {}
+        #: task id -> latest reported TaskStatusWritable
+        self.running: Dict[str, TaskStatusWritable] = {}
+        #: completed statuses not yet reported to the JT
+        self._completed: List[TaskStatusWritable] = []
+        self._running_maps = 0
+        self._running_reduces = 0
+        #: map task id -> output bytes held on this tracker's disk
+        self.map_outputs: Dict[str, int] = {}
+        #: job id -> fetched completion events (served to reducers)
+        self.event_cache: Dict[str, List] = {}
+        self._fetchers: Dict[str, object] = {}
+        # local spindle shared with a co-located DataNode when present
+        datanode = cluster.datanode_on(node.name) if cluster else None
+        self.local_disk: Resource = (
+            datanode.disk if datanode is not None else Resource(self.env, 1)
+        )
+        self.heartbeat_proc = self.env.process(
+            self._heartbeat_loop(), name=f"tt-hb:{self.name}"
+        )
+
+    # ------------------------------------------------------------------
+    # heartbeat loop (drives scheduling)
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self):
+        interval = self.conf.get_float("mapred.heartbeat.interval")
+        yield self.env.timeout(self.rng.uniform(0, interval))
+        while True:
+            status = self._build_status()
+            ask = (
+                self._running_maps < self.map_slots
+                or self._running_reduces < self.reduce_slots
+            )
+            response = yield self.jt.heartbeat(status, BooleanWritable(ask))
+            self._completed.clear()
+            for task in response.tasks:
+                self._launch(task)
+            yield self.env.timeout(interval)
+
+    def _build_status(self) -> TaskTrackerStatusWritable:
+        statuses = list(self.running.values()) + list(self._completed)
+        return TaskTrackerStatusWritable(
+            self.name, self.map_slots, self.reduce_slots, statuses
+        )
+
+    def _launch(self, task: TaskWritable) -> None:
+        from repro.mapred.task import ChildTask
+
+        jvm_id = f"jvm_{next(self._jvm_ids):06d}"
+        self._assignments[jvm_id] = task
+        if task.is_map:
+            self._running_maps += 1
+        else:
+            self._running_reduces += 1
+        self.running[task.task_id] = TaskStatusWritable(
+            task.task_id, 0.0, "RUNNING", "MAP" if task.is_map else "SHUFFLE"
+        )
+        child = ChildTask(self, jvm_id, task)
+        self.env.process(child.run(), name=f"task:{task.task_id}")
+        if not task.is_map:
+            self._ensure_fetcher(task.task_id.rsplit("_", 2)[0])
+
+    # ------------------------------------------------------------------
+    # completion-event fetcher (per job with local reducers)
+    # ------------------------------------------------------------------
+    def _ensure_fetcher(self, job_id: str) -> None:
+        if job_id in self._fetchers:
+            return
+        self.event_cache.setdefault(job_id, [])
+        self._fetchers[job_id] = self.env.process(
+            self._fetch_events(job_id), name=f"tt-fetch:{self.name}:{job_id}"
+        )
+
+    def _fetch_events(self, job_id: str):
+        cache = self.event_cache[job_id]
+        while any(
+            task_id.startswith(job_id) and "_r_" in task_id
+            for task_id in self.running
+        ):
+            events = yield self.jt_submission.getTaskCompletionEvents(
+                Text(job_id), IntWritable(len(cache)), IntWritable(10000)
+            )
+            cache.extend(events.events)
+            yield self.env.timeout(1_000_000)  # 1 s poll, like 0.20.2
+        self._fetchers.pop(job_id, None)
+
+    # ------------------------------------------------------------------
+    # TaskUmbilicalProtocol (called by child tasks over RPC)
+    # ------------------------------------------------------------------
+    def getTask(self, jvm_id: Text):
+        task = self._assignments.pop(jvm_id.value, None)
+        if task is None:
+            raise KeyError(f"no task assigned to {jvm_id.value}")
+        return task
+
+    def ping(self, task_id: Text):
+        return BooleanWritable(task_id.value in self.running)
+
+    def statusUpdate(self, task_id: Text, status: TaskStatusWritable):
+        if task_id.value in self.running:
+            self.running[task_id.value] = status
+        return BooleanWritable(True)
+
+    def commitPending(self, task_id: Text, status: TaskStatusWritable):
+        if task_id.value in self.running:
+            status.state = "COMMIT_PENDING"
+            self.running[task_id.value] = status
+        return NullWritable()
+
+    def canCommit(self, task_id: Text):
+        return BooleanWritable(self.jobtracker.can_commit(task_id.value))
+
+    def done(self, task_id: Text):
+        status = self.running.pop(task_id.value, None)
+        if status is not None:
+            status.state = "COMPLETE"
+            status.progress = 1.0
+            self._completed.append(status)
+            if "_m_" in task_id.value:
+                self._running_maps -= 1
+            else:
+                self._running_reduces -= 1
+        return NullWritable()
+
+    def getMapCompletionEvents(self, job_id: Text, from_event: IntWritable, max_events: IntWritable):
+        cache = self.event_cache.get(job_id.value, [])
+        window = cache[from_event.value : from_event.value + max_events.value]
+        return CompletionEventsWritable(list(window))
+
+    # ------------------------------------------------------------------
+    # map-output bookkeeping
+    # ------------------------------------------------------------------
+    def register_map_output(self, task_id: str, nbytes: int) -> None:
+        self.map_outputs[task_id] = nbytes
+        self.jobtracker.record_map_output(task_id, nbytes)

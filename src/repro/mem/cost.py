@@ -1,0 +1,133 @@
+"""Cost ledger: accumulates the simulated time of mechanical operations.
+
+Serialization/buffer code in :mod:`repro.io` is *pure* — it runs
+eagerly on real bytes and records what it did (allocations, copies,
+primitive writes) in a :class:`CostLedger`.  The owning simulation
+process then charges the accumulated time to the clock in one
+``yield env.timeout(ledger.drain())``.  This separation keeps the
+mechanical layer unit-testable without a simulator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.calibration import CostModel
+
+
+@dataclass
+class OpCounts:
+    """Counters of mechanical operations, independent of their cost."""
+
+    allocations: int = 0
+    alloc_bytes: int = 0
+    copies: int = 0
+    copy_bytes: int = 0
+    #: buffer-growth events of Algorithm 1 ("Avg. Mem Adjustment Times"
+    #: column of Table I counts these plus the initial allocation).
+    adjustments: int = 0
+    write_ops: int = 0
+    read_ops: int = 0
+
+    def merge(self, other: "OpCounts") -> None:
+        self.allocations += other.allocations
+        self.alloc_bytes += other.alloc_bytes
+        self.copies += other.copies
+        self.copy_bytes += other.copy_bytes
+        self.adjustments += other.adjustments
+        self.write_ops += other.write_ops
+        self.read_ops += other.read_ops
+
+
+class CostLedger:
+    """Time and operation accounting for one activity (e.g. one RPC call).
+
+    ``total_us`` is on-thread time (charged to the simulated clock by
+    the owner); ``gc_debt_us`` is deferred collector work triggered by
+    heap allocation, to be drained into the owning node's GC account.
+    """
+
+    def __init__(self, model: CostModel):
+        self.model = model
+        self.total_us = 0.0
+        self.gc_debt_us = 0.0
+        self.counts = OpCounts()
+        self.by_category: Dict[str, float] = defaultdict(float)
+
+    # -- generic -----------------------------------------------------------
+    def charge(self, category: str, us: float) -> None:
+        """Charge an arbitrary cost under ``category``."""
+        if us < 0:
+            raise ValueError(f"negative charge {us} for {category}")
+        self.total_us += us
+        self.by_category[category] += us
+
+    # -- memory operations ---------------------------------------------------
+    def charge_heap_alloc(self, nbytes: int) -> None:
+        """``new byte[nbytes]`` on the JVM heap: allocate + zero + GC debt."""
+        mem = self.model.memory
+        self.charge("alloc", mem.alloc_us(nbytes))
+        self.gc_debt_us += mem.gc_debt_us(nbytes)
+        self.counts.allocations += 1
+        self.counts.alloc_bytes += nbytes
+
+    def charge_copy(self, nbytes: int) -> None:
+        """One memcpy of ``nbytes`` (heap<->heap or heap<->native)."""
+        self.charge("copy", self.model.memory.copy_us(nbytes))
+        self.counts.copies += 1
+        self.counts.copy_bytes += nbytes
+
+    def charge_adjustment(self) -> None:
+        """Record one Algorithm-1 buffer-growth event (costs are charged
+        separately via :meth:`charge_heap_alloc`/:meth:`charge_copy`)."""
+        self.counts.adjustments += 1
+
+    # -- serialization primitives -----------------------------------------------
+    def charge_write_op(self, nbytes: int) -> None:
+        """One Writable primitive write of ``nbytes`` payload."""
+        sw = self.model.software
+        self.charge(
+            "serialize", sw.writable_write_op_us + nbytes * sw.serialize_per_byte_us
+        )
+        self.counts.write_ops += 1
+
+    def charge_read_op(self, nbytes: int) -> None:
+        """One Writable primitive read of ``nbytes`` payload."""
+        sw = self.model.software
+        self.charge(
+            "deserialize", sw.writable_read_op_us + nbytes * sw.deserialize_per_byte_us
+        )
+        self.counts.read_ops += 1
+
+    # -- pool operations --------------------------------------------------------
+    def charge_pool_get(self) -> None:
+        self.charge("pool", self.model.memory.pool_get_us)
+
+    def charge_pool_return(self) -> None:
+        self.charge("pool", self.model.memory.pool_return_us)
+
+    def charge_direct_wrap(self) -> None:
+        self.charge("pool", self.model.memory.direct_wrap_us)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def drain(self) -> float:
+        """Return accumulated on-thread time and reset it (keeps counts)."""
+        us, self.total_us = self.total_us, 0.0
+        return us
+
+    def drain_gc(self) -> float:
+        """Return accumulated GC debt and reset it."""
+        us, self.gc_debt_us = self.gc_debt_us, 0.0
+        return us
+
+    def category(self, name: str) -> float:
+        """Cumulative cost charged under ``name`` (never reset)."""
+        return self.by_category.get(name, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CostLedger total={self.total_us:.2f}us gc={self.gc_debt_us:.2f}us"
+            f" allocs={self.counts.allocations} copies={self.counts.copies}>"
+        )

@@ -1,0 +1,58 @@
+"""Per-node JVM heap accounting.
+
+Tracks cumulative allocation/copy volume and the deferred GC debt of
+all activities on a node.  Job-scale simulations periodically drain the
+debt as pause time charged to the node's CPU — this is the mechanism by
+which the socket path's buffer churn costs more than its on-thread
+microseconds (Section II of the paper measures exactly this churn).
+"""
+
+from __future__ import annotations
+
+from repro.calibration import CostModel
+from repro.mem.cost import CostLedger
+
+
+class JvmHeap:
+    """Aggregated heap behaviour of one JVM (daemon or task child)."""
+
+    def __init__(self, model: CostModel, name: str = "jvm"):
+        self.model = model
+        self.name = name
+        self.total_allocations = 0
+        self.total_alloc_bytes = 0
+        self.total_copies = 0
+        self.total_copy_bytes = 0
+        self._gc_debt_us = 0.0
+        self.gc_pauses = 0
+        self.gc_pause_us_total = 0.0
+
+    def absorb(self, ledger: CostLedger) -> None:
+        """Fold one activity's ledger into this heap's aggregates.
+
+        Takes the GC debt out of the ledger; the on-thread time is left
+        for the activity itself to charge.
+        """
+        self._gc_debt_us += ledger.drain_gc()
+        self.total_allocations += ledger.counts.allocations
+        self.total_alloc_bytes += ledger.counts.alloc_bytes
+        self.total_copies += ledger.counts.copies
+        self.total_copy_bytes += ledger.counts.copy_bytes
+
+    @property
+    def gc_debt_us(self) -> float:
+        return self._gc_debt_us
+
+    def take_gc_pause(self) -> float:
+        """Drain the accumulated debt as one stop-the-world pause."""
+        pause, self._gc_debt_us = self._gc_debt_us, 0.0
+        if pause > 0:
+            self.gc_pauses += 1
+            self.gc_pause_us_total += pause
+        return pause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<JvmHeap {self.name} allocs={self.total_allocations}"
+            f" bytes={self.total_alloc_bytes} gc_debt={self._gc_debt_us:.1f}us>"
+        )

@@ -1,0 +1,40 @@
+"""Simulated cluster fabric and transports.
+
+Two transports mirror the paper's two communication paths:
+
+* :mod:`repro.net.sockets` — Java-sockets-over-TCP semantics (works on
+  1GigE, 10GigE and IPoIB): per-message syscalls, host CPU per byte,
+  stream framing, JVM-heap buffer hand-off.
+* :mod:`repro.net.verbs` — native InfiniBand verbs: queue pairs over
+  pre-registered buffers, eager send/recv for small messages and RDMA
+  for large ones, completion-queue polling, endpoint bootstrap over a
+  socket channel (Section III-D).
+
+Both run over :mod:`repro.net.fabric`, which models nodes, their NIC
+transmit/receive engines (contention points) and wire transfer time.
+"""
+
+from repro.net.fabric import Fabric, Node
+from repro.net.sockets import (
+    ConnectionRefused,
+    ListenerSocket,
+    SimSocket,
+    SocketAddress,
+    SocketClosed,
+    connect,
+)
+from repro.net.verbs import Endpoint, QueuePair, VerbsMessage
+
+__all__ = [
+    "ConnectionRefused",
+    "Endpoint",
+    "Fabric",
+    "ListenerSocket",
+    "Node",
+    "QueuePair",
+    "SimSocket",
+    "SocketAddress",
+    "SocketClosed",
+    "VerbsMessage",
+    "connect",
+]

@@ -1,0 +1,112 @@
+"""Cluster fabric: nodes, NIC engines, and wire transfers.
+
+Topology model: every node hangs off one non-blocking switch (both of
+the paper's clusters are single-switch).  Contention therefore happens
+at the endpoints — each node has one transmit and one receive engine
+per fabric direction, held for the serialization time of each message.
+That is exactly the resource the Fig. 5(b) incast (64 clients, one
+server) stresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.calibration import CostModel, NetworkSpec
+from repro.mem.jvm import JvmHeap
+from repro.simcore import Environment, Resource
+from repro.simcore.events import Event
+
+
+class Node:
+    """One cluster machine: CPU cores, NIC engines, JVM-heap registry."""
+
+    def __init__(self, env: Environment, name: str, model: CostModel, cores: int = 8):
+        self.env = env
+        self.name = name
+        self.model = model
+        self.cores = cores
+        #: task/daemon compute contends here (8 physical cores).
+        self.cpu = Resource(env, capacity=cores)
+        #: NIC serialization engines, one per direction (full duplex).
+        self.nic_tx = Resource(env, capacity=1)
+        self.nic_rx = Resource(env, capacity=1)
+        #: JVM heaps of daemons hosted on this node, by daemon name.
+        self.heaps: Dict[str, JvmHeap] = {}
+
+    def heap(self, daemon: str) -> JvmHeap:
+        """The (created-on-demand) JVM heap of a daemon on this node."""
+        if daemon not in self.heaps:
+            self.heaps[daemon] = JvmHeap(self.model, name=f"{self.name}/{daemon}")
+        return self.heaps[daemon]
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name}>"
+
+
+class Fabric:
+    """The cluster: a set of nodes joined by a non-blocking switch."""
+
+    def __init__(self, env: Environment, model: Optional[CostModel] = None):
+        self.env = env
+        self.model = model or CostModel.default()
+        self.nodes: Dict[str, Node] = {}
+        #: (node_name, port) -> ListenerSocket, maintained by net.sockets.
+        self.listeners: Dict[tuple, object] = {}
+
+    def add_node(self, name: str, cores: Optional[int] = None) -> Node:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        node = Node(
+            self.env,
+            name,
+            self.model,
+            cores=cores or self.model.compute.cores_per_node,
+        )
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def add_nodes(self, prefix: str, count: int) -> list:
+        return [self.add_node(f"{prefix}{i}") for i in range(count)]
+
+    def transfer(self, src: Node, dst: Node, nbytes: int, spec: NetworkSpec) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst`` over ``spec``.
+
+        Returns the completion event.  Charges: source NIC engine held
+        for the serialization time, wire latency, destination NIC
+        engine held for the deserialization time.  Local (same-node)
+        transfers short-circuit through loopback.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        return self.env.process(
+            self._transfer_proc(src, dst, nbytes, spec),
+            name=f"xfer:{src.name}->{dst.name}",
+        )
+
+    def _transfer_proc(self, src: Node, dst: Node, nbytes: int, spec: NetworkSpec):
+        if src is dst:
+            # Loopback: kernel memcpy, no NIC, tiny latency.
+            yield self.env.timeout(
+                1.0 + nbytes * self.model.memory.memcpy_per_byte_us
+            )
+            return
+        serialization_us = nbytes / spec.bandwidth
+
+        def hold(resource, delay_before):
+            if delay_before:
+                yield self.env.timeout(delay_before)
+            with resource.request() as req:
+                yield req
+                yield self.env.timeout(serialization_us)
+
+        # Cut-through pipeline: the receive side trails the transmit
+        # side by the wire latency and both occupy their engines for the
+        # serialization time; end-to-end = latency + nbytes/bw when
+        # uncontended, and endpoint contention queues naturally.
+        tx_side = self.env.process(hold(src.nic_tx, 0.0))
+        rx_side = self.env.process(hold(dst.nic_rx, spec.latency_us))
+        yield tx_side & rx_side

@@ -1,0 +1,250 @@
+"""Java-sockets-over-TCP transport semantics on the simulated fabric.
+
+Costs follow the default Hadoop RPC path the paper profiles: every
+``write``/``read`` pays syscall + NIC host overhead + per-byte kernel
+CPU, and the payload crosses the JVM-heap/native boundary with a
+memcpy.  Stream framing is byte-accurate: receivers see a byte FIFO and
+``recv(n)`` blocks until ``n`` bytes arrived, however the sender chunked
+them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, NamedTuple, Optional
+
+from repro.calibration import CostModel, NetworkSpec
+from repro.net.fabric import Fabric, Node
+from repro.simcore import Environment, Store
+from repro.simcore.process import Process
+
+#: One write()/read() syscall moves at most this much; bigger payloads
+#: cost proportionally more syscalls (JVM SocketOutputStream loops).
+SYSCALL_CHUNK = 64 * 1024
+
+
+class SocketAddress(NamedTuple):
+    """(node name, port) pair identifying a listening server."""
+
+    node: str
+    port: int
+
+
+class ConnectionRefused(ConnectionError):
+    """No listener at the requested address."""
+
+
+class SocketClosed(ConnectionError):
+    """Peer closed while bytes were still expected."""
+
+
+class ListenerSocket:
+    """Server-side accept queue bound to (node, port)."""
+
+    def __init__(self, fabric: Fabric, node: Node, port: int):
+        key = (node.name, port)
+        if key in fabric.listeners:
+            raise ValueError(f"port {port} already bound on {node.name}")
+        self.fabric = fabric
+        self.node = node
+        self.port = port
+        self.accept_queue: Store = Store(fabric.env)
+        #: set by an RPCoIB-capable server so IB clients can bootstrap
+        #: through this socket address (Section III-D).
+        self.ib_service: Optional[object] = None
+        fabric.listeners[key] = self
+
+    @property
+    def address(self) -> SocketAddress:
+        return SocketAddress(self.node.name, self.port)
+
+    def accept(self):
+        """Event yielding the next accepted server-side SimSocket."""
+        return self.accept_queue.get()
+
+    def close(self) -> None:
+        self.fabric.listeners.pop((self.node.name, self.port), None)
+
+
+class SimSocket:
+    """One end of an established, bidirectional byte-stream connection."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        local: Node,
+        remote: Node,
+        spec: NetworkSpec,
+        name: str = "",
+    ):
+        self.env: Environment = fabric.env
+        self.fabric = fabric
+        self.local = local
+        self.remote = remote
+        self.spec = spec
+        self.model: CostModel = fabric.model
+        self.name = name
+        self.peer: Optional["SimSocket"] = None
+        self._rx = bytearray()
+        self._waiter = None  # (nbytes, Event) of the single blocked recv
+        self._tx_queue: Optional[Store] = None
+        self._tx_worker = None
+        self.closed = False
+        self._peer_closed = False
+        #: callback fired on every delivery (selector integration).
+        self.on_data: Optional[Callable[["SimSocket"], None]] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- sending ----------------------------------------------------------
+    def send(self, data: bytes) -> Process:
+        """Write ``data`` to the peer; returns the completion Process.
+
+        The Process completes when the *local* write is done (TCP
+        semantics: the kernel accepted the bytes) — charged with
+        syscalls (one per 64 KB), per-message NIC host overhead, kernel
+        per-byte CPU, and the JVM-heap -> native copy.  Wire transfer
+        and delivery continue in the background, strictly in order.
+        """
+        if self.closed:
+            raise SocketClosed(f"{self.name}: send on closed socket")
+        return self.env.process(self._send_proc(bytes(data)), name=f"send:{self.name}")
+
+    def _send_proc(self, data: bytes):
+        sw = self.model.software
+        syscalls = max(1, math.ceil(len(data) / SYSCALL_CHUNK))
+        cost = (
+            syscalls * sw.socket_syscall_us
+            + self.spec.host_overhead_us
+            + len(data) * self.spec.cpu_per_byte_us
+            + self.model.memory.copy_us(len(data))
+        )
+        yield self.env.timeout(cost)
+        self.bytes_sent += len(data)
+        if self._tx_queue is None:
+            self._tx_queue = Store(self.env)
+            self._tx_worker = self.env.process(
+                self._tx_loop(), name=f"tx:{self.name}"
+            )
+        yield self._tx_queue.put(data)
+
+    #: wire-delivery granularity: big writes dribble into the receiver
+    #: at network speed (TCP windowing), not as one instant delivery.
+    WIRE_CHUNK = 64 * 1024
+
+    def _tx_loop(self):
+        """Drains the kernel send buffer onto the wire, in order."""
+        while True:
+            data = yield self._tx_queue.get()
+            for start in range(0, len(data), self.WIRE_CHUNK):
+                chunk = data[start : start + self.WIRE_CHUNK]
+                yield self.fabric.transfer(
+                    self.local, self.remote, len(chunk), self.spec
+                )
+                if self.peer is not None and not self.peer.closed:
+                    self.peer._deliver(chunk)
+
+    def _deliver(self, data: bytes) -> None:
+        self._rx.extend(data)
+        self._wake_waiter()
+        if self.on_data is not None:
+            self.on_data(self)
+
+    def _wake_waiter(self) -> None:
+        if self._waiter is not None:
+            nbytes, event = self._waiter
+            if len(self._rx) >= nbytes or self._peer_closed:
+                self._waiter = None
+                event.succeed()
+
+    # -- receiving ---------------------------------------------------------
+    @property
+    def available(self) -> int:
+        """Bytes currently readable without blocking."""
+        return len(self._rx)
+
+    def recv(self, nbytes: int) -> Process:
+        """Read exactly ``nbytes``; returns the completion Process.
+
+        Charged on the caller's thread: syscalls + NIC host overhead +
+        kernel per-byte CPU.  (The native->JVM-heap copy is *not*
+        charged here — Listing 2's receive path performs it explicitly
+        when it allocates the heap ByteBuffer, and the RPC server code
+        models that step itself.)
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative recv size {nbytes}")
+        return self.env.process(self._recv_proc(nbytes), name=f"recv:{self.name}")
+
+    def _recv_proc(self, nbytes: int):
+        while len(self._rx) < nbytes:
+            if self._peer_closed:
+                raise SocketClosed(
+                    f"{self.name}: peer closed with {len(self._rx)}/{nbytes} bytes"
+                )
+            if self._waiter is not None:
+                raise RuntimeError(f"{self.name}: concurrent recv on one socket")
+            event = self.env.event()
+            self._waiter = (nbytes, event)
+            yield event
+        data = bytes(self._rx[:nbytes])
+        del self._rx[:nbytes]
+        sw = self.model.software
+        syscalls = max(1, math.ceil(nbytes / SYSCALL_CHUNK))
+        cost = (
+            syscalls * sw.socket_syscall_us
+            + self.spec.host_overhead_us
+            + nbytes * self.spec.cpu_per_byte_us
+        )
+        yield self.env.timeout(cost)
+        self.bytes_received += nbytes
+        return data
+
+    # -- teardown ----------------------------------------------------------
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self.peer is not None:
+            self.peer._peer_closed = True
+            self.peer._wake_waiter()
+            if self.peer.on_data is not None:
+                self.peer.on_data(self.peer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimSocket {self.name} {self.local.name}->{self.remote.name}>"
+
+
+def connect(
+    fabric: Fabric,
+    client_node: Node,
+    address: SocketAddress,
+    spec: NetworkSpec,
+) -> Process:
+    """Open a connection to ``address``; Process returns the client socket.
+
+    Cost: TCP handshake + Hadoop connection header
+    (``socket_connect_us``) plus one small round trip on the wire.
+    """
+    env = fabric.env
+
+    def proc():
+        listener = fabric.listeners.get((address.node, address.port))
+        if listener is None:
+            raise ConnectionRefused(f"no listener at {address}")
+        server_node = listener.node
+        yield env.timeout(fabric.model.software.socket_connect_us)
+        yield fabric.transfer(client_node, server_node, 128, spec)
+        client_sock = SimSocket(
+            fabric, client_node, server_node, spec, name=f"c:{client_node.name}"
+        )
+        server_sock = SimSocket(
+            fabric, server_node, client_node, spec, name=f"s:{server_node.name}"
+        )
+        client_sock.peer = server_sock
+        server_sock.peer = client_sock
+        yield listener.accept_queue.put(server_sock)
+        return client_sock
+
+    return env.process(proc(), name=f"connect:{client_node.name}->{address.node}")

@@ -1,0 +1,171 @@
+"""Native InfiniBand verbs transport: queue pairs over registered memory.
+
+Models the communication layer RPCoIB sits on (Section III): eager
+send/recv for messages at or below the adaptive threshold, RDMA for
+larger ones.  The NIC moves bytes between *registered* buffers without
+host CPU involvement — the sender pays only the JNI crossing and the
+work-request post; the receiver pays a completion-queue poll.  Payload
+bytes are snapshotted at delivery (the model's stand-in for the NIC
+DMA into a pre-posted receive buffer), so the sender may recycle its
+pooled buffer immediately after the send completes.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Union
+
+from repro.calibration import CostModel, IB_EAGER, IB_RDMA
+from repro.mem.native_pool import NativeBuffer
+from repro.net.fabric import Fabric, Node
+from repro.simcore import Store
+from repro.simcore.process import Process
+
+
+class VerbsMessage(NamedTuple):
+    """A completed receive: payload snapshot + how it travelled."""
+
+    data: bytes
+    length: int
+    eager: bool
+    context: object = None  # opaque sender tag (e.g. call id)
+
+
+class Endpoint:
+    """One side's IB context on a node: identity + inbound completions."""
+
+    _next_id = 0
+
+    def __init__(self, fabric: Fabric, node: Node, name: str = ""):
+        Endpoint._next_id += 1
+        self.id = Endpoint._next_id
+        self.fabric = fabric
+        self.env = fabric.env
+        self.node = node
+        self.name = name or f"ep{self.id}@{node.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Endpoint {self.name}>"
+
+
+class QueuePair:
+    """One direction-pair of a connected QP; create both via ``pair``."""
+
+    def __init__(self, local: Endpoint, remote: Endpoint):
+        self.local = local
+        self.remote = remote
+        self.env = local.env
+        self.fabric = local.fabric
+        self.model: CostModel = local.fabric.model
+        self.inbound: Store = Store(self.env)
+        #: when set, completions are delivered as ``(qp, message)`` into
+        #: this shared store instead of ``inbound`` — the server's single
+        #: completion queue multiplexing many connections.
+        self.cq: Optional[Store] = None
+        self.peer: Optional["QueuePair"] = None
+        self.closed = False
+        self._tx_queue: Optional[Store] = None
+        self._tx_worker = None
+        self.sends = 0
+        self.eager_sends = 0
+        self.rdma_sends = 0
+        #: opaque owner tag (e.g. the server-side connection object).
+        self.owner: object = None
+
+    @staticmethod
+    def pair(a: Endpoint, b: Endpoint) -> tuple:
+        """Connect two endpoints; returns (qp_at_a, qp_at_b)."""
+        qa, qb = QueuePair(a, b), QueuePair(b, a)
+        qa.peer, qb.peer = qb, qa
+        return qa, qb
+
+    # -- sending ---------------------------------------------------------
+    def post_send(
+        self,
+        data: Union[bytes, NativeBuffer],
+        length: Optional[int] = None,
+        rdma_threshold: int = 4096,
+        context: object = None,
+    ) -> Process:
+        """Send ``length`` bytes of a registered buffer to the peer.
+
+        Messages of at most ``rdma_threshold`` bytes go eager
+        (send/recv); larger ones go RDMA — the Section III-D adaptive
+        switch.  The returned Process completes at *local* send
+        completion (work request posted, buffer reusable: the payload is
+        snapshotted); wire transfer and remote delivery continue in the
+        background, strictly in order.
+        """
+        if self.closed:
+            raise RuntimeError("post_send on closed QP")
+        view = data.data if isinstance(data, NativeBuffer) else data
+        if length is None:
+            length = len(view)
+        if length > len(view):
+            raise ValueError(f"length {length} exceeds buffer {len(view)}")
+        payload = bytes(view[:length])
+        eager = length <= rdma_threshold
+        return self.env.process(
+            self._send_proc(payload, eager, context),
+            name=f"ibsend:{self.local.name}",
+        )
+
+    def _send_proc(self, payload: bytes, eager: bool, context: object):
+        sw = self.model.software
+        spec = IB_EAGER if eager else IB_RDMA
+        self.sends += 1
+        if eager:
+            self.eager_sends += 1
+        else:
+            self.rdma_sends += 1
+        cost = sw.jni_crossing_us + sw.verbs_post_us + spec.host_overhead_us
+        if not eager:
+            # rendezvous: advertise the target buffer before the RDMA
+            cost += sw.rdma_rendezvous_us
+        yield self.env.timeout(cost)
+        if self._tx_queue is None:
+            self._tx_queue = Store(self.env)
+            self._tx_worker = self.env.process(
+                self._tx_loop(), name=f"ibtx:{self.local.name}"
+            )
+        yield self._tx_queue.put((payload, eager, context, spec))
+
+    def _tx_loop(self):
+        """NIC work-queue drain: transfers and delivers in post order."""
+        while True:
+            payload, eager, context, spec = yield self._tx_queue.get()
+            yield self.fabric.transfer(
+                self.local.node, self.remote.node, len(payload), spec
+            )
+            peer = self.peer
+            if peer is not None and not peer.closed:
+                message = VerbsMessage(payload, len(payload), eager, context)
+                if peer.cq is not None:
+                    yield peer.cq.put((peer, message))
+                else:
+                    yield peer.inbound.put(message)
+
+    # -- receiving --------------------------------------------------------
+    def recv(self) -> Process:
+        """Take the next completed receive; Process returns VerbsMessage.
+
+        Charged: one completion-queue poll/wakeup.
+        """
+        if self.closed:
+            raise RuntimeError("recv on closed QP")
+        return self.env.process(self._recv_proc(), name=f"ibrecv:{self.local.name}")
+
+    def _recv_proc(self):
+        message = yield self.inbound.get()
+        yield self.env.timeout(self.model.software.cq_poll_us)
+        return message
+
+    @property
+    def pending(self) -> int:
+        """Completed-but-unpolled receives."""
+        return len(self.inbound)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<QueuePair {self.local.name}->{self.remote.name}>"

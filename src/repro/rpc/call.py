@@ -1,0 +1,96 @@
+"""Wire-level RPC objects: Invocation, Call, headers, status, errors."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.io.data_input import DataInput
+from repro.io.data_output import DataOutput
+from repro.io.writable import ObjectWritable, Writable, writable_factory
+
+
+class RpcStatus(enum.IntEnum):
+    """Server response status byte."""
+
+    SUCCESS = 0
+    ERROR = 1
+    FATAL = 2
+
+
+class RemoteException(RuntimeError):
+    """An exception raised inside the server, rethrown at the client."""
+
+    def __init__(self, class_name: str, message: str):
+        super().__init__(f"{class_name}: {message}")
+        self.class_name = class_name
+        self.message = message
+
+
+@writable_factory
+class Invocation(Writable):
+    """A method invocation: method name + positional Writable params.
+
+    This is Hadoop's ``WritableRpcEngine.Invocation``: the parameters
+    travel as tagged :class:`ObjectWritable` envelopes so the server
+    can rebuild them reflectively.
+    """
+
+    def __init__(self, method: str = "", params: Optional[List[Writable]] = None):
+        self.method = method
+        self.params: List[Writable] = list(params or [])
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.method)
+        out.write_int(len(self.params))
+        for param in self.params:
+            ObjectWritable(param).write(out)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.method = inp.read_utf()
+        count = inp.read_int()
+        if count < 0:
+            raise ValueError(f"negative parameter count {count}")
+        self.params = [ObjectWritable.read(inp) for _ in range(count)]
+
+
+@writable_factory
+class ConnectionHeader(Writable):
+    """Sent once per connection: protocol name + version."""
+
+    def __init__(self, protocol: str = "", version: int = 1):
+        self.protocol = protocol
+        self.version = version
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.protocol)
+        out.write_int(self.version)
+
+    def read_fields(self, inp: DataInput) -> None:
+        self.protocol = inp.read_utf()
+        self.version = inp.read_int()
+
+
+class Call:
+    """Client-side bookkeeping for one outstanding RPC.
+
+    ``done`` fires with the deserialized return Writable (or fails with
+    :class:`RemoteException`).
+    """
+
+    def __init__(self, call_id: int, protocol: str, method: str, params, env):
+        self.id = call_id
+        self.protocol = protocol
+        self.method = method
+        self.params = params
+        self.done = env.event()
+        self.started_at = env.now
+
+    def complete(self, value: Writable) -> None:
+        self.done.succeed(value)
+
+    def error(self, exc: Exception) -> None:
+        self.done.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Call #{self.id} {self.protocol}.{self.method}>"

@@ -1,0 +1,378 @@
+"""Hadoop RPC client: caller threads + a Connection per server address.
+
+The caller thread serializes and sends the call (Listing 1); the
+Connection's receiver thread reads responses and completes the waiting
+callers.  Two connection types implement the two engines:
+
+* :class:`SocketConnection` — the default Writable-over-sockets path
+  with its DataOutputBuffer growth, BufferedOutputStream copy, and
+  per-response heap-buffer allocation (Listing 2's client analogue);
+* :class:`IBConnection` — RPCoIB: endpoint bootstrap over the socket
+  address, then JVM-bypass serialization into pooled registered
+  buffers and verbs send/recv / RDMA past the adaptive threshold.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.calibration import CostModel, NetworkSpec
+from repro.config import Configuration
+from repro.io.data_input import DataInputBuffer
+from repro.io.data_output import DataOutputBuffer, DataOutputStream
+from repro.io.buffered import BufferedOutputStream, BytesSink
+from repro.io.rdma_streams import RDMAInputStream, RDMAOutputStream
+from repro.io.writable import ObjectWritable, Writable
+from repro.mem.cost import CostLedger
+from repro.mem.native_pool import NativeBufferPool
+from repro.mem.shadow_pool import HistoryShadowPool
+from repro.net import sockets as simsockets
+from repro.net.fabric import Fabric, Node
+from repro.net.sockets import SocketAddress, SocketClosed
+from repro.net.verbs import Endpoint, QueuePair
+from repro.rpc.call import Call, ConnectionHeader, Invocation, RemoteException, RpcStatus
+from repro.rpc.metrics import CallProfile, RpcMetrics
+from repro.rpc.protocol import RpcProtocol
+from repro.simcore.process import Process
+
+
+class Client:
+    """RPC client bound to one node; shared by all callers on that node."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        node: Node,
+        spec: NetworkSpec,
+        conf: Optional[Configuration] = None,
+        metrics: Optional[RpcMetrics] = None,
+        name: str = "",
+    ):
+        self.fabric = fabric
+        self.env = fabric.env
+        self.node = node
+        self.spec = spec
+        self.model: CostModel = fabric.model
+        self.conf = conf or Configuration()
+        self.metrics = metrics or RpcMetrics()
+        self.name = name or f"client@{node.name}"
+        self._call_ids = itertools.count(1)
+        self._connections: Dict[Tuple[SocketAddress, str], "BaseConnection"] = {}
+        self._connecting: Dict[Tuple[SocketAddress, str], object] = {}
+        # RPCoIB client-side pool, shared across connections (the
+        # library-wide native pool of Section III-C).
+        self._pool: Optional[HistoryShadowPool] = None
+
+    @property
+    def ib_enabled(self) -> bool:
+        return self.conf.get_bool("rpc.ib.enabled")
+
+    @property
+    def pool(self) -> HistoryShadowPool:
+        if self._pool is None:
+            native = NativeBufferPool(
+                self.model,
+                self.conf.get_ints("rpc.ib.pool.size.classes"),
+                buffers_per_class=self.conf.get_int("rpc.ib.pool.buffers.per.class"),
+            )
+            self._pool = HistoryShadowPool(native)
+        return self._pool
+
+    # -- public API -------------------------------------------------------
+    def call(
+        self,
+        address: SocketAddress,
+        protocol: Type[RpcProtocol],
+        method: str,
+        params: List[Writable],
+    ) -> Process:
+        """Invoke ``protocol.method(*params)`` at ``address``.
+
+        Returns a Process whose value is the returned Writable; raises
+        :class:`RemoteException` on server-side errors.
+        """
+        return self.env.process(
+            self._call_proc(address, protocol, method, params),
+            name=f"call:{protocol.protocol_name()}.{method}",
+        )
+
+    def _call_proc(self, address, protocol, method, params):
+        conn = yield from self._get_connection(address, protocol)
+        call = Call(
+            next(self._call_ids), protocol.protocol_name(), method, params, self.env
+        )
+        profile_info = yield from conn.send_call(call)
+        try:
+            value = yield call.done
+        except RemoteException:
+            self.metrics.record_failure()
+            raise
+        self.metrics.record_call(
+            CallProfile(
+                protocol=call.protocol,
+                method=call.method,
+                mem_adjustments=profile_info["adjustments"],
+                serialization_us=profile_info["serialization_us"],
+                send_us=profile_info["send_us"],
+                latency_us=self.env.now - call.started_at,
+                message_bytes=profile_info["message_bytes"],
+            )
+        )
+        return value
+
+    def close(self) -> None:
+        for conn in self._connections.values():
+            conn.close()
+        self._connections.clear()
+
+    # -- connection management -----------------------------------------------
+    def _get_connection(self, address: SocketAddress, protocol: Type[RpcProtocol]):
+        key = (address, protocol.protocol_name())
+        while True:
+            conn = self._connections.get(key)
+            if conn is not None and not conn.closed:
+                return conn
+            pending = self._connecting.get(key)
+            if pending is not None:
+                yield pending  # someone else is establishing; wait
+                continue
+            gate = self.env.event()
+            self._connecting[key] = gate
+            try:
+                if self.ib_enabled:
+                    conn = IBConnection(self, address, protocol)
+                else:
+                    conn = SocketConnection(self, address, protocol)
+                yield from conn.setup()
+                self._connections[key] = conn
+                return conn
+            finally:
+                del self._connecting[key]
+                gate.succeed()
+
+
+class BaseConnection:
+    """Shared call-table bookkeeping for both connection flavours."""
+
+    def __init__(self, client: Client, address: SocketAddress, protocol):
+        self.client = client
+        self.env = client.env
+        self.model = client.model
+        self.address = address
+        self.protocol = protocol
+        self.protocol_name = protocol.protocol_name()
+        self.calls: Dict[int, Call] = {}
+        self.closed = False
+
+    # subclasses: setup() generator, send_call(call) generator, close()
+
+    def _complete(self, call_id: int, status: int, value, error_cls="", error_msg=""):
+        call = self.calls.pop(call_id, None)
+        if call is None:
+            return  # late response to an abandoned call
+        if status == RpcStatus.SUCCESS:
+            call.complete(value)
+        else:
+            call.error(RemoteException(error_cls, error_msg))
+
+    def _fail_all(self, exc: Exception) -> None:
+        for call in list(self.calls.values()):
+            if not call.done.triggered:
+                call.error(exc)
+        self.calls.clear()
+
+    def _absorb(self, ledger: CostLedger) -> None:
+        """Fold an activity's allocation churn into the node's heap."""
+        self.client.node.heap("rpc-client").absorb(ledger)
+
+
+class SocketConnection(BaseConnection):
+    """Default engine: Writable serialization over a socket stream."""
+
+    def __init__(self, client, address, protocol):
+        super().__init__(client, address, protocol)
+        self.sock = None
+        self._receiver = None
+
+    def setup(self):
+        self.sock = yield simsockets.connect(
+            self.client.fabric, self.client.node, self.address, self.client.spec
+        )
+        # Connection header: protocol name + version, length-prefixed.
+        ledger = CostLedger(self.model)
+        buf = DataOutputBuffer(ledger)
+        ConnectionHeader(self.protocol_name, self.protocol.VERSION).write(buf)
+        frame = self._frame(buf, ledger)
+        yield self.env.timeout(ledger.drain())
+        self._absorb(ledger)
+        yield self.sock.send(frame)
+        self._receiver = self.env.process(
+            self._receive_loop(), name=f"rpc-conn-recv:{self.client.name}"
+        )
+
+    @staticmethod
+    def _frame(buf: DataOutputBuffer, ledger: CostLedger) -> bytes:
+        """Length-prefix ``buf`` through the buffered stream path
+        (Listing 1 lines 10-13), charging its copies."""
+        sink = BytesSink()
+        buffered = BufferedOutputStream(sink, ledger)
+        out = DataOutputStream(buffered, ledger)
+        out.write_int(buf.get_length())
+        data = buf.get_data()
+        buffered.write_bytes(data)
+        out.flush()
+        return sink.getvalue()
+
+    def send_call(self, call: Call):
+        """Listing 1: serialize into a DataOutputBuffer, then send."""
+        ledger = CostLedger(self.model)
+        initial = self.client.conf.get_int("io.buffer.initial.size")
+        buf = DataOutputBuffer(ledger, initial_size=initial)
+        buf.write_int(call.id)
+        Invocation(call.method, call.params).write(buf)
+        serialization_us = ledger.total_us
+        message_bytes = buf.get_length()
+        self.calls[call.id] = call
+        yield self.env.timeout(ledger.drain())
+
+        send_start = self.env.now
+        frame = self._frame(buf, ledger)
+        yield self.env.timeout(ledger.drain())
+        yield self.sock.send(frame)  # completes at local write
+        send_us = self.env.now - send_start
+        self._absorb(ledger)
+        return {
+            "adjustments": buf.adjustments,
+            "serialization_us": serialization_us,
+            "send_us": send_us,
+            "message_bytes": message_bytes,
+        }
+
+    def _receive_loop(self):
+        """Connection thread: read responses, complete waiting callers."""
+        sw = self.model.software
+        while not self.closed:
+            try:
+                header = yield self.sock.recv(4)
+            except SocketClosed:
+                break
+            ledger = CostLedger(self.model)
+            ledger.charge_heap_alloc(4)
+            length = int.from_bytes(header, "big")
+            # Listing 2's client analogue: allocate a heap buffer for
+            # the whole response, copy it up from the native layer.
+            ledger.charge_heap_alloc(length)
+            try:
+                payload = yield self.sock.recv(length)
+            except SocketClosed:
+                break
+            ledger.charge_copy(length)
+            inp = DataInputBuffer(payload, ledger)
+            call_id = inp.read_int()
+            status = inp.read_byte()
+            value = error_cls = error_msg = None
+            if status == RpcStatus.SUCCESS:
+                value = ObjectWritable.read(inp)
+            else:
+                error_cls = inp.read_utf()
+                error_msg = inp.read_utf()
+            yield self.env.timeout(ledger.drain() + sw.thread_handoff_us)
+            self._absorb(ledger)
+            self._complete(call_id, status, value, error_cls or "", error_msg or "")
+        self._fail_all(SocketClosed("connection closed"))
+
+    def close(self) -> None:
+        self.closed = True
+        if self.sock is not None:
+            self.sock.close()
+
+
+class IBConnection(BaseConnection):
+    """RPCoIB engine: endpoint bootstrap, then verbs/RDMA data path."""
+
+    def __init__(self, client, address, protocol):
+        super().__init__(client, address, protocol)
+        self.qp: Optional[QueuePair] = None
+        self._receiver = None
+
+    def setup(self):
+        """Section III-D: use the socket address to exchange endpoint
+        information, then all communication goes through native IB."""
+        fabric = self.client.fabric
+        sock = yield simsockets.connect(
+            fabric, self.client.node, self.address, self.client.spec
+        )
+        yield self.env.timeout(self.model.software.endpoint_exchange_us)
+        service = fabric.listeners.get((self.address.node, self.address.port))
+        server = getattr(service, "ib_service", None)
+        if server is None:
+            sock.close()
+            raise ConnectionError(
+                f"{self.address}: server is not RPCoIB-enabled"
+            )
+        endpoint = Endpoint(fabric, self.client.node, name=f"ep:{self.client.name}")
+        self.qp = server.accept_ib(endpoint, self.protocol_name)
+        sock.close()  # bootstrap channel no longer needed
+        self._receiver = self.env.process(
+            self._receive_loop(), name=f"rpcoib-conn-recv:{self.client.name}"
+        )
+
+    @property
+    def rdma_threshold(self) -> int:
+        return self.client.conf.get_int("rpc.ib.rdma.threshold")
+
+    def send_call(self, call: Call):
+        """Serialize straight into a pooled registered buffer and post."""
+        ledger = CostLedger(self.model)
+        out = RDMAOutputStream(
+            self.client.pool, self.protocol_name, call.method, ledger
+        )
+        out.write_int(call.id)
+        Invocation(call.method, call.params).write(out)
+        serialization_us = ledger.total_us
+        message_bytes = out.get_length()
+        adjustments = out.grow_count
+        self.calls[call.id] = call
+        yield self.env.timeout(ledger.drain())
+
+        send_start = self.env.now
+        buffer, length = out.detach()
+        yield self.qp.post_send(
+            buffer, length, rdma_threshold=self.rdma_threshold, context=call.id
+        )
+        send_us = self.env.now - send_start
+        out.release()  # buffer reusable: payload snapshotted at post
+        yield self.env.timeout(ledger.drain())
+        self._absorb(ledger)
+        return {
+            "adjustments": adjustments,
+            "serialization_us": serialization_us,
+            "send_us": send_us,
+            "message_bytes": message_bytes,
+        }
+
+    def _receive_loop(self):
+        sw = self.model.software
+        while not self.closed:
+            message = yield self.qp.recv()
+            ledger = CostLedger(self.model)
+            inp = RDMAInputStream(message.data, message.length, ledger)
+            call_id = inp.read_int()
+            status = inp.read_byte()
+            value = error_cls = error_msg = None
+            if status == RpcStatus.SUCCESS:
+                value = ObjectWritable.read(inp)
+            else:
+                error_cls = inp.read_utf()
+                error_msg = inp.read_utf()
+            yield self.env.timeout(ledger.drain() + sw.thread_handoff_us)
+            self._absorb(ledger)
+            self._complete(call_id, status, value, error_cls or "", error_msg or "")
+
+    def close(self) -> None:
+        self.closed = True
+        if self.qp is not None:
+            self.qp.close()

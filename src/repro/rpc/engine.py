@@ -1,0 +1,103 @@
+"""RPC facade: ``RPC.get_server`` and ``RPC.get_proxy``.
+
+The equivalent of ``org.apache.hadoop.ipc.RPC``: daemons obtain servers
+and typed client proxies here, and the ``rpc.ib.enabled`` switch in the
+Configuration selects between the default sockets engine and RPCoIB
+without any change to calling code — the paper's transparency claim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Type, Union
+
+from repro.calibration import NetworkSpec
+from repro.config import Configuration
+from repro.net.fabric import Fabric, Node
+from repro.net.sockets import SocketAddress
+from repro.rpc.client import Client
+from repro.rpc.metrics import RpcMetrics
+from repro.rpc.protocol import RpcProtocol
+from repro.rpc.server import Server
+
+
+class RpcProxy:
+    """Dynamic client-side stub: attribute access yields remote calls.
+
+    ``proxy.method(param, ...)`` returns a simulation Process whose
+    value is the returned Writable — callers ``yield`` it::
+
+        info = yield namenode_proxy.getFileInfo(Text("/user/data"))
+    """
+
+    def __init__(self, client: Client, address: SocketAddress, protocol: Type[RpcProtocol]):
+        self._client = client
+        self._address = address
+        self._protocol = protocol
+
+    def __getattr__(self, method: str):
+        if method.startswith("_"):
+            raise AttributeError(method)
+        attr = getattr(self._protocol, method, None)
+        if not callable(attr):
+            raise AttributeError(
+                f"{self._protocol.protocol_name()} has no RPC method {method!r}"
+            )
+
+        def invoke(*params):
+            return self._client.call(self._address, self._protocol, method, list(params))
+
+        invoke.__name__ = method
+        return invoke
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RpcProxy {self._protocol.protocol_name()}@{self._address}>"
+
+
+class RPC:
+    """Static factory in the style of ``org.apache.hadoop.ipc.RPC``."""
+
+    @staticmethod
+    def get_server(
+        fabric: Fabric,
+        node: Node,
+        port: int,
+        instance: object,
+        protocols: Union[Type[RpcProtocol], List[Type[RpcProtocol]]],
+        spec: NetworkSpec,
+        conf: Optional[Configuration] = None,
+        metrics: Optional[RpcMetrics] = None,
+        name: str = "",
+    ) -> Server:
+        """Start an RPC server for ``instance`` on ``node:port``."""
+        return Server(
+            fabric=fabric,
+            node=node,
+            port=port,
+            instance=instance,
+            protocols=protocols,
+            spec=spec,
+            conf=conf,
+            metrics=metrics,
+            name=name,
+        )
+
+    @staticmethod
+    def get_client(
+        fabric: Fabric,
+        node: Node,
+        spec: NetworkSpec,
+        conf: Optional[Configuration] = None,
+        metrics: Optional[RpcMetrics] = None,
+        name: str = "",
+    ) -> Client:
+        """An RPC client for daemons/tasks hosted on ``node``."""
+        return Client(fabric, node, spec, conf=conf, metrics=metrics, name=name)
+
+    @staticmethod
+    def get_proxy(
+        protocol: Type[RpcProtocol],
+        address: SocketAddress,
+        client: Client,
+    ) -> RpcProxy:
+        """A typed stub for ``protocol`` served at ``address``."""
+        return RpcProxy(client, address, protocol)

@@ -1,0 +1,192 @@
+"""Hadoop RPC micro-benchmark suite (the paper's reference [12], WBDB'13).
+
+Two benchmarks, exactly as Section IV-B runs them:
+
+* **ping-pong latency** — one server, one client; the client invokes a
+  ``pingpong`` method registered in the server whose parameter is a
+  ``BytesWritable``; payload sizes swept 1 B – 4 KB (Fig. 5a).
+* **throughput** — one server with 8 handlers, 8–64 concurrent clients
+  distributed uniformly over 8 nodes, 512-byte payload (Fig. 5b).
+
+Engines/networks are selected the way the figures label them:
+``RPC-1GigE`` / ``RPC-10GigE`` / ``RPC-IPoIB`` (default sockets engine
+on that fabric) and ``RPCoIB`` (native IB engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.calibration import FABRICS, IPOIB_QDR, NetworkSpec
+from repro.config import Configuration
+from repro.io.writables import BytesWritable
+from repro.net.fabric import Fabric
+from repro.rpc.engine import RPC
+from repro.rpc.metrics import RpcMetrics
+from repro.rpc.protocol import RpcProtocol
+from repro.simcore import Environment, Tally
+
+
+class PingPongProtocol(RpcProtocol):
+    """The micro-benchmark's RPC interface."""
+
+    VERSION = 1
+
+    def pingpong(self, payload: BytesWritable) -> BytesWritable:
+        """Echo the payload back."""
+        raise NotImplementedError
+
+
+class PingPongService(PingPongProtocol):
+    """Server-side implementation: pure echo (no compute)."""
+
+    def pingpong(self, payload: BytesWritable) -> BytesWritable:
+        return payload
+
+
+@dataclass
+class EngineConfig:
+    """One line of Fig. 5: a network + engine combination."""
+
+    label: str
+    network: NetworkSpec
+    ib: bool
+
+    @property
+    def conf(self) -> Configuration:
+        return Configuration({"rpc.ib.enabled": self.ib})
+
+
+#: The configurations the paper's Fig. 5 compares (1GigE added as the
+#: extension the text mentions but does not plot).
+ENGINE_CONFIGS: Dict[str, EngineConfig] = {
+    "RPC-1GigE": EngineConfig("RPC-1GigE", FABRICS["1gige"], ib=False),
+    "RPC-10GigE": EngineConfig("RPC-10GigE", FABRICS["10gige"], ib=False),
+    "RPC-IPoIB": EngineConfig("RPC-IPoIB", FABRICS["ipoib"], ib=False),
+    "RPCoIB": EngineConfig("RPCoIB", IPOIB_QDR, ib=True),
+}
+
+
+def run_latency(
+    engine: str,
+    payload_sizes: List[int],
+    iterations: int = 30,
+    warmup: int = 5,
+    handlers: int = 8,
+) -> Dict[int, float]:
+    """Mean ping-pong round-trip (us) per payload size for one engine."""
+    config = ENGINE_CONFIGS[engine]
+    results: Dict[int, float] = {}
+    for size in payload_sizes:
+        env = Environment()
+        fabric = Fabric(env)
+        server_node = fabric.add_node("server")
+        client_node = fabric.add_node("client")
+        conf = config.conf.set("ipc.server.handler.count", handlers)
+        server = RPC.get_server(
+            fabric, server_node, 9000, PingPongService(), PingPongProtocol,
+            config.network, conf=conf,
+        )
+        client = RPC.get_client(fabric, client_node, config.network, conf=conf)
+        proxy = RPC.get_proxy(PingPongProtocol, server.address, client)
+        tally = Tally(f"{engine}:{size}")
+
+        def bench(env, proxy=proxy, tally=tally, size=size):
+            payload = BytesWritable(b"\x5a" * size)
+            for _ in range(warmup):
+                yield proxy.pingpong(payload)
+            for _ in range(iterations):
+                start = env.now
+                yield proxy.pingpong(payload)
+                tally.observe(env.now - start)
+
+        env.run(env.process(bench(env)))
+        results[size] = tally.mean
+    return results
+
+
+def run_throughput(
+    engine: str,
+    num_clients: int,
+    payload_size: int = 512,
+    handlers: int = 8,
+    client_nodes: int = 8,
+    ops_per_client: int = 60,
+    warmup_ops: int = 5,
+) -> float:
+    """Aggregate throughput (Kops/sec) for ``num_clients`` concurrent
+    clients against one server — one Fig. 5(b) point."""
+    config = ENGINE_CONFIGS[engine]
+    env = Environment()
+    fabric = Fabric(env)
+    server_node = fabric.add_node("server")
+    nodes = fabric.add_nodes("cn", client_nodes)
+    conf = config.conf.set("ipc.server.handler.count", handlers)
+    server = RPC.get_server(
+        fabric, server_node, 9000, PingPongService(), PingPongProtocol,
+        config.network, conf=conf,
+    )
+    payload = BytesWritable(b"\x5a" * payload_size)
+    window = {"start": None, "end": None, "ops": 0}
+    barrier = {"ready": 0, "event": env.event()}
+
+    def client_proc(env, node):
+        # Clients distributed uniformly over the client nodes; each
+        # node hosts one Client (one JVM) shared by its callers.
+        client = RPC.get_client(fabric, node, config.network, conf=conf)
+        proxy = RPC.get_proxy(PingPongProtocol, server.address, client)
+        for _ in range(warmup_ops):
+            yield proxy.pingpong(payload)
+        barrier["ready"] += 1
+        if barrier["ready"] == num_clients:
+            barrier["event"].succeed()
+        else:
+            yield barrier["event"]
+        if window["start"] is None:
+            window["start"] = env.now
+        for _ in range(ops_per_client):
+            yield proxy.pingpong(payload)
+            window["ops"] += 1
+        window["end"] = env.now
+
+    procs = [
+        env.process(client_proc(env, nodes[i % client_nodes]))
+        for i in range(num_clients)
+    ]
+    env.run(env.all_of(procs))
+    elapsed_us = window["end"] - window["start"]
+    if elapsed_us <= 0:
+        raise RuntimeError("throughput window collapsed")
+    return window["ops"] / elapsed_us * 1000.0  # ops/us -> Kops/s
+
+
+def latency_series(
+    engines: Optional[List[str]] = None,
+    payload_sizes: Optional[List[int]] = None,
+    iterations: int = 30,
+) -> Dict[str, Dict[int, float]]:
+    """All Fig. 5(a) series: engine -> {payload -> mean RTT us}."""
+    engines = engines or ["RPC-10GigE", "RPC-IPoIB", "RPCoIB"]
+    payload_sizes = payload_sizes or [1, 4, 16, 64, 256, 1024, 4096]
+    return {
+        engine: run_latency(engine, payload_sizes, iterations=iterations)
+        for engine in engines
+    }
+
+
+def throughput_series(
+    engines: Optional[List[str]] = None,
+    client_counts: Optional[List[int]] = None,
+    ops_per_client: int = 60,
+) -> Dict[str, Dict[int, float]]:
+    """All Fig. 5(b) series: engine -> {client count -> Kops/s}."""
+    engines = engines or ["RPC-10GigE", "RPC-IPoIB", "RPCoIB"]
+    client_counts = client_counts or [8, 16, 24, 32, 40, 48, 56, 64]
+    return {
+        engine: {
+            n: run_throughput(engine, n, ops_per_client=ops_per_client)
+            for n in client_counts
+        }
+        for engine in engines
+    }

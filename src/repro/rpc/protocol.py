@@ -1,0 +1,49 @@
+"""RPC protocol interfaces.
+
+A protocol is a named, versioned set of methods — the Java-interface
+half of Hadoop RPC.  Server implementations subclass the protocol class
+and implement its methods over Writable parameters; clients talk to a
+dynamic proxy built by :meth:`repro.rpc.engine.RPC.get_proxy`.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+
+class VersionMismatch(RuntimeError):
+    """Client and server disagree on a protocol's version."""
+
+
+class RpcProtocol:
+    """Base class for RPC protocol interfaces.
+
+    Subclasses set ``PROTOCOL_NAME`` (defaults to the class name —
+    Hadoop uses the fully-qualified interface name, e.g.
+    ``mapred.TaskUmbilicalProtocol``) and ``VERSION``.  Methods are
+    ordinary Python methods taking/returning Writables; on the client
+    they are never executed, only their names travel on the wire.
+    """
+
+    PROTOCOL_NAME: str = ""
+    VERSION: int = 1
+
+    @classmethod
+    def protocol_name(cls) -> str:
+        if cls.PROTOCOL_NAME:
+            return cls.PROTOCOL_NAME
+        # Walk up to the class that *defines* the protocol (direct
+        # subclass of RpcProtocol), so server implementations inherit
+        # the interface's wire name.
+        for base in cls.__mro__:
+            if RpcProtocol in getattr(base, "__bases__", ()):
+                return base.__name__
+        return cls.__name__
+
+    @classmethod
+    def check_version(cls, remote_version: int) -> None:
+        if remote_version != cls.VERSION:
+            raise VersionMismatch(
+                f"{cls.protocol_name()}: client version {remote_version} != "
+                f"server version {cls.VERSION}"
+            )

@@ -1,0 +1,366 @@
+"""Hadoop RPC server: Listener, Reader, Handler pool, Responder.
+
+Mirrors the thread structure the paper describes (Section III-D):
+``Listener`` accepts connections; ``Reader`` (the 1.0.3-style thread the
+paper adopts) decodes incoming calls and feeds the shared call queue;
+``Handler`` threads invoke the target method; ``Responder`` writes
+responses back.  The socket path executes Listing 2 verbatim — per-call
+heap ByteBuffer allocation, native->heap copy — while the RPCoIB path
+deserializes straight from registered buffers delivered through one
+shared completion queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type, Union
+
+from repro.calibration import CostModel, NetworkSpec
+from repro.config import Configuration
+from repro.io.data_input import DataInputBuffer
+from repro.io.data_output import DataOutputBuffer, DataOutputStream
+from repro.io.buffered import BufferedOutputStream, BytesSink
+from repro.io.rdma_streams import RDMAInputStream, RDMAOutputStream
+from repro.io.writable import ObjectWritable, Writable
+from repro.io.writables import NullWritable
+from repro.mem.cost import CostLedger
+from repro.mem.native_pool import NativeBufferPool
+from repro.mem.shadow_pool import HistoryShadowPool
+from repro.net.fabric import Fabric, Node
+from repro.net.sockets import ListenerSocket, SimSocket, SocketAddress, SocketClosed
+from repro.net.verbs import Endpoint, QueuePair
+from repro.rpc.call import ConnectionHeader, Invocation, RpcStatus
+from repro.rpc.metrics import ReceiveProfile, RpcMetrics
+from repro.rpc.protocol import RpcProtocol
+from repro.simcore import Store
+
+
+class SocketServerConnection:
+    """Server-side state of one accepted socket connection."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, sock: SimSocket):
+        self.id = next(self._ids)
+        self.sock = sock
+        self.protocol_name: Optional[str] = None
+        self.scheduled = False  # queued in the readable list
+
+
+class IBServerConnection:
+    """Server-side state of one established RPCoIB connection."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, qp: QueuePair, protocol_name: str):
+        self.id = next(self._ids)
+        self.qp = qp
+        self.protocol_name = protocol_name
+
+
+@dataclass
+class ServerCall:
+    """One decoded call waiting in the call queue."""
+
+    conn: Union[SocketServerConnection, IBServerConnection]
+    call_id: int
+    invocation: Invocation
+    received_at: float
+
+
+class Server:
+    """An RPC server bound to (node, port), serving one instance.
+
+    ``instance`` implements the union of the methods of ``protocols``
+    (a NameNode serves ClientProtocol and DatanodeProtocol on one
+    port).  With ``rpc.ib.enabled`` the server also accepts RPCoIB
+    connections bootstrapped through the same socket address.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        node: Node,
+        port: int,
+        instance: object,
+        protocols: Union[Type[RpcProtocol], List[Type[RpcProtocol]]],
+        spec: NetworkSpec,
+        conf: Optional[Configuration] = None,
+        metrics: Optional[RpcMetrics] = None,
+        name: str = "",
+    ):
+        self.fabric = fabric
+        self.env = fabric.env
+        self.node = node
+        self.port = port
+        self.instance = instance
+        self.protocols = protocols if isinstance(protocols, list) else [protocols]
+        self.spec = spec
+        self.model: CostModel = fabric.model
+        self.conf = conf or Configuration()
+        self.metrics = metrics or RpcMetrics()
+        self.name = name or f"rpc-server@{node.name}:{port}"
+        self.running = True
+
+        handler_count = self.conf.get_int("ipc.server.handler.count")
+        queue_size = self.conf.get_int("ipc.server.callqueue.size") * handler_count
+        self.call_queue: Store = Store(self.env, capacity=queue_size)
+        self.response_queue: Store = Store(self.env)
+        self.readable: Store = Store(self.env)
+
+        self.listener_socket = ListenerSocket(fabric, node, port)
+        self.calls_handled = 0
+        self.calls_errored = 0
+
+        # RPCoIB state (live regardless of the flag so that mixed
+        # clusters — e.g. RPC(IPoIB) clients against an IB-capable
+        # server — still work; the flag gates *client* behaviour).
+        self.cq: Store = Store(self.env)  # shared completion queue
+        self.ib_connections: List[IBServerConnection] = []
+        self._pool: Optional[HistoryShadowPool] = None
+        self.listener_socket.ib_service = self  # discoverable at bootstrap
+
+        self._listener = self.env.process(self._listener_loop(), name=f"{self.name}:listener")
+        self._readers = [
+            self.env.process(self._reader_loop(i), name=f"{self.name}:reader{i}")
+            for i in range(self.conf.get_int("ipc.server.reader.count"))
+        ]
+        self._ib_reader = self.env.process(
+            self._ib_reader_loop(), name=f"{self.name}:ib-reader"
+        )
+        self._handlers = [
+            self.env.process(self._handler_loop(i), name=f"{self.name}:handler{i}")
+            for i in range(handler_count)
+        ]
+        self._responder = self.env.process(
+            self._responder_loop(), name=f"{self.name}:responder"
+        )
+
+    @property
+    def address(self) -> SocketAddress:
+        return SocketAddress(self.node.name, self.port)
+
+    @property
+    def pool(self) -> HistoryShadowPool:
+        """Server-side RPCoIB buffer pool (lazy, like the JNI library)."""
+        if self._pool is None:
+            native = NativeBufferPool(
+                self.model,
+                self.conf.get_ints("rpc.ib.pool.size.classes"),
+                buffers_per_class=self.conf.get_int("rpc.ib.pool.buffers.per.class"),
+            )
+            self._pool = HistoryShadowPool(native)
+        return self._pool
+
+    def stop(self) -> None:
+        self.running = False
+        self.listener_socket.close()
+
+    # -- RPCoIB bootstrap ---------------------------------------------------
+    def accept_ib(self, client_endpoint: Endpoint, protocol_name: str) -> QueuePair:
+        """Complete an endpoint exchange: returns the client-side QP.
+
+        Called by :class:`repro.rpc.client.IBConnection` after the
+        socket-channel handshake; the server side registers its QP on
+        the shared completion queue that the IB Reader polls.
+        """
+        server_endpoint = Endpoint(self.fabric, self.node, name=f"ep:{self.name}")
+        client_qp, server_qp = QueuePair.pair(client_endpoint, server_endpoint)
+        server_qp.cq = self.cq
+        conn = IBServerConnection(server_qp, protocol_name)
+        server_qp.owner = conn
+        self.ib_connections.append(conn)
+        return client_qp
+
+    # -- Listener ------------------------------------------------------------
+    def _listener_loop(self):
+        while self.running:
+            sock = yield self.listener_socket.accept()
+            conn = SocketServerConnection(sock)
+
+            def on_data(s, conn=conn):
+                if not conn.scheduled:
+                    conn.scheduled = True
+                    self.readable.put(conn)
+
+            sock.on_data = on_data
+            if sock.available:
+                on_data(sock)
+
+    # -- socket Reader (Listing 2) ----------------------------------------------
+    def _reader_loop(self, index: int):
+        sw = self.model.software
+        while self.running:
+            conn = yield self.readable.get()
+            receive_start = self.env.now
+            ledger = CostLedger(self.model)
+            mem = self.model.memory
+            try:
+                # ByteBuffer lenBuffer = ByteBuffer.allocate(4)
+                ledger.charge_heap_alloc(4)
+                header = yield conn.sock.recv(4)
+                length = int.from_bytes(header, "big")
+                # ByteBuffer data = ByteBuffer.allocate(len)  <- Fig. 1
+                ledger.charge_heap_alloc(length)
+                payload = yield conn.sock.recv(length)
+                ledger.charge_copy(length)  # native IO layer -> JVM heap
+            except SocketClosed:
+                continue
+            if conn.protocol_name is None:
+                # First frame on a connection is the ConnectionHeader.
+                inp = DataInputBuffer(payload, ledger)
+                hdr = ConnectionHeader()
+                hdr.read_fields(inp)
+                conn.protocol_name = hdr.protocol
+                yield self.env.timeout(ledger.drain())
+            else:
+                inp = DataInputBuffer(payload, ledger)
+                call_id = inp.read_int()
+                invocation = Invocation()
+                invocation.read_fields(inp)
+                yield self.env.timeout(ledger.drain() + sw.handler_dispatch_us)
+                self.metrics.record_receive(
+                    ReceiveProfile(
+                        protocol=conn.protocol_name,
+                        method=invocation.method,
+                        # all per-call heap buffer allocations of the
+                        # Listing-2 path (len buffer, data buffer, and
+                        # the Writables' backing arrays)
+                        alloc_us=ledger.category("alloc"),
+                        receive_total_us=self.env.now - receive_start,
+                        payload_bytes=length,
+                    )
+                )
+                yield self.call_queue.put(
+                    ServerCall(conn, call_id, invocation, self.env.now)
+                )
+            self.node.heap("rpc-server").absorb(ledger)
+            conn.scheduled = False
+            if conn.sock.available > 0 and not conn.scheduled:
+                conn.scheduled = True
+                yield self.readable.put(conn)
+
+    # -- RPCoIB Reader ----------------------------------------------------------
+    def _ib_reader_loop(self):
+        sw = self.model.software
+        while self.running:
+            qp, message = yield self.cq.get()
+            receive_start = self.env.now
+            conn: IBServerConnection = qp.owner
+            ledger = CostLedger(self.model)
+            inp = RDMAInputStream(message.data, message.length, ledger)
+            call_id = inp.read_int()
+            invocation = Invocation()
+            invocation.read_fields(inp)
+            # cq poll + per-connection event-poll scan + dispatch
+            yield self.env.timeout(
+                ledger.drain()
+                + sw.cq_poll_us
+                + sw.server_ib_poll_scan_us
+                + sw.handler_dispatch_us
+            )
+            self.metrics.record_receive(
+                ReceiveProfile(
+                    protocol=conn.protocol_name,
+                    method=invocation.method,
+                    alloc_us=0.0,  # JVM-bypass: no receive-side allocation
+                    receive_total_us=self.env.now - receive_start,
+                    payload_bytes=message.length,
+                )
+            )
+            yield self.call_queue.put(
+                ServerCall(conn, call_id, invocation, self.env.now)
+            )
+
+    # -- Handlers -----------------------------------------------------------------
+    def _handler_loop(self, index: int):
+        sw = self.model.software
+        while self.running:
+            scall = yield self.call_queue.get()
+            yield self.env.timeout(sw.thread_handoff_us + sw.reflection_invoke_us)
+            status, result, error = RpcStatus.SUCCESS, None, None
+            method = getattr(self.instance, scall.invocation.method, None)
+            if method is None:
+                status = RpcStatus.ERROR
+                error = (
+                    "java.lang.NoSuchMethodException",
+                    f"{scall.invocation.method} not found",
+                )
+            else:
+                try:
+                    outcome = method(*scall.invocation.params)
+                    if hasattr(outcome, "send") and hasattr(outcome, "throw"):
+                        # Simulated method body: run it on the clock.
+                        outcome = yield self.env.process(outcome)
+                    result = outcome if outcome is not None else NullWritable()
+                    if not isinstance(result, Writable):
+                        raise TypeError(
+                            f"{scall.invocation.method} returned non-Writable "
+                            f"{type(result).__name__}"
+                        )
+                except Exception as exc:  # noqa: BLE001 - server boundary
+                    status = RpcStatus.ERROR
+                    error = (type(exc).__name__, str(exc))
+            if status == RpcStatus.SUCCESS:
+                self.calls_handled += 1
+            else:
+                self.calls_errored += 1
+            response = yield from self._serialize_response(scall, status, result, error)
+            yield self.response_queue.put(response)
+
+    def _serialize_response(self, scall: ServerCall, status, result, error):
+        """Engine-specific response serialization, charged to the handler."""
+        ledger = CostLedger(self.model)
+        if isinstance(scall.conn, IBServerConnection):
+            out = RDMAOutputStream(
+                self.pool,
+                scall.conn.protocol_name,
+                scall.invocation.method + "#resp",
+                ledger,
+            )
+            out.write_int(scall.call_id)
+            out.write_byte(int(status))
+            if status == RpcStatus.SUCCESS:
+                ObjectWritable(result).write(out)
+            else:
+                out.write_utf(error[0])
+                out.write_utf(error[1])
+            yield self.env.timeout(ledger.drain())
+            return ("ib", scall.conn, out)
+        initial = self.conf.get_int("io.server.buffer.initial.size")
+        buf = DataOutputBuffer(ledger, initial_size=initial)
+        buf.write_int(scall.call_id)
+        buf.write_byte(int(status))
+        if status == RpcStatus.SUCCESS:
+            ObjectWritable(result).write(buf)
+        else:
+            buf.write_utf(error[0])
+            buf.write_utf(error[1])
+        sink = BytesSink()
+        buffered = BufferedOutputStream(sink, ledger)
+        out_stream = DataOutputStream(buffered, ledger)
+        out_stream.write_int(buf.get_length())
+        buffered.write_bytes(buf.get_data())
+        out_stream.flush()
+        yield self.env.timeout(ledger.drain())
+        self.node.heap("rpc-server").absorb(ledger)
+        return ("socket", scall.conn, sink.getvalue())
+
+    # -- Responder -------------------------------------------------------------------
+    def _responder_loop(self):
+        sw = self.model.software
+        threshold = self.conf.get_int("rpc.ib.rdma.threshold")
+        while self.running:
+            kind, conn, payload = yield self.response_queue.get()
+            yield self.env.timeout(sw.thread_handoff_us)
+            if kind == "ib":
+                stream: RDMAOutputStream = payload
+                buffer, length = stream.detach()
+                yield conn.qp.post_send(buffer, length, rdma_threshold=threshold)
+                stream.release()
+            else:
+                try:
+                    yield conn.sock.send(payload)
+                except SocketClosed:
+                    continue

@@ -1,0 +1,137 @@
+"""The simulation environment: clock plus event scheduler."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.simcore.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.simcore.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised to end :meth:`Environment.run` when its ``until`` fires."""
+
+
+class Environment:
+    """Execution environment for a simulation.
+
+    Time starts at ``initial_time`` (default 0.0) and only moves forward
+    as events are processed.  The event queue is a binary heap keyed on
+    ``(time, priority, sequence)`` which guarantees deterministic FIFO
+    ordering among same-time, same-priority events.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []  # heap of (time, priority, eid, event)
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (microseconds by project convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Enqueue a triggered event for processing at ``now + delay``."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event.  Raises :class:`EmptySchedule` if none."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event._defused:
+            # An unhandled failure: crash the simulation loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the queue is empty, a time is reached, or an event fires.
+
+        * ``until=None`` — run to exhaustion, return ``None``.
+        * ``until=<float>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until the event is processed and
+          return its value (re-raising if it failed).
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:  # already processed
+                    if stop._ok:
+                        return stop._value
+                    raise stop._value
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be in the past (now={self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                # Priority below URGENT so same-instant urgent events run first.
+                self._eid += 1
+                heapq.heappush(self._queue, (at, NORMAL, self._eid, stop))
+            stop.add_callback(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as signal:
+            event = signal.args[0]
+            if event._ok:
+                return event._value
+            raise event._value from None
+        except EmptySchedule:
+            if stop is not None and not stop.triggered:
+                raise RuntimeError(
+                    f"no scheduled events left but until={stop!r} has not fired"
+                ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event)
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

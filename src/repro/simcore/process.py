@@ -1,0 +1,126 @@
+"""Simulation processes: generator coroutines driven by events."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.simcore.events import Event, NORMAL, PENDING, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.environment import Environment
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; the event it was
+    waiting on remains valid and may be re-yielded.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+    def __str__(self) -> str:
+        return f"Interrupt({self.cause!r})"
+
+
+class Process(Event):
+    """Wraps a generator; the Process *is* the event of its termination.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    is processed, the generator is resumed with the event's value (or
+    the failure exception is thrown into it).  When the generator
+    returns, the Process event succeeds with the return value.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick the generator off via an immediately-scheduled init event.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init._ok = True
+        init._value = None
+        env.schedule(init, priority=URGENT)
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self.name}: cannot interrupt a dead process")
+        if self._target is None:
+            raise RuntimeError(f"{self.name}: process cannot interrupt itself")
+        # Detach from what it was waiting on and resume with the throw.
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        if self._target.callbacks is not None:
+            self._target.remove_callback(self._resume)
+        interrupt_ev.callbacks.append(self._resume)
+        self.env.schedule(interrupt_ev, priority=URGENT)
+        self._target = interrupt_ev
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self.generator.send(event._value)
+                else:
+                    event.defuse()
+                    next_event = self.generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                self.succeed(stop.value, priority=URGENT)
+                break
+            except BaseException as exc:
+                self._target = None
+                self.fail(exc, priority=URGENT)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = TypeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                try:
+                    self.generator.throw(exc)
+                except StopIteration as stop:  # pragma: no cover - unusual
+                    self._target = None
+                    self.succeed(stop.value, priority=URGENT)
+                    break
+                except BaseException as exc2:
+                    self._target = None
+                    self.fail(exc2, priority=URGENT)
+                    break
+                continue
+
+            if next_event.callbacks is not None:
+                # Event still pending or scheduled: wait for it.
+                next_event.add_callback(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: loop and feed its value straight in.
+            event = next_event
+
+        self.env._active_process = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state}>"

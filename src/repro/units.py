@@ -1,0 +1,60 @@
+"""Unit conventions and helpers.
+
+* **Time** is ``float`` microseconds throughout the simulation.
+* **Sizes** are ``int`` bytes.
+* **Bandwidth** is bytes per microsecond (== MB/s numerically).
+
+Helpers convert from the units papers speak in (Gbps, MB/s, ms, GB).
+"""
+
+from __future__ import annotations
+
+# -- sizes ---------------------------------------------------------------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# -- time (expressed in microseconds) -------------------------------------
+USEC = 1.0
+MSEC = 1000.0
+SEC = 1_000_000.0
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bytes/microsecond."""
+    return value * 1e9 / 8.0 / 1e6
+
+
+def mb_per_s(value: float) -> float:
+    """Convert MB/s (10^6 bytes) to bytes/microsecond."""
+    return value * 1e6 / 1e6
+
+
+def seconds(us: float) -> float:
+    """Microseconds -> seconds."""
+    return us / SEC
+
+
+def usec(s: float) -> float:
+    """Seconds -> microseconds."""
+    return s * SEC
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count, used by report tables."""
+    if n >= GB:
+        return f"{n / GB:g} GB"
+    if n >= MB:
+        return f"{n / MB:g} MB"
+    if n >= KB:
+        return f"{n / KB:g} KB"
+    return f"{n} B"
+
+
+def fmt_time(us: float) -> str:
+    """Human-readable duration from microseconds."""
+    if us >= SEC:
+        return f"{us / SEC:.2f} s"
+    if us >= MSEC:
+        return f"{us / MSEC:.2f} ms"
+    return f"{us:.1f} us"

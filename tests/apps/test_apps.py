@@ -1,0 +1,100 @@
+"""Tests for the Fig. 6 application workloads."""
+
+import pytest
+
+from repro.apps.cloudburst import (
+    ALIGNMENT_MAPS,
+    ALIGNMENT_REDUCES,
+    FILTERING_MAPS,
+    FILTERING_REDUCES,
+    alignment_conf,
+    filtering_conf,
+    run_cloudburst,
+)
+from repro.apps.randomwriter import randomwriter_conf, run_randomwriter
+from repro.apps.sortjob import build_splits, run_sort, sort_conf
+from repro.experiments.clusters import build_mapreduce_stack
+from repro.mapred.job import InputSplit
+from repro.units import GB, MB
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return build_mapreduce_stack(slaves=4, rpc_ib=False, seed=2, heartbeats=False)
+
+
+def test_randomwriter_conf_structure():
+    conf = randomwriter_conf(4 * GB, bytes_per_map=GB)
+    assert conf.num_maps == 4
+    assert conf.num_reduces == 0
+    assert conf.model.synthetic_input
+    assert conf.model.map_hdfs_write_ratio == 1.0
+
+
+def test_sort_conf_is_identity_pipeline():
+    conf = sort_conf([InputSplit("x", 0, MB)], num_reduces=2)
+    assert conf.model.map_output_ratio == 1.0
+    assert conf.model.reduce_output_ratio == 1.0
+
+
+def test_cloudburst_task_counts():
+    align = alignment_conf()
+    filt = filtering_conf()
+    assert align.num_maps == ALIGNMENT_MAPS == 240
+    assert align.num_reduces == ALIGNMENT_REDUCES == 48
+    assert filt.num_maps == FILTERING_MAPS == 24
+    assert filt.num_reduces == FILTERING_REDUCES == 24
+
+
+def test_randomwriter_then_sort_end_to_end(stack):
+    results = {}
+
+    def driver(env):
+        rw = yield run_randomwriter(
+            stack.mapred, 256 * MB, bytes_per_map=64 * MB, output_path="/rw1"
+        )
+        results["rw"] = rw
+        sort = yield run_sort(
+            stack.mapred, stack.master, input_dir="/rw1", output_path="/sorted1"
+        )
+        results["sort"] = sort
+
+    stack.run(driver)
+    assert results["rw"].maps == 4
+    assert results["sort"].maps == 4  # one per 64MB output block
+    # sorted output materialized on HDFS
+    out_files = [p for p in stack.hdfs.namenode.namespace if p.startswith("/sorted1/")]
+    assert len(out_files) == results["sort"].reduces
+    total = sum(
+        stack.hdfs.namenode.namespace[p].length for p in out_files
+    )
+    assert total == 256 * MB
+
+
+def test_build_splits_reads_block_locations(stack):
+    def driver(env):
+        writer = stack.hdfs.client(stack.fabric.node("slave0"))
+        yield writer.write_file("/splits-in/file", 130 * MB)
+        splits = yield build_splits(stack.mapred, stack.master, "/splits-in")
+        return splits
+
+    splits = stack.run(driver)
+    assert len(splits) == 3  # 64 + 64 + 2 MB
+    assert all(s.locations for s in splits)
+    assert sum(s.length for s in splits) == 130 * MB
+
+
+def test_cloudburst_runs_scaled():
+    stack = build_mapreduce_stack(slaves=4, rpc_ib=False, seed=5, heartbeats=False)
+    holder = {}
+
+    def driver(env):
+        holder["result"] = yield run_cloudburst(stack.mapred, scale=0.02)
+
+    stack.run(driver)
+    result = holder["result"]
+    assert result.alignment.maps == 240
+    assert result.total_s == pytest.approx(
+        result.alignment_s + result.filtering_s
+    )
+    assert result.alignment_s > result.filtering_s

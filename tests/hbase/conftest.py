@@ -1,0 +1,62 @@
+"""Shared fixtures for HBase tests."""
+
+import random
+
+import pytest
+
+from repro.calibration import IB_RDMA, IPOIB_QDR
+from repro.config import Configuration
+from repro.hbase import HBaseCluster
+from repro.hdfs import HdfsCluster
+from repro.net import Fabric
+from repro.simcore import Environment
+
+
+class HBaseHarness:
+    """Small HBase-over-HDFS deployment."""
+
+    def __init__(
+        self,
+        regionservers: int = 4,
+        ib: bool = False,
+        payload_rdma: bool = False,
+        conf_overrides=None,
+        seed: int = 31,
+    ):
+        self.env = Environment()
+        self.fabric = Fabric(self.env)
+        nn = self.fabric.add_node("nn")
+        self.rs_nodes = self.fabric.add_nodes("rs", regionservers)
+        self.client_node = self.fabric.add_node("client")
+        values = {"rpc.ib.enabled": ib}
+        values.update(conf_overrides or {})
+        self.conf = Configuration(values)
+        self.hdfs = HdfsCluster(
+            self.fabric, nn, self.rs_nodes, IPOIB_QDR, conf=self.conf,
+            rng=random.Random(seed), heartbeats=False,
+        )
+        self.hbase = HBaseCluster(
+            self.fabric, self.rs_nodes, self.hdfs, IPOIB_QDR, conf=self.conf,
+            payload_rdma=payload_rdma,
+            wal_data_spec=IB_RDMA if payload_rdma else IPOIB_QDR,
+            rng=random.Random(seed + 1),
+        )
+        self.table = self.hbase.table(self.client_node)
+
+    def run(self, generator_fn):
+        def wrapper(env):
+            yield self.hdfs.wait_ready()
+            result = yield from generator_fn(env)
+            return result
+
+        return self.env.run(self.env.process(wrapper(self.env)))
+
+
+@pytest.fixture
+def hbase():
+    return HBaseHarness()
+
+
+@pytest.fixture
+def hbase_rdma():
+    return HBaseHarness(payload_rdma=True)

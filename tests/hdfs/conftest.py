@@ -1,0 +1,62 @@
+"""Shared fixtures for HDFS tests."""
+
+import random
+
+import pytest
+
+from repro.calibration import IPOIB_QDR
+from repro.config import Configuration
+from repro.hdfs import HdfsCluster
+from repro.net import Fabric
+from repro.simcore import Environment
+
+
+class HdfsHarness:
+    """Small HDFS deployment for behavioural tests."""
+
+    def __init__(
+        self,
+        datanodes: int = 4,
+        ib: bool = False,
+        data_transport: str = "socket",
+        conf_overrides=None,
+        heartbeats: bool = False,
+        seed: int = 11,
+    ):
+        self.env = Environment()
+        self.fabric = Fabric(self.env)
+        nn_node = self.fabric.add_node("nn")
+        dn_nodes = self.fabric.add_nodes("dn", datanodes)
+        self.client_node = self.fabric.add_node("client")
+        values = {"rpc.ib.enabled": ib}
+        values.update(conf_overrides or {})
+        self.conf = Configuration(values)
+        self.cluster = HdfsCluster(
+            self.fabric,
+            nn_node,
+            dn_nodes,
+            IPOIB_QDR,
+            conf=self.conf,
+            data_transport=data_transport,
+            rng=random.Random(seed),
+            heartbeats=heartbeats,
+        )
+        self.client = self.cluster.client(self.client_node)
+
+    def run(self, generator_fn):
+        def wrapper(env):
+            yield self.cluster.wait_ready()
+            result = yield from generator_fn(env)
+            return result
+
+        return self.env.run(self.env.process(wrapper(self.env)))
+
+
+@pytest.fixture
+def hdfs():
+    return HdfsHarness()
+
+
+@pytest.fixture
+def hdfs_rdma():
+    return HdfsHarness(data_transport="rdma")

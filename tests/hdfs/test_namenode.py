@@ -1,0 +1,144 @@
+"""NameNode/FSNamesystem behaviour through the RPC layer."""
+
+import pytest
+
+from repro.hdfs.protocol import FileStatusWritable, LocatedBlocksWritable
+from repro.io.writables import NullWritable, Text
+from repro.rpc.call import RemoteException
+from repro.units import MB
+
+
+def test_mkdirs_and_getfileinfo(hdfs):
+    def scenario(env):
+        yield hdfs.client.mkdirs("/user/alice/data")
+        info = yield hdfs.client.get_file_info("/user/alice")
+        return info
+
+    info = hdfs.run(scenario)
+    assert isinstance(info, FileStatusWritable)
+    assert info.is_dir
+
+
+def test_getfileinfo_missing_returns_null(hdfs):
+    def scenario(env):
+        return (yield hdfs.client.get_file_info("/missing"))
+
+    assert isinstance(hdfs.run(scenario), NullWritable)
+
+
+def test_write_creates_blocks_and_replicas(hdfs):
+    def scenario(env):
+        yield hdfs.client.write_file("/f", 100 * MB)
+        info = yield hdfs.client.get_file_info("/f")
+        return info
+
+    info = hdfs.run(scenario)
+    assert info.length == 100 * MB
+    namesystem = hdfs.cluster.namenode
+    inode = namesystem.namespace["/f"]
+    assert len(inode.blocks) == 2  # 64MB + 36MB
+    assert not inode.under_construction
+    # replication factor 3 on 4 datanodes
+    for block in inode.blocks:
+        assert len(block.replicas) == 3
+
+
+def test_block_placement_prefers_local_writer(hdfs):
+    """A client co-located with a DataNode gets a local first replica."""
+
+    def scenario(env):
+        local_client = hdfs.cluster.client(hdfs.fabric.node("dn0"))
+        yield local_client.write_file("/local", 10 * MB)
+
+    hdfs.run(scenario)
+    inode = hdfs.cluster.namenode.namespace["/local"]
+    assert "dn0" in inode.blocks[0].replicas
+
+
+def test_duplicate_create_fails(hdfs):
+    def scenario(env):
+        yield hdfs.client.write_file("/dup", MB)
+        yield hdfs.client.write_file("/dup", MB)
+
+    with pytest.raises(RemoteException, match="exists"):
+        hdfs.run(scenario)
+
+
+def test_rename_and_delete(hdfs):
+    def scenario(env):
+        yield hdfs.client.write_file("/old", MB)
+        renamed = yield hdfs.client.rename("/old", "/new")
+        assert renamed.value
+        old_info = yield hdfs.client.get_file_info("/old")
+        new_info = yield hdfs.client.get_file_info("/new")
+        deleted = yield hdfs.client.delete("/new")
+        gone = yield hdfs.client.get_file_info("/new")
+        return old_info, new_info, deleted, gone
+
+    old_info, new_info, deleted, gone = hdfs.run(scenario)
+    assert isinstance(old_info, NullWritable)
+    assert new_info.length == MB
+    assert deleted.value
+    assert isinstance(gone, NullWritable)
+
+
+def test_get_block_locations(hdfs):
+    def scenario(env):
+        yield hdfs.client.write_file("/blocks", 130 * MB)
+        located = yield hdfs.client.namenode.getBlockLocations(
+            Text("/blocks"),
+            __import__("repro.io.writables", fromlist=["LongWritable"]).LongWritable(0),
+            __import__("repro.io.writables", fromlist=["LongWritable"]).LongWritable(1 << 60),
+        )
+        return located
+
+    located = hdfs.run(scenario)
+    assert isinstance(located, LocatedBlocksWritable)
+    assert located.file_length == 130 * MB
+    assert len(located.blocks) == 3
+    for block in located.blocks:
+        assert len(block.locations) == 3
+
+
+def test_heartbeats_update_registry():
+    from tests.hdfs.conftest import HdfsHarness
+
+    harness = HdfsHarness(heartbeats=True)
+
+    def scenario(env):
+        yield env.timeout(10_000_000)  # 10 s
+        return harness.cluster.namenode.stats["heartbeats"]
+
+    beats = harness.run(scenario)
+    # 4 datanodes, 3 s interval, 10 s window: ~3 each (+/- phase)
+    assert beats >= 8
+    for descriptor in harness.cluster.namenode.datanodes.values():
+        assert descriptor.last_heartbeat_us > 0
+
+
+def test_block_report_registers_replicas(hdfs):
+    def scenario(env):
+        yield hdfs.client.write_file("/f", MB)
+        # wipe replica knowledge, then let a report restore it
+        inode = hdfs.cluster.namenode.namespace["/f"]
+        inode.blocks[0].replicas.clear()
+        dn_name = next(iter(hdfs.cluster.datanodes))
+        dn = hdfs.cluster.datanodes[dn_name]
+        if not dn.blocks:  # pick a datanode that holds the block
+            dn = next(d for d in hdfs.cluster.datanodes.values() if d.blocks)
+        yield dn.send_block_report()
+        return hdfs.cluster.namenode.namespace["/f"].blocks[0].replicas
+
+    replicas = hdfs.run(scenario)
+    assert len(replicas) == 1
+
+
+def test_listing(hdfs):
+    def scenario(env):
+        yield hdfs.client.mkdirs("/dir")
+        yield hdfs.client.write_file("/dir/a", MB)
+        yield hdfs.client.write_file("/dir/b", MB)
+        listing = yield hdfs.client.namenode.getListing(Text("/dir"))
+        return [status.path for status in listing.values]
+
+    assert hdfs.run(scenario) == ["/dir/a", "/dir/b"]

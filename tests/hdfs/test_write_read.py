@@ -1,0 +1,124 @@
+"""Write/read pipeline behaviour and the RPC-coupled synchronization."""
+
+import pytest
+
+from repro.units import MB, SEC
+from tests.hdfs.conftest import HdfsHarness
+
+
+def test_roundtrip_bytes(hdfs):
+    def scenario(env):
+        written = yield hdfs.client.write_file("/data", 96 * MB)
+        read = yield hdfs.client.read_file("/data")
+        return written, read
+
+    written, read = hdfs.run(scenario)
+    assert written == read == 96 * MB
+
+
+def test_replicas_stored_on_distinct_datanodes(hdfs):
+    def scenario(env):
+        yield hdfs.client.write_file("/data", 10 * MB)
+
+    hdfs.run(scenario)
+    holders = [d for d in hdfs.cluster.datanodes.values() if d.blocks]
+    assert len(holders) == 3
+    for dn in holders:
+        assert dn.bytes_written == 10 * MB
+
+
+def test_write_time_scales_with_size(hdfs):
+    def timed_write(path, size):
+        def scenario(env):
+            start = env.now
+            yield hdfs.client.write_file(path, size)
+            return env.now - start
+
+        return hdfs.run(scenario)
+
+    small = timed_write("/small", 32 * MB)
+    large = timed_write("/large", 128 * MB)
+    assert large > 2 * small
+
+
+def test_rdma_data_plane_faster_than_sockets():
+    times = {}
+    for transport in ("socket", "rdma"):
+        harness = HdfsHarness(data_transport=transport)
+
+        def scenario(env, harness=harness):
+            start = env.now
+            yield harness.client.write_file("/f", 128 * MB)
+            return env.now - start
+
+        times[transport] = harness.run(scenario)
+    assert times["rdma"] < times["socket"]
+
+
+def test_complete_polling_waits_for_replicas(hdfs):
+    def scenario(env):
+        yield hdfs.client.write_file("/f", 64 * MB)
+        return hdfs.client.complete_polls
+
+    polls = hdfs.run(scenario)
+    assert polls >= 1
+    assert hdfs.cluster.namenode.stats["completes"] == polls
+
+
+def test_min_replication_gates_next_block():
+    harness = HdfsHarness(conf_overrides={"dfs.replication.min": 3})
+
+    def scenario(env):
+        yield harness.client.write_file("/gated", 192 * MB)  # 3 blocks
+        inode = harness.cluster.namenode.namespace["/gated"]
+        return inode
+
+    inode = harness.run(scenario)
+    # every block fully replicated before the file could complete
+    assert all(len(b.replicas) == 3 for b in inode.blocks)
+    assert harness.cluster.namenode.stats["addBlock"] >= 3
+
+
+def test_addblock_race_can_cost_retries():
+    """With min-replication = full, the per-block addBlock/blockReceived
+    race occasionally costs a 400 ms backoff — the Fig. 7 mechanism."""
+    total_retries = 0
+    for seed in range(10):
+        harness = HdfsHarness(
+            conf_overrides={"dfs.replication.min": 3}, seed=seed
+        )
+
+        def scenario(env, harness=harness):
+            yield harness.client.write_file("/raced", 512 * MB)
+            return harness.client.addblock_retries
+
+        total_retries += harness.run(scenario)
+    assert total_retries > 0  # the race is live (a ~15% tail event)
+
+
+def test_read_prefers_local_replica(hdfs):
+    def scenario(env):
+        local_client = hdfs.cluster.client(hdfs.fabric.node("dn1"))
+        yield local_client.write_file("/local", 64 * MB)
+        start = env.now
+        yield local_client.read_file("/local")
+        local_time = env.now - start
+        start = env.now
+        yield hdfs.client.read_file("/local")  # remote client
+        remote_time = env.now - start
+        return local_time, remote_time
+
+    local_time, remote_time = hdfs.run(scenario)
+    assert local_time < remote_time
+
+
+def test_write_throughput_is_plausible(hdfs):
+    """256 MB with 3-way replication on HDDs: between 1 and 10 s."""
+
+    def scenario(env):
+        start = env.now
+        yield hdfs.client.write_file("/thr", 256 * MB)
+        return (env.now - start) / SEC
+
+    elapsed = hdfs.run(scenario)
+    assert 0.5 < elapsed < 10.0

@@ -1,0 +1,148 @@
+"""Unit tests for the Writable type system."""
+
+import pytest
+
+from repro.calibration import CostModel
+from repro.io import (
+    ArrayWritable,
+    BooleanWritable,
+    BytesWritable,
+    DataInputBuffer,
+    DataOutputBuffer,
+    DoubleWritable,
+    FloatWritable,
+    IntWritable,
+    LongWritable,
+    MapWritable,
+    NullWritable,
+    ObjectWritable,
+    Text,
+    VIntWritable,
+    VLongWritable,
+    Writable,
+    WritableRegistry,
+    writable_factory,
+)
+from repro.io.writables import ByteWritable
+from repro.mem import CostLedger
+
+
+@pytest.fixture
+def ledger():
+    return CostLedger(CostModel.default())
+
+
+def roundtrip(writable, ledger):
+    out = DataOutputBuffer(ledger)
+    writable.write(out)
+    inp = DataInputBuffer(out.get_data(), ledger)
+    fresh = type(writable)()
+    fresh.read_fields(inp)
+    assert inp.remaining == 0, "serialization left trailing bytes"
+    return fresh
+
+
+@pytest.mark.parametrize(
+    "writable",
+    [
+        NullWritable(),
+        BooleanWritable(True),
+        ByteWritable(-7),
+        IntWritable(-123456),
+        LongWritable(2**50),
+        VIntWritable(300),
+        VLongWritable(-(2**40)),
+        FloatWritable(2.5),
+        DoubleWritable(-0.125),
+        Text("héllo wörld"),
+        Text(""),
+        BytesWritable(b"\x00\x01\x02" * 100),
+        BytesWritable(b""),
+    ],
+)
+def test_roundtrip_equals(writable, ledger):
+    assert roundtrip(writable, ledger) == writable
+
+
+def test_text_length_is_vint(ledger):
+    out = DataOutputBuffer(ledger)
+    Text("a").write(out)
+    assert out.get_length() == 2  # 1-byte vint + 1 byte payload
+
+
+def test_bytes_writable_read_allocates(ledger):
+    out = DataOutputBuffer(ledger)
+    BytesWritable(b"x" * 1000).write(out)
+    inp = DataInputBuffer(out.get_data(), ledger)
+    allocs_before = ledger.counts.alloc_bytes
+    fresh = BytesWritable()
+    fresh.read_fields(inp)
+    assert ledger.counts.alloc_bytes >= allocs_before + 1000
+
+
+def test_array_writable_roundtrip(ledger):
+    arr = ArrayWritable([IntWritable(1), IntWritable(2), IntWritable(3)])
+    assert roundtrip(arr, ledger) == arr
+
+
+def test_empty_array_roundtrip(ledger):
+    assert roundtrip(ArrayWritable([]), ledger) == ArrayWritable([])
+
+
+def test_map_writable_roundtrip(ledger):
+    m = MapWritable({Text("k1"): IntWritable(1), Text("k2"): Text("v2")})
+    assert roundtrip(m, ledger) == m
+
+
+def test_object_writable_tags_class(ledger):
+    out = DataOutputBuffer(ledger)
+    ObjectWritable(Text("payload")).write(out)
+    inp = DataInputBuffer(out.get_data(), ledger)
+    value = ObjectWritable.read(inp)
+    assert isinstance(value, Text)
+    assert value.value == "payload"
+
+
+def test_object_writable_requires_instance(ledger):
+    out = DataOutputBuffer(ledger)
+    with pytest.raises(ValueError):
+        ObjectWritable(None).write(out)
+
+
+def test_registry_rejects_unknown_name():
+    with pytest.raises(KeyError):
+        WritableRegistry.class_of("NoSuchWritable")
+
+
+def test_registry_rejects_unregistered_class():
+    class Unregistered(Writable):
+        pass
+
+    with pytest.raises(KeyError):
+        WritableRegistry.name_of(Unregistered)
+
+
+def test_registry_rejects_name_collision():
+    @writable_factory
+    class CollisionProbe(Writable):  # noqa: F811
+        pass
+
+    with pytest.raises(ValueError):
+        class Other(Writable):
+            pass
+
+        WritableRegistry.register(Other, name="CollisionProbe")
+
+
+def test_registration_is_idempotent():
+    assert WritableRegistry.register(Text) is Text
+
+
+def test_writable_value_equality():
+    assert IntWritable(5) == IntWritable(5)
+    assert IntWritable(5) != IntWritable(6)
+    assert IntWritable(5) != LongWritable(5)
+
+
+def test_writable_repr_shows_fields():
+    assert "value=5" in repr(IntWritable(5))

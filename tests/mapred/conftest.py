@@ -1,0 +1,64 @@
+"""Shared fixtures for MapReduce tests."""
+
+import random
+
+import pytest
+
+from repro.calibration import IPOIB_QDR
+from repro.config import Configuration
+from repro.hdfs import HdfsCluster
+from repro.mapred import MapReduceCluster
+from repro.mapred.job import InputSplit, JobConf, TaskModel
+from repro.net import Fabric
+from repro.simcore import Environment
+from repro.units import MB
+
+
+class MrHarness:
+    """Small co-located HDFS + MapReduce deployment."""
+
+    def __init__(self, slaves: int = 4, ib: bool = False, conf_overrides=None, seed: int = 5):
+        self.env = Environment()
+        self.fabric = Fabric(self.env)
+        self.master = self.fabric.add_node("master")
+        self.slaves = self.fabric.add_nodes("slave", slaves)
+        values = {"rpc.ib.enabled": ib}
+        values.update(conf_overrides or {})
+        self.conf = Configuration(values)
+        self.hdfs = HdfsCluster(
+            self.fabric, self.master, self.slaves, IPOIB_QDR,
+            conf=self.conf, rng=random.Random(seed), heartbeats=False,
+        )
+        self.mr = MapReduceCluster(
+            self.fabric, self.master, self.slaves, IPOIB_QDR,
+            hdfs=self.hdfs, conf=self.conf, rng=random.Random(seed + 1),
+        )
+
+    def run(self, generator_fn):
+        def wrapper(env):
+            yield self.hdfs.wait_ready()
+            result = yield from generator_fn(env)
+            return result
+
+        return self.env.run(self.env.process(wrapper(self.env)))
+
+    def write_input(self, files: int, size: int):
+        """Generator: write input files; returns the splits."""
+        writer = self.hdfs.client(self.slaves[0])
+        splits = []
+        for i in range(files):
+            path = f"/in/part-{i}"
+            yield writer.write_file(path, size)
+            inode = self.hdfs.namenode.namespace[path]
+            offset = 0
+            for block in inode.blocks:
+                splits.append(
+                    InputSplit(path, offset, block.num_bytes, sorted(block.replicas))
+                )
+                offset += block.num_bytes
+        return splits
+
+
+@pytest.fixture
+def mr_harness():
+    return MrHarness()

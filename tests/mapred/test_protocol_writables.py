@@ -1,0 +1,90 @@
+"""Roundtrip + size-behaviour tests for MapReduce protocol Writables."""
+
+import pytest
+
+from repro.calibration import CostModel
+from repro.io import DataInputBuffer, DataOutputBuffer
+from repro.mapred.protocol import (
+    CompletionEventWritable,
+    CompletionEventsWritable,
+    CountersWritable,
+    JobStatusWritable,
+    LaunchActionsWritable,
+    TaskStatusWritable,
+    TaskTrackerStatusWritable,
+    TaskWritable,
+)
+from repro.mem import CostLedger
+
+
+def roundtrip(writable):
+    ledger = CostLedger(CostModel.default())
+    out = DataOutputBuffer(ledger)
+    writable.write(out)
+    back = type(writable)()
+    inp = DataInputBuffer(out.get_data(), ledger)
+    back.read_fields(inp)
+    assert inp.remaining == 0
+    return back, out.get_length(), out.adjustments
+
+
+def test_counters_roundtrip():
+    counters = CountersWritable.standard(12345)
+    back, _, _ = roundtrip(counters)
+    assert back == counters
+    assert len(counters.values) == 19  # the standard counter set
+
+
+def test_task_status_roundtrip_and_size():
+    status = TaskStatusWritable("job_0001_m_000001", 0.5, "RUNNING", "MAP")
+    back, size, adjustments = roundtrip(status)
+    assert back == status
+    # a statusUpdate payload is several hundred bytes (Table I: its
+    # serialization needs ~5 adjustments from the 32-byte start)
+    assert 300 <= size <= 1200
+    assert adjustments >= 4
+
+
+def test_tracker_status_grows_with_tasks():
+    def size_of(n):
+        tracker = TaskTrackerStatusWritable(
+            "slave0", 8, 4,
+            [TaskStatusWritable(f"job_0001_m_{i:06d}") for i in range(n)],
+        )
+        _, size, _ = roundtrip(tracker)
+        return size
+
+    assert size_of(0) < size_of(4) < size_of(12)
+
+
+def test_task_writable_roundtrip():
+    task = TaskWritable("job_0002_r_000003", False, 3, "/in/file", 128, 64 << 20)
+    back, _, _ = roundtrip(task)
+    assert back == task
+
+
+def test_launch_actions_roundtrip():
+    actions = LaunchActionsWritable(
+        [TaskWritable("t1", True, 0, "/x", 0, 1)], interval_ms=3000
+    )
+    back, _, _ = roundtrip(actions)
+    assert back == actions
+
+
+def test_completion_events_roundtrip_and_growth():
+    def batch(n):
+        return CompletionEventsWritable(
+            [CompletionEventWritable(i, f"job_1_m_{i:06d}", "slave3", 1 << 20)
+             for i in range(n)]
+        )
+
+    back, small, _ = roundtrip(batch(2))
+    assert back == batch(2)
+    _, large, _ = roundtrip(batch(200))
+    assert large > 50 * small  # the shuffle-poll message scales with maps
+
+
+def test_job_status_roundtrip():
+    status = JobStatusWritable("job_7", "RUNNING", 3, 10, 1, 4)
+    back, _, _ = roundtrip(status)
+    assert back == status

@@ -1,0 +1,99 @@
+"""Unit tests for the cost ledger."""
+
+import pytest
+
+from repro.calibration import CostModel
+from repro.mem import CostLedger, OpCounts
+
+
+@pytest.fixture
+def ledger():
+    return CostLedger(CostModel.default())
+
+
+def test_charge_accumulates_by_category(ledger):
+    ledger.charge("net", 5.0)
+    ledger.charge("net", 3.0)
+    ledger.charge("cpu", 2.0)
+    assert ledger.total_us == 10.0
+    assert ledger.category("net") == 8.0
+    assert ledger.category("cpu") == 2.0
+    assert ledger.category("missing") == 0.0
+
+
+def test_negative_charge_rejected(ledger):
+    with pytest.raises(ValueError):
+        ledger.charge("x", -1.0)
+
+
+def test_heap_alloc_charges_alloc_and_gc(ledger):
+    mem = ledger.model.memory
+    ledger.charge_heap_alloc(1000)
+    assert ledger.total_us == pytest.approx(mem.alloc_us(1000))
+    assert ledger.gc_debt_us == pytest.approx(mem.gc_debt_us(1000))
+    assert ledger.counts.allocations == 1
+    assert ledger.counts.alloc_bytes == 1000
+
+
+def test_alloc_cost_scales_with_size(ledger):
+    mem = ledger.model.memory
+    small = mem.alloc_us(32)
+    large = mem.alloc_us(2 * 1024 * 1024)
+    assert large > small * 100  # zeroing dominates for big buffers
+
+
+def test_copy_charges_and_counts(ledger):
+    ledger.charge_copy(4096)
+    assert ledger.counts.copies == 1
+    assert ledger.counts.copy_bytes == 4096
+    assert ledger.total_us == pytest.approx(ledger.model.memory.copy_us(4096))
+
+
+def test_write_read_op_costs(ledger):
+    ledger.charge_write_op(100)
+    ledger.charge_read_op(100)
+    sw = ledger.model.software
+    expected = (
+        sw.writable_write_op_us
+        + 100 * sw.serialize_per_byte_us
+        + sw.writable_read_op_us
+        + 100 * sw.deserialize_per_byte_us
+    )
+    assert ledger.total_us == pytest.approx(expected)
+    assert ledger.counts.write_ops == 1
+    assert ledger.counts.read_ops == 1
+
+
+def test_drain_resets_time_keeps_counts(ledger):
+    ledger.charge_heap_alloc(10)
+    total = ledger.total_us
+    assert ledger.drain() == pytest.approx(total)
+    assert ledger.total_us == 0.0
+    assert ledger.counts.allocations == 1
+    assert ledger.drain() == 0.0
+
+
+def test_drain_gc_resets_debt(ledger):
+    ledger.charge_heap_alloc(10)
+    debt = ledger.gc_debt_us
+    assert debt > 0
+    assert ledger.drain_gc() == pytest.approx(debt)
+    assert ledger.gc_debt_us == 0.0
+
+
+def test_categories_survive_drain(ledger):
+    ledger.charge("alloc", 1.0)
+    ledger.drain()
+    assert ledger.category("alloc") == 1.0
+
+
+def test_opcounts_merge():
+    a = OpCounts(allocations=1, alloc_bytes=10, copies=2, copy_bytes=20, adjustments=1)
+    b = OpCounts(allocations=3, alloc_bytes=30, write_ops=4, read_ops=5)
+    a.merge(b)
+    assert a.allocations == 4
+    assert a.alloc_bytes == 40
+    assert a.copies == 2
+    assert a.write_ops == 4
+    assert a.read_ops == 5
+    assert a.adjustments == 1

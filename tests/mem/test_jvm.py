@@ -1,0 +1,65 @@
+"""Unit tests for JVM heap aggregation and GC debt."""
+
+import pytest
+
+from repro.calibration import CostModel
+from repro.mem import CostLedger, JvmHeap
+
+
+@pytest.fixture
+def model():
+    return CostModel.default()
+
+
+def test_absorb_moves_gc_debt(model):
+    heap = JvmHeap(model)
+    ledger = CostLedger(model)
+    ledger.charge_heap_alloc(1000)
+    debt = ledger.gc_debt_us
+    heap.absorb(ledger)
+    assert heap.gc_debt_us == pytest.approx(debt)
+    assert ledger.gc_debt_us == 0.0
+    # on-thread time is untouched
+    assert ledger.total_us > 0
+
+
+def test_absorb_accumulates_counters(model):
+    heap = JvmHeap(model)
+    for _ in range(3):
+        ledger = CostLedger(model)
+        ledger.charge_heap_alloc(100)
+        ledger.charge_copy(50)
+        heap.absorb(ledger)
+    assert heap.total_allocations == 3
+    assert heap.total_alloc_bytes == 300
+    assert heap.total_copies == 3
+    assert heap.total_copy_bytes == 150
+
+
+def test_take_gc_pause_drains_debt(model):
+    heap = JvmHeap(model)
+    ledger = CostLedger(model)
+    ledger.charge_heap_alloc(10_000)
+    heap.absorb(ledger)
+    pause = heap.take_gc_pause()
+    assert pause > 0
+    assert heap.gc_debt_us == 0.0
+    assert heap.gc_pauses == 1
+    assert heap.gc_pause_us_total == pytest.approx(pause)
+
+
+def test_empty_pause_not_counted(model):
+    heap = JvmHeap(model)
+    assert heap.take_gc_pause() == 0.0
+    assert heap.gc_pauses == 0
+
+
+def test_gc_debt_scales_with_allocation_volume(model):
+    small, large = JvmHeap(model), JvmHeap(model)
+    l1, l2 = CostLedger(model), CostLedger(model)
+    l1.charge_heap_alloc(1024)
+    for _ in range(100):
+        l2.charge_heap_alloc(1024)
+    small.absorb(l1)
+    large.absorb(l2)
+    assert large.gc_debt_us > small.gc_debt_us * 50

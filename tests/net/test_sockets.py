@@ -1,0 +1,228 @@
+"""Unit tests for the socket transport."""
+
+import pytest
+
+from repro.calibration import IPOIB_QDR, ONE_GIGE
+from repro.net import (
+    ConnectionRefused,
+    Fabric,
+    ListenerSocket,
+    SocketAddress,
+    SocketClosed,
+    connect,
+)
+from repro.simcore import Environment
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(Environment())
+
+
+def establish(fabric, spec=IPOIB_QDR):
+    """Connect a client to a fresh listener; returns (client, server) socks."""
+    env = fabric.env
+    server_node = fabric.add_node("server")
+    client_node = fabric.add_node("client")
+    listener = ListenerSocket(fabric, server_node, 9000)
+    result = {}
+
+    def server(env):
+        sock = yield listener.accept()
+        result["server"] = sock
+
+    def client(env):
+        sock = yield connect(fabric, client_node, listener.address, spec)
+        result["client"] = sock
+
+    env.process(server(env))
+    env.process(client(env))
+    env.run()
+    return result["client"], result["server"]
+
+
+def test_connect_and_exchange(fabric):
+    client, server = establish(fabric)
+    env = fabric.env
+    received = {}
+
+    def receiver(env):
+        received["data"] = yield server.recv(5)
+
+    def sender(env):
+        yield client.send(b"hello")
+
+    env.process(receiver(env))
+    env.process(sender(env))
+    env.run()
+    assert received["data"] == b"hello"
+    assert client.bytes_sent == 5
+    assert server.bytes_received == 5
+
+
+def test_connect_refused_without_listener(fabric):
+    env = fabric.env
+    node = fabric.add_node("lonely")
+
+    def proc(env):
+        yield connect(fabric, node, SocketAddress("nowhere", 1), IPOIB_QDR)
+
+    with pytest.raises(ConnectionRefused):
+        env.run(env.process(proc(env)))
+
+
+def test_port_collision_rejected(fabric):
+    node = fabric.add_node("server")
+    ListenerSocket(fabric, node, 9000)
+    with pytest.raises(ValueError):
+        ListenerSocket(fabric, node, 9000)
+
+
+def test_listener_close_unbinds(fabric):
+    node = fabric.add_node("server")
+    listener = ListenerSocket(fabric, node, 9000)
+    listener.close()
+    ListenerSocket(fabric, node, 9000)  # rebind OK
+
+
+def test_recv_blocks_until_enough_bytes(fabric):
+    client, server = establish(fabric)
+    env = fabric.env
+    log = []
+
+    def receiver(env):
+        data = yield server.recv(10)
+        log.append((env.now, data))
+
+    def sender(env):
+        yield client.send(b"12345")
+        yield env.timeout(500)
+        yield client.send(b"67890")
+
+    env.process(receiver(env))
+    env.process(sender(env))
+    env.run()
+    assert log[0][1] == b"1234567890"
+    assert log[0][0] > 500  # had to wait for the second send
+
+
+def test_recv_framing_across_chunks(fabric):
+    """One send, many recvs: stream semantics, not message semantics."""
+    client, server = establish(fabric)
+    env = fabric.env
+    parts = []
+
+    def receiver(env):
+        parts.append((yield server.recv(2)))
+        parts.append((yield server.recv(3)))
+        parts.append((yield server.recv(1)))
+
+    def sender(env):
+        yield client.send(b"abcdef")
+
+    env.process(receiver(env))
+    env.process(sender(env))
+    env.run()
+    assert parts == [b"ab", b"cde", b"f"]
+
+
+def test_bidirectional_traffic(fabric):
+    client, server = establish(fabric)
+    env = fabric.env
+    got = {}
+
+    def server_side(env):
+        data = yield server.recv(4)
+        yield server.send(data[::-1])
+
+    def client_side(env):
+        yield client.send(b"ping")
+        got["reply"] = yield client.recv(4)
+
+    env.process(server_side(env))
+    env.process(client_side(env))
+    env.run()
+    assert got["reply"] == b"gnip"
+
+
+def test_send_on_closed_socket_raises(fabric):
+    client, _ = establish(fabric)
+    client.close()
+    with pytest.raises(SocketClosed):
+        client.send(b"x")
+
+
+def test_recv_after_peer_close_raises(fabric):
+    client, server = establish(fabric)
+    env = fabric.env
+
+    def receiver(env):
+        yield server.recv(10)
+
+    p = env.process(receiver(env))
+    client.close()
+    with pytest.raises(SocketClosed):
+        env.run(p)
+
+
+def test_on_data_selector_callback(fabric):
+    client, server = establish(fabric)
+    env = fabric.env
+    notifications = []
+    server.on_data = lambda sock: notifications.append(sock.available)
+
+    def sender(env):
+        yield client.send(b"abc")
+
+    env.process(sender(env))
+    env.run()
+    assert notifications == [3]
+
+
+def test_latency_reflects_network_spec(fabric):
+    client, server = establish(fabric, spec=ONE_GIGE)
+    env = fabric.env
+    start = env.now
+    times = {}
+
+    def receiver(env):
+        yield server.recv(100)
+        times["arrived"] = env.now
+
+    def sender(env):
+        yield client.send(b"x" * 100)
+
+    env.process(receiver(env))
+    env.process(sender(env))
+    env.run()
+    elapsed = times["arrived"] - start
+    assert elapsed > ONE_GIGE.latency_us  # wire latency + host costs
+
+
+def test_concurrent_recv_rejected(fabric):
+    client, server = establish(fabric)
+    env = fabric.env
+
+    def r1(env):
+        yield server.recv(5)
+
+    def r2(env):
+        yield env.timeout(1)
+        yield server.recv(5)
+
+    env.process(r1(env))
+    p2 = env.process(r2(env))
+
+    def late_sender(env):
+        yield env.timeout(10_000)
+        yield client.send(b"0123456789")
+
+    env.process(late_sender(env))
+    with pytest.raises(RuntimeError, match="concurrent recv"):
+        env.run(p2)
+
+
+def test_negative_recv_rejected(fabric):
+    _, server = establish(fabric)
+    with pytest.raises(ValueError):
+        server.recv(-1)

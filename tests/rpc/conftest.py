@@ -1,0 +1,94 @@
+"""Shared fixtures for RPC-layer tests."""
+
+import pytest
+
+from repro.calibration import IPOIB_QDR
+from repro.config import Configuration
+from repro.io.writables import BytesWritable, IntWritable, Text
+from repro.net import Fabric
+from repro.rpc import RPC, RpcProtocol
+from repro.simcore import Environment
+
+
+class EchoProtocol(RpcProtocol):
+    """Test protocol exercising several signatures."""
+
+    VERSION = 3
+
+    def echo(self, payload):
+        raise NotImplementedError
+
+    def add(self, a, b):
+        raise NotImplementedError
+
+    def boom(self):
+        raise NotImplementedError
+
+    def slow(self, payload):
+        raise NotImplementedError
+
+
+class EchoService(EchoProtocol):
+    """Server-side implementation used across the RPC tests."""
+
+    def __init__(self, env=None, delay_us: float = 500.0):
+        self.env = env
+        self.delay_us = delay_us
+        self.calls = 0
+
+    def echo(self, payload):
+        self.calls += 1
+        return payload
+
+    def add(self, a, b):
+        self.calls += 1
+        return IntWritable(a.value + b.value)
+
+    def boom(self):
+        raise ValueError("deliberate failure")
+
+    def slow(self, payload):
+        # Generator method: holds the handler for delay_us of sim time.
+        yield self.env.timeout(self.delay_us)
+        return payload
+
+
+class RpcHarness:
+    """One server + one client over a chosen engine, ready to call."""
+
+    def __init__(self, ib: bool = False, handlers: int = 4, spec=IPOIB_QDR):
+        self.env = Environment()
+        self.fabric = Fabric(self.env)
+        self.server_node = self.fabric.add_node("server")
+        self.client_node = self.fabric.add_node("client")
+        self.conf = Configuration({"rpc.ib.enabled": ib})
+        self.conf.set("ipc.server.handler.count", handlers)
+        self.service = EchoService(self.env)
+        self.server = RPC.get_server(
+            self.fabric, self.server_node, 9000, self.service, EchoProtocol,
+            spec, conf=self.conf,
+        )
+        self.client = RPC.get_client(
+            self.fabric, self.client_node, spec, conf=self.conf
+        )
+        self.proxy = RPC.get_proxy(EchoProtocol, self.server.address, self.client)
+
+    def run(self, generator_fn):
+        """Run a caller coroutine to completion, return its value."""
+        return self.env.run(self.env.process(generator_fn(self.env)))
+
+
+@pytest.fixture(params=[False, True], ids=["sockets", "rpcoib"])
+def harness(request):
+    """Both engines: every behavioural test runs against each."""
+    return RpcHarness(ib=request.param)
+
+
+@pytest.fixture
+def socket_harness():
+    return RpcHarness(ib=False)
+
+
+@pytest.fixture
+def ib_harness():
+    return RpcHarness(ib=True)

@@ -1,0 +1,104 @@
+"""Unit tests for wire-level RPC objects."""
+
+import pytest
+
+from repro.calibration import CostModel
+from repro.io import DataInputBuffer, DataOutputBuffer, IntWritable, Text
+from repro.mem import CostLedger
+from repro.rpc import ConnectionHeader, Invocation, RemoteException, RpcStatus
+from repro.rpc.protocol import RpcProtocol, VersionMismatch
+from repro.simcore import Environment
+from repro.rpc.call import Call
+
+
+@pytest.fixture
+def ledger():
+    return CostLedger(CostModel.default())
+
+
+def test_invocation_roundtrip(ledger):
+    inv = Invocation("getFileInfo", [Text("/user/x"), IntWritable(3)])
+    out = DataOutputBuffer(ledger)
+    inv.write(out)
+    back = Invocation()
+    back.read_fields(DataInputBuffer(out.get_data(), ledger))
+    assert back.method == "getFileInfo"
+    assert back.params == [Text("/user/x"), IntWritable(3)]
+
+
+def test_invocation_no_params(ledger):
+    inv = Invocation("renewLease", [])
+    out = DataOutputBuffer(ledger)
+    inv.write(out)
+    back = Invocation()
+    back.read_fields(DataInputBuffer(out.get_data(), ledger))
+    assert back.method == "renewLease"
+    assert back.params == []
+
+
+def test_connection_header_roundtrip(ledger):
+    hdr = ConnectionHeader("mapred.TaskUmbilicalProtocol", 19)
+    out = DataOutputBuffer(ledger)
+    hdr.write(out)
+    back = ConnectionHeader()
+    back.read_fields(DataInputBuffer(out.get_data(), ledger))
+    assert back.protocol == "mapred.TaskUmbilicalProtocol"
+    assert back.version == 19
+
+
+def test_rpc_status_values():
+    assert int(RpcStatus.SUCCESS) == 0
+    assert int(RpcStatus.ERROR) == 1
+
+
+def test_remote_exception_carries_class_and_message():
+    exc = RemoteException("java.io.IOException", "disk full")
+    assert exc.class_name == "java.io.IOException"
+    assert exc.message == "disk full"
+    assert "disk full" in str(exc)
+
+
+def test_call_completion():
+    env = Environment()
+    call = Call(7, "P", "m", [], env)
+    call.complete(IntWritable(1))
+    assert env.run(call.done) == IntWritable(1)
+
+
+def test_call_error():
+    env = Environment()
+    call = Call(7, "P", "m", [], env)
+    call.error(RemoteException("X", "y"))
+    with pytest.raises(RemoteException):
+        env.run(call.done)
+
+
+def test_protocol_name_inherited_by_implementation():
+    class MyProtocol(RpcProtocol):
+        VERSION = 2
+
+        def f(self):
+            raise NotImplementedError
+
+    class MyService(MyProtocol):
+        def f(self):
+            return None
+
+    assert MyProtocol.protocol_name() == "MyProtocol"
+    assert MyService.protocol_name() == "MyProtocol"
+
+
+def test_protocol_explicit_name():
+    class Named(RpcProtocol):
+        PROTOCOL_NAME = "hdfs.ClientProtocol"
+
+    assert Named.protocol_name() == "hdfs.ClientProtocol"
+
+
+def test_version_check():
+    class V5(RpcProtocol):
+        VERSION = 5
+
+    V5.check_version(5)
+    with pytest.raises(VersionMismatch):
+        V5.check_version(4)

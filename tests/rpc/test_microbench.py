@@ -1,0 +1,74 @@
+"""Tests for the WBDB'13 micro-benchmark harness (Fig. 5 driver)."""
+
+import pytest
+
+from repro.rpc.microbench import (
+    ENGINE_CONFIGS,
+    latency_series,
+    run_latency,
+    run_throughput,
+    throughput_series,
+)
+
+
+def test_engine_configs_cover_the_figure():
+    assert set(ENGINE_CONFIGS) == {"RPC-1GigE", "RPC-10GigE", "RPC-IPoIB", "RPCoIB"}
+    assert ENGINE_CONFIGS["RPCoIB"].ib
+    assert not ENGINE_CONFIGS["RPC-IPoIB"].ib
+
+
+def test_latency_monotone_in_payload():
+    result = run_latency("RPC-IPoIB", [1, 1024, 4096], iterations=10)
+    assert result[1] < result[4096]
+    assert set(result) == {1, 1024, 4096}
+
+
+def test_rpcoib_latency_below_sockets_at_all_sizes():
+    sizes = [1, 256, 4096]
+    ipoib = run_latency("RPC-IPoIB", sizes, iterations=10)
+    rpcoib = run_latency("RPCoIB", sizes, iterations=10)
+    for size in sizes:
+        assert rpcoib[size] < ipoib[size]
+
+
+def test_one_gige_is_slowest():
+    sizes = [1, 4096]
+    gige = run_latency("RPC-1GigE", sizes, iterations=8)
+    ten = run_latency("RPC-10GigE", sizes, iterations=8)
+    for size in sizes:
+        assert gige[size] > ten[size]
+
+
+def test_throughput_scales_then_saturates():
+    low = run_throughput("RPCoIB", 8, ops_per_client=25)
+    high = run_throughput("RPCoIB", 48, ops_per_client=25)
+    assert high > low  # more clients push toward the saturation plateau
+
+
+def test_throughput_ordering_matches_figure():
+    results = {
+        engine: run_throughput(engine, 48, ops_per_client=25)
+        for engine in ("RPC-10GigE", "RPC-IPoIB", "RPCoIB")
+    }
+    assert results["RPCoIB"] > results["RPC-IPoIB"] > results["RPC-10GigE"]
+
+
+def test_latency_series_shape():
+    series = latency_series(
+        engines=["RPC-IPoIB", "RPCoIB"], payload_sizes=[1, 64], iterations=5
+    )
+    assert set(series) == {"RPC-IPoIB", "RPCoIB"}
+    assert set(series["RPCoIB"]) == {1, 64}
+
+
+def test_throughput_series_shape():
+    series = throughput_series(
+        engines=["RPCoIB"], client_counts=[8, 16], ops_per_client=10
+    )
+    assert set(series["RPCoIB"]) == {8, 16}
+    assert all(v > 0 for v in series["RPCoIB"].values())
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(KeyError):
+        run_latency("RPC-Carrier-Pigeon", [1])

@@ -1,0 +1,85 @@
+"""Property-based tests across the RPC stack (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.writables import BytesWritable, IntWritable, Text
+from tests.rpc.conftest import RpcHarness
+
+
+@given(payload=st.binary(min_size=0, max_size=20_000), ib=st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_echo_is_identity_for_any_payload(payload, ib):
+    """Any byte payload survives a full RPC round trip, both engines —
+    including payloads that cross the eager/RDMA threshold."""
+    harness = RpcHarness(ib=ib)
+
+    def caller(env):
+        return (yield harness.proxy.echo(BytesWritable(payload)))
+
+    assert harness.run(caller).value == payload
+
+
+@given(
+    values=st.lists(
+        st.integers(min_value=-(2**30), max_value=2**30), min_size=1, max_size=8
+    ),
+    ib=st.booleans(),
+)
+@settings(max_examples=20, deadline=None)
+def test_addition_server_side_matches_local(values, ib):
+    harness = RpcHarness(ib=ib)
+
+    def caller(env):
+        total = 0
+        for v in values:
+            got = yield harness.proxy.add(IntWritable(total), IntWritable(v))
+            total = got.value
+        return total
+
+    assert harness.run(caller) == sum(values)
+
+
+@given(text=st.text(max_size=200))
+@settings(max_examples=20, deadline=None)
+def test_unicode_text_roundtrips_over_rpc(text):
+    harness = RpcHarness(ib=True)
+
+    def caller(env):
+        return (yield harness.proxy.echo(Text(text)))
+
+    assert harness.run(caller).value == text
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=8192), min_size=2, max_size=6))
+@settings(max_examples=15, deadline=None)
+def test_rpcoib_pool_balances_after_any_call_sequence(sizes):
+    """Pool invariant: after all calls complete, every pooled buffer is
+    back in the pool regardless of message-size sequence."""
+    harness = RpcHarness(ib=True)
+
+    def caller(env):
+        for size in sizes:
+            yield harness.proxy.echo(BytesWritable(b"x" * size))
+
+    harness.run(caller)
+    assert harness.client.pool.native.outstanding == 0
+    assert harness.server.pool.native.outstanding == 0
+
+
+@given(n=st.integers(min_value=1, max_value=12), ib=st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_all_concurrent_calls_complete(n, ib):
+    harness = RpcHarness(ib=ib)
+    results = []
+
+    def one(env, i):
+        got = yield harness.proxy.add(IntWritable(i), IntWritable(1))
+        results.append(got.value)
+
+    def caller(env):
+        yield env.all_of([env.process(one(env, i)) for i in range(n)])
+
+    harness.run(caller)
+    assert sorted(results) == [i + 1 for i in range(n)]
+    assert harness.server.calls_handled == n

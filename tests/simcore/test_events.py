@@ -1,0 +1,196 @@
+"""Unit tests for the DES event primitives."""
+
+import pytest
+
+from repro.simcore import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    EventAlreadyTriggered,
+    Timeout,
+)
+
+
+def test_event_starts_pending():
+    env = Environment()
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+    with pytest.raises(AttributeError):
+        ev.value
+    with pytest.raises(AttributeError):
+        ev.ok
+
+
+def test_succeed_sets_value_and_processes():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(42)
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == 42
+    env.run()
+    assert ev.processed
+
+
+def test_double_succeed_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed(2)
+    with pytest.raises(EventAlreadyTriggered):
+        ev.fail(RuntimeError("x"))
+    env.run()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_unhandled_failure_crashes_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_defused_failure_does_not_crash():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("boom"))
+    ev.defuse()
+    env.run()  # no raise
+    assert ev.processed
+
+
+def test_callbacks_run_in_registration_order():
+    env = Environment()
+    ev = env.event()
+    seen = []
+    ev.add_callback(lambda e: seen.append(1))
+    ev.add_callback(lambda e: seen.append(2))
+    ev.succeed()
+    env.run()
+    assert seen == [1, 2]
+
+
+def test_late_callback_runs_inline():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("v")
+    env.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_timeout_fires_at_delay():
+    env = Environment()
+    t = env.timeout(10.0, value="done")
+    env.run()
+    assert env.now == 10.0
+    assert t.value == "done"
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeouts_fire_in_time_order():
+    env = Environment()
+    order = []
+    for delay in (5.0, 1.0, 3.0):
+        env.timeout(delay).add_callback(lambda e, d=delay: order.append(d))
+    env.run()
+    assert order == [1.0, 3.0, 5.0]
+
+
+def test_same_time_events_fifo():
+    env = Environment()
+    order = []
+    for i in range(5):
+        env.timeout(2.0).add_callback(lambda e, i=i: order.append(i))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+    t1, t2 = env.timeout(1, value="a"), env.timeout(5, value="b")
+    cond = AllOf(env, [t1, t2])
+    env.run(cond)
+    assert env.now == 5
+    assert cond.value.values() == ["a", "b"]
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+    t1, t2 = env.timeout(1, value="a"), env.timeout(5, value="b")
+    cond = AnyOf(env, [t1, t2])
+    env.run(cond)
+    assert env.now == 1
+    assert t1 in cond.value
+    assert t2 not in cond.value
+
+
+def test_condition_operators():
+    env = Environment()
+    t1, t2 = env.timeout(1), env.timeout(2)
+    both = t1 & t2
+    either = env.timeout(3) | env.timeout(4)
+    env.run(both)
+    assert env.now == 2
+    env.run(either)
+    assert env.now == 3
+
+
+def test_empty_allof_fires_immediately():
+    env = Environment()
+    cond = AllOf(env, [])
+    assert cond.triggered
+    env.run()
+    assert len(cond.value) == 0
+
+
+def test_condition_with_already_processed_event():
+    env = Environment()
+    t1 = env.timeout(1, value="x")
+    env.run()
+    cond = AllOf(env, [t1, env.timeout(1, value="y")])
+    env.run(cond)
+    assert cond.value.values() == ["x", "y"]
+
+
+def test_condition_propagates_failure():
+    env = Environment()
+
+    def failer(env):
+        yield env.timeout(1)
+        raise RuntimeError("inner")
+
+    p = env.process(failer(env))
+    cond = AllOf(env, [p, env.timeout(10)])
+    with pytest.raises(RuntimeError, match="inner"):
+        env.run(cond)
+
+
+def test_condition_events_must_share_env():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env1.event(), env2.event()])
+
+
+def test_nested_condition_value_flattens():
+    env = Environment()
+    a, b, c = env.timeout(1, value=1), env.timeout(2, value=2), env.timeout(3, value=3)
+    cond = (a & b) & c
+    env.run(cond)
+    assert cond.value.values() == [1, 2, 3]

@@ -1,0 +1,206 @@
+"""Unit tests for simulation processes and interrupts."""
+
+import pytest
+
+from repro.simcore import Environment, Interrupt, Process
+
+
+def test_process_runs_and_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3)
+        return "result"
+
+    p = env.process(proc(env))
+    assert env.run(p) == "result"
+    assert env.now == 3
+    assert not p.is_alive
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_process_value_passing():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1, value="hello")
+        return got
+
+    assert env.run(env.process(proc(env))) == "hello"
+
+
+def test_process_chains():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2)
+        return 21
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return value * 2
+
+    assert env.run(env.process(parent(env))) == 42
+    assert env.now == 2
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise ValueError("child died")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert env.run(env.process(parent(env))) == "caught child died"
+
+
+def test_unwaited_process_failure_crashes_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_yield_non_event_raises_inside_process():
+    env = Environment()
+
+    def proc(env):
+        try:
+            yield 42
+        except TypeError:
+            return "typed"
+
+    assert env.run(env.process(proc(env))) == "typed"
+
+
+def test_interrupt_waiting_process():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+            return "slept"
+        except Interrupt as intr:
+            return f"interrupted: {intr.cause}"
+
+    p = env.process(sleeper(env))
+
+    def interrupter(env):
+        yield env.timeout(5)
+        p.interrupt("wake up")
+
+    env.process(interrupter(env))
+    assert env.run(p) == "interrupted: wake up"
+    assert env.now == 5
+
+
+def test_interrupted_process_can_rewait_original_event():
+    env = Environment()
+
+    def sleeper(env):
+        done = env.timeout(10, value="fired")
+        try:
+            value = yield done
+        except Interrupt:
+            value = yield done  # the original event is still valid
+        return value
+
+    p = env.process(sleeper(env))
+
+    def interrupter(env):
+        yield env.timeout(2)
+        p.interrupt()
+
+    env.process(interrupter(env))
+    assert env.run(p) == "fired"
+    assert env.now == 10
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run(p)
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_interrupt_cause_accessible():
+    intr = Interrupt("why")
+    assert intr.cause == "why"
+    assert "why" in str(intr)
+    assert Interrupt().cause is None
+
+
+def test_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    log = []
+
+    def worker(env, name, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            log.append((env.now, name))
+
+    env.process(worker(env, "a", 2))
+    env.process(worker(env, "b", 3))
+    env.run()
+    # At t=6 both fire; b's timeout was scheduled at t=3, a's at t=4,
+    # so FIFO tie-breaking runs b first.
+    assert log == [(2, "a"), (3, "b"), (4, "a"), (6, "b"), (6, "a"), (9, "b")]
+
+
+def test_process_waiting_on_already_fired_event():
+    env = Environment()
+    fired = env.timeout(1, value="early")
+    env.run()
+
+    def proc(env):
+        value = yield fired
+        return value
+
+    assert env.run(env.process(proc(env))) == "early"
+
+
+def test_active_process_visible_during_execution():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(1)
+
+    p = env.process(proc(env))
+    env.run()
+    assert seen == [p]
+    assert env.active_process is None

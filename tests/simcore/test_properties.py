@@ -1,0 +1,109 @@
+"""Property-based tests on DES engine invariants (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import Environment, Resource, Store, Tally
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_timeouts_always_fire_in_sorted_order(delays):
+    """Event processing order == sorted delay order (stable for ties)."""
+    env = Environment()
+    fired = []
+    for i, delay in enumerate(delays):
+        env.timeout(delay).add_callback(lambda e, i=i, d=delay: fired.append((d, i)))
+    env.run()
+    assert fired == sorted(fired)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_clock_monotonic_under_any_schedule(delays):
+    env = Environment()
+    observed = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for delay in delays:
+        env.process(proc(env, delay))
+    env.run()
+    assert observed == sorted(observed)
+    assert env.now == max(delays)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_store_preserves_fifo_for_any_sequence(items):
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in items:
+            out.append((yield store.get()))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert out == items
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    max_seen = [0]
+
+    def user(env, hold):
+        with res.request() as req:
+            yield req
+            max_seen[0] = max(max_seen[0], res.count)
+            yield env.timeout(hold)
+
+    for hold in holds:
+        env.process(user(env, hold))
+    env.run()
+    assert max_seen[0] <= capacity
+    assert res.count == 0
+    assert len(res.queue) == 0
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_tally_percentile_matches_numpy(samples, q):
+    tally = Tally()
+    for s in samples:
+        tally.observe(s)
+    expected = float(np.percentile(np.array(samples), q, method="linear"))
+    assert math.isclose(tally.percentile(q), expected, rel_tol=1e-9, abs_tol=1e-7)
+
+
+@given(st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=2, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_tally_mean_between_min_and_max(samples):
+    tally = Tally()
+    for s in samples:
+        tally.observe(s)
+    assert tally.minimum - 1e-9 <= tally.mean <= tally.maximum + 1e-9

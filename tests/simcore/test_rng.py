@@ -1,0 +1,48 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.simcore import RngRegistry
+
+
+def test_same_seed_same_stream():
+    a = RngRegistry(seed=1).stream("x")
+    b = RngRegistry(seed=1).stream("x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_independent():
+    reg = RngRegistry(seed=1)
+    xs = [reg.stream("x").random() for _ in range(5)]
+    ys = [reg.stream("y").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x").random()
+    b = RngRegistry(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    reg = RngRegistry()
+    assert reg.stream("x") is reg.stream("x")
+
+
+def test_np_stream_deterministic():
+    a = RngRegistry(seed=7).np_stream("n").integers(0, 1000, size=10)
+    b = RngRegistry(seed=7).np_stream("n").integers(0, 1000, size=10)
+    assert (a == b).all()
+
+
+def test_fork_independent_of_parent():
+    parent = RngRegistry(seed=1)
+    child = parent.fork("sub")
+    assert parent.stream("x").random() != child.stream("x").random()
+
+
+def test_adding_stream_does_not_perturb_existing():
+    reg1 = RngRegistry(seed=3)
+    s = reg1.stream("a")
+    first = s.random()
+    reg2 = RngRegistry(seed=3)
+    reg2.stream("b")  # extra stream created first
+    assert reg2.stream("a").random() == first
