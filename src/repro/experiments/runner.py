@@ -2,6 +2,18 @@
 
 Runs the requested experiments at their default (scaled) parameters and
 prints the same tables/series the paper reports.
+
+Observability flags (see ``repro.obs``):
+
+* ``--trace out.json`` — record a span for every RPC pipeline stage of
+  every simulation the experiments build, and write one combined
+  Chrome-trace file (load it in ``chrome://tracing`` or
+  https://ui.perfetto.dev).  Timestamps are simulated microseconds.
+* ``--metrics out.json`` — dump every run's metrics-registry snapshot
+  (counters, queue-depth gauges, latency tallies) as JSON.
+
+Tracing is off by default and, when off, adds no simulated-clock events
+— reported numbers are bit-identical with and without the flags.
 """
 
 from __future__ import annotations
@@ -13,6 +25,8 @@ import time
 
 def main(argv=None) -> int:
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.runtime import ObsSession
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -24,17 +38,57 @@ def main(argv=None) -> int:
         choices=sorted(ALL_EXPERIMENTS) + ["all"],
         help="experiment ids (table1, fig1, fig3, fig5, fig6, fig7, fig8) or 'all'",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome-trace (Perfetto) JSON of every RPC's span tree",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write JSON snapshots of every run's metrics registry",
+    )
     args = parser.parse_args(argv)
     names = (
         sorted(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
     )
-    for name in names:
-        module = ALL_EXPERIMENTS[name]
-        print(f"=== {name} " + "=" * max(1, 68 - len(name)))
-        started = time.time()
-        result = module.run()
-        print(module.format_result(result))
-        print(f"--- {name} finished in {time.time() - started:.1f}s wall clock\n")
+
+    # fail on unwritable output paths *before* burning minutes of runs
+    for path in (args.trace, args.metrics):
+        if path is not None:
+            try:
+                with open(path, "w", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                parser.error(f"cannot write {path}: {exc}")
+
+    session = None
+    if args.trace or args.metrics:
+        session = ObsSession(trace=args.trace is not None, label="+".join(names))
+        obs_runtime.install(session)
+    try:
+        for name in names:
+            module = ALL_EXPERIMENTS[name]
+            print(f"=== {name} " + "=" * max(1, 68 - len(name)))
+            started = time.time()
+            result = module.run()
+            print(module.format_result(result))
+            print(f"--- {name} finished in {time.time() - started:.1f}s wall clock\n")
+    finally:
+        if session is not None:
+            obs_runtime.uninstall()
+    if session is not None:
+        if args.trace:
+            events = session.write_trace(args.trace)
+            print(
+                f"trace: {events} events ({session.span_count()} spans, "
+                f"{len(session.tracers)} runs) -> {args.trace}"
+            )
+        if args.metrics:
+            runs = session.write_metrics(args.metrics)
+            print(f"metrics: {runs} run snapshots -> {args.metrics}")
     return 0
 
 

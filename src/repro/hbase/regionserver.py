@@ -103,6 +103,17 @@ class HRegionServer(HRegionInterface):
         )
         self._wal_peers: List[Node] = []
         self._value_cache: Dict[str, bytes] = {}
+        # storage-pressure gauges in the fabric-wide metrics registry
+        registry = fabric.metrics
+        self._gauge_memstore = registry.gauge(
+            "hbase.regionserver.memstore_bytes", node=node.name
+        )
+        self._gauge_store_files = registry.gauge(
+            "hbase.regionserver.store_files", node=node.name
+        )
+        self._gauge_flush_active = registry.gauge(
+            "hbase.regionserver.flush_in_progress", node=node.name
+        )
 
     # ------------------------------------------------------------------
     # wiring
@@ -163,8 +174,10 @@ class HRegionServer(HRegionInterface):
         if request.value:
             self._value_cache[request.row] = request.value
         self.memstore_bytes += nbytes
+        self._gauge_memstore.set(self.memstore_bytes)
         if self.memstore_bytes >= self.flush_threshold and not self._flush_in_progress:
             self._flush_in_progress = True
+            self._gauge_flush_active.set(1)
             self._flush_done = self.env.event()
             self.env.process(self._flush(), name=f"flush:{self.node.name}")
         elif self._flush_in_progress and self.memstore_bytes >= 2 * self.flush_threshold:
@@ -262,6 +275,7 @@ class HRegionServer(HRegionInterface):
         """Write the memstore snapshot as an HFile on HDFS."""
         snapshot = self.memstore_bytes
         self.memstore_bytes = 0
+        self._gauge_memstore.set(0)
         self.memstore_rows.clear()
         self.flushes += 1
         flush_id = self.flushes
@@ -269,8 +283,10 @@ class HRegionServer(HRegionInterface):
         path = f"/hbase/{self.node.name}/hfile-{flush_id:05d}"
         yield dfs.write_file(path, max(snapshot, 1024))
         self._store_files.append(path)
+        self._gauge_store_files.set(len(self._store_files))
         self.store_bytes += snapshot
         self._flush_in_progress = False
+        self._gauge_flush_active.set(0)
         if self._flush_done is not None and not self._flush_done.triggered:
             self._flush_done.succeed()
         if len(self._store_files) >= FLUSHES_PER_COMPACTION:
@@ -279,6 +295,7 @@ class HRegionServer(HRegionInterface):
     def _compact(self):
         """Minor compaction: rewrite the accumulated store files."""
         inputs, self._store_files = self._store_files, []
+        self._gauge_store_files.set(0)
         if not inputs:
             return
         self.compactions += 1

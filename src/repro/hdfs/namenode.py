@@ -127,6 +127,16 @@ class NameNode(ClientProtocol, DatanodeProtocol):
             metrics=self.metrics,
             name=f"namenode@{node.name}",
         )
+        # namesystem state gauges in the fabric-wide metrics registry
+        registry = fabric.metrics
+        self._gauge_datanodes = registry.gauge(
+            "hdfs.namenode.live_datanodes", node=node.name
+        )
+        self._gauge_files = registry.gauge("hdfs.namenode.files", node=node.name)
+        self._gauge_blocks = registry.gauge("hdfs.namenode.blocks", node=node.name)
+        self._gauge_under_construction = registry.gauge(
+            "hdfs.namenode.files_under_construction", node=node.name
+        )
 
     @property
     def address(self):
@@ -156,6 +166,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
             current += "/" + part
             if current not in self.namespace:
                 self.namespace[current] = INode(current, is_dir=True)
+        self._update_gauges()
         return BooleanWritable(True)
 
     def create(self, path: Text, replication: IntWritable, block_size: LongWritable):
@@ -168,6 +179,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
             block_size=block_size.value,
             under_construction=True,
         )
+        self._update_gauges()
         return BooleanWritable(True)
 
     def renewLease(self, client_name: Text):
@@ -193,6 +205,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         block = BlockInfo(next(self._block_ids), 0)
         inode.blocks.append(block)
         self.block_map[block.block_id] = block
+        self._update_gauges()
         targets = self._choose_targets(client_name.value, inode.replication)
         return LocatedBlockWritable(
             BlockWritable(block.block_id, 0, 0),
@@ -210,6 +223,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
             if inode.under_construction:
                 inode.under_construction = False
                 yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
+                self._update_gauges()
             return BooleanWritable(True)
         self.stats["completes_false"] += 1
         return BooleanWritable(False)
@@ -239,6 +253,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
         for block in inode.blocks:
             self.block_map.pop(block.block_id, None)
+        self._update_gauges()
         return BooleanWritable(True)
 
     def getBlockLocations(self, path: Text, offset: LongWritable, length: LongWritable):
@@ -271,6 +286,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         self.datanodes[info.name] = DatanodeDescriptor(
             info.name, node, info.capacity, info.remaining, self.env.now
         )
+        self._update_gauges()
         return NullWritable()
 
     def sendHeartbeat(self, heartbeat: HeartbeatWritable):
@@ -302,6 +318,20 @@ class NameNode(ClientProtocol, DatanodeProtocol):
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _update_gauges(self) -> None:
+        """Refresh namesystem gauges after any state mutation.
+
+        Gauges only record (simulated-time, value) pairs — they never
+        schedule events, so reported experiment numbers are unaffected.
+        """
+        self._gauge_datanodes.set(len(self.datanodes))
+        files = [i for i in self.namespace.values() if not i.is_dir]
+        self._gauge_files.set(len(files))
+        self._gauge_blocks.set(len(self.block_map))
+        self._gauge_under_construction.set(
+            sum(1 for i in files if i.under_construction)
+        )
+
     def _file(self, path: Text) -> INode:
         inode = self.namespace.get(path.value)
         if inode is None or inode.is_dir:

@@ -20,6 +20,18 @@ _FLOAT = struct.Struct(">f")
 _DOUBLE = struct.Struct(">d")
 
 
+def _jwrap(value: int, bits: int) -> int:
+    """Java two's-complement wrap: keep the low ``bits`` of ``value``.
+
+    Java's ``writeInt``/``writeLong``/``writeShort`` never range-check —
+    an int that overflowed upstream simply truncates to its low bits.
+    Python ints are unbounded, so emulate the truncation explicitly
+    (``struct`` would raise instead).
+    """
+    masked = value & ((1 << bits) - 1)
+    return masked - (1 << bits) if masked >= 1 << (bits - 1) else masked
+
+
 class Sink(Protocol):
     """Anything raw bytes can be pushed into."""
 
@@ -56,16 +68,19 @@ class DataOutput:
         self.write(b"\x01" if value else b"\x00")
 
     def write_short(self, value: int) -> None:
+        """Java ``writeShort``: the low 16 bits of ``value``."""
         self.ledger.charge_write_op(2)
-        self.write(_SHORT.pack(value))
+        self.write(_SHORT.pack(_jwrap(value, 16)))
 
     def write_int(self, value: int) -> None:
+        """Java ``writeInt``: the low 32 bits of ``value``."""
         self.ledger.charge_write_op(4)
-        self.write(_INT.pack(value))
+        self.write(_INT.pack(_jwrap(value, 32)))
 
     def write_long(self, value: int) -> None:
+        """Java ``writeLong``: the low 64 bits of ``value``."""
         self.ledger.charge_write_op(8)
-        self.write(_LONG.pack(value))
+        self.write(_LONG.pack(_jwrap(value, 64)))
 
     def write_float(self, value: float) -> None:
         self.ledger.charge_write_op(4)

@@ -107,6 +107,17 @@ class JobTracker(InterTrackerProtocol, JobSubmissionProtocol):
         #: map output bytes by map task id (for completion events)
         self.map_output_bytes: Dict[str, int] = {}
         self.heartbeats = 0
+        # scheduler state gauges in the fabric-wide metrics registry
+        registry = fabric.metrics
+        self._gauge_jobs = registry.gauge(
+            "mapred.jobtracker.running_jobs", node=node.name
+        )
+        self._gauge_maps = registry.gauge(
+            "mapred.jobtracker.running_maps", node=node.name
+        )
+        self._gauge_reduces = registry.gauge(
+            "mapred.jobtracker.running_reduces", node=node.name
+        )
         self.server = RPC.get_server(
             fabric,
             node,
@@ -145,6 +156,7 @@ class JobTracker(InterTrackerProtocol, JobSubmissionProtocol):
                 TaskInProgress(f"{conf.job_id}_r_{index:06d}", False, index)
             )
         self.jobs[conf.job_id] = job
+        self._update_gauges()
         return self._status_of(job)
 
     def getJobStatus(self, job_id: Text):
@@ -181,7 +193,30 @@ class JobTracker(InterTrackerProtocol, JobSubmissionProtocol):
         if ask.value:
             launch = self._schedule(status)
         interval_ms = int(self.conf.get_float("mapred.heartbeat.interval") / 1000)
+        self._update_gauges()
         return LaunchActionsWritable(launch, interval_ms)
+
+    def _update_gauges(self) -> None:
+        """Refresh scheduler gauges (record-only; no simulated events)."""
+        self._gauge_jobs.set(
+            sum(1 for j in self.jobs.values() if j.state == "RUNNING")
+        )
+        self._gauge_maps.set(
+            sum(
+                1
+                for j in self.jobs.values()
+                for t in j.maps
+                if t.state == "RUNNING"
+            )
+        )
+        self._gauge_reduces.set(
+            sum(
+                1
+                for j in self.jobs.values()
+                for t in j.reduces
+                if t.state == "RUNNING"
+            )
+        )
 
     def _ingest_statuses(self, status: TaskTrackerStatusWritable) -> None:
         for task_status in status.tasks:

@@ -14,6 +14,9 @@ from typing import Dict, Optional
 
 from repro.calibration import CostModel, NetworkSpec
 from repro.mem.jvm import JvmHeap
+from repro.obs import runtime as obs_runtime
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.simcore import Environment, Resource
 from repro.simcore.events import Event
 
@@ -53,6 +56,18 @@ class Fabric:
         self.nodes: Dict[str, Node] = {}
         #: (node_name, port) -> ListenerSocket, maintained by net.sockets.
         self.listeners: Dict[tuple, object] = {}
+        # Observability: with an ObsSession active (``--trace``), every
+        # fabric gets a real tracer + an exported registry; otherwise
+        # the zero-cost null tracer and a private registry.  Neither
+        # ever schedules simulated events, so recording is invisible to
+        # the clock.
+        session = obs_runtime.current()
+        if session is not None:
+            self.tracer = session.tracer_for(env) or NULL_TRACER
+            self.metrics = session.registry_for(env)
+        else:
+            self.tracer = NULL_TRACER
+            self.metrics = MetricsRegistry(env)
 
     def add_node(self, name: str, cores: Optional[int] = None) -> Node:
         if name in self.nodes:

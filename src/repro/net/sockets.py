@@ -96,9 +96,14 @@ class SimSocket:
         self.on_data: Optional[Callable[["SimSocket"], None]] = None
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: out-of-band trace refs travelling with frames (repro.obs):
+        #: the sender appends to the *peer's* deque in frame order, the
+        #: receiver pops one per decoded call frame.  Never serialized
+        #: into the byte stream, so tracing cannot change wire costs.
+        self._trace_refs: deque = deque()
 
     # -- sending ----------------------------------------------------------
-    def send(self, data: bytes) -> Process:
+    def send(self, data: bytes, trace=None) -> Process:
         """Write ``data`` to the peer; returns the completion Process.
 
         The Process completes when the *local* write is done (TCP
@@ -106,12 +111,21 @@ class SimSocket:
         syscalls (one per 64 KB), per-message NIC host overhead, kernel
         per-byte CPU, and the JVM-heap -> native copy.  Wire transfer
         and delivery continue in the background, strictly in order.
+
+        ``trace`` (a :class:`repro.obs.TraceRef`) rides along out of
+        band and is surfaced to the receiver via :meth:`pop_trace`.
         """
         if self.closed:
             raise SocketClosed(f"{self.name}: send on closed socket")
-        return self.env.process(self._send_proc(bytes(data)), name=f"send:{self.name}")
+        return self.env.process(
+            self._send_proc(bytes(data), trace), name=f"send:{self.name}"
+        )
 
-    def _send_proc(self, data: bytes):
+    def pop_trace(self):
+        """Next out-of-band trace ref (FIFO, one per traced frame)."""
+        return self._trace_refs.popleft() if self._trace_refs else None
+
+    def _send_proc(self, data: bytes, trace=None):
         sw = self.model.software
         syscalls = max(1, math.ceil(len(data) / SYSCALL_CHUNK))
         cost = (
@@ -127,6 +141,10 @@ class SimSocket:
             self._tx_worker = self.env.process(
                 self._tx_loop(), name=f"tx:{self.name}"
             )
+        if trace is not None and self.peer is not None:
+            # Appended in the same step as the tx enqueue below, so the
+            # peer's ref order always matches frame order.
+            self.peer._trace_refs.append(trace)
         yield self._tx_queue.put(data)
 
     #: wire-delivery granularity: big writes dribble into the receiver

@@ -12,6 +12,7 @@ pooled buffer immediately after the send completes.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import NamedTuple, Optional, Union
 
 from repro.calibration import CostModel, IB_EAGER, IB_RDMA
@@ -70,6 +71,10 @@ class QueuePair:
         self.rdma_sends = 0
         #: opaque owner tag (e.g. the server-side connection object).
         self.owner: object = None
+        #: out-of-band trace refs (repro.obs), mirroring SimSocket's
+        #: side channel: senders append to the peer's deque in post
+        #: order; the receiver pops one per traced message.
+        self._trace_refs: deque = deque()
 
     @staticmethod
     def pair(a: Endpoint, b: Endpoint) -> tuple:
@@ -85,6 +90,7 @@ class QueuePair:
         length: Optional[int] = None,
         rdma_threshold: int = 4096,
         context: object = None,
+        trace=None,
     ) -> Process:
         """Send ``length`` bytes of a registered buffer to the peer.
 
@@ -105,11 +111,15 @@ class QueuePair:
         payload = bytes(view[:length])
         eager = length <= rdma_threshold
         return self.env.process(
-            self._send_proc(payload, eager, context),
+            self._send_proc(payload, eager, context, trace),
             name=f"ibsend:{self.local.name}",
         )
 
-    def _send_proc(self, payload: bytes, eager: bool, context: object):
+    def pop_trace(self):
+        """Next out-of-band trace ref (FIFO, one per traced message)."""
+        return self._trace_refs.popleft() if self._trace_refs else None
+
+    def _send_proc(self, payload: bytes, eager: bool, context: object, trace=None):
         sw = self.model.software
         spec = IB_EAGER if eager else IB_RDMA
         self.sends += 1
@@ -127,6 +137,8 @@ class QueuePair:
             self._tx_worker = self.env.process(
                 self._tx_loop(), name=f"ibtx:{self.local.name}"
             )
+        if trace is not None and self.peer is not None:
+            self.peer._trace_refs.append(trace)
         yield self._tx_queue.put((payload, eager, context, spec))
 
     def _tx_loop(self):

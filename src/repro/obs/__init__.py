@@ -1,0 +1,55 @@
+"""Observability layer: distributed tracing + unified metrics registry.
+
+``repro.obs`` is how you *see* one RPC flow through the stack — the
+per-stage pipeline visibility (serialize → send → wire → receive →
+queue → handler → respond) that the paper's Table I / Fig. 1 analysis
+is built on.  Two halves:
+
+* :class:`Tracer` / :class:`Span` — hierarchical spans on the simulated
+  clock, propagated client→server via :class:`TraceRef`, exported as
+  Chrome-trace JSON (``chrome://tracing`` / Perfetto);
+* :class:`MetricsRegistry` — named, labeled instruments (counter,
+  gauge, tally, histogram) that every layer reports into, snapshot as
+  JSON.
+
+Both are zero-cost when disabled: the default is :data:`NULL_TRACER`
+and no registry is exported, and neither half ever schedules
+simulated-clock events, so calibration numbers are unchanged.
+
+Enable from the CLI (``python -m repro.experiments fig5 --trace
+out.json``) or programmatically via :func:`obs_session`.
+"""
+
+from repro.obs.export import chrome_trace, chrome_trace_events, write_chrome_trace
+from repro.obs.registry import Gauge, MetricsRegistry, format_key
+from repro.obs.runtime import ObsSession, current, install, obs_session, uninstall
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    TraceRef,
+    Tracer,
+)
+
+__all__ = [
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsSession",
+    "Span",
+    "SpanEvent",
+    "TraceRef",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "current",
+    "format_key",
+    "install",
+    "obs_session",
+    "uninstall",
+    "write_chrome_trace",
+]

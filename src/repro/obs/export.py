@@ -1,0 +1,175 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) span export.
+
+Converts finished :class:`~repro.obs.trace.Span` records into the
+Trace Event Format JSON object (``{"traceEvents": [...]}``):
+
+* each span becomes one complete (``"ph": "X"``) event whose ``ts`` and
+  ``dur`` are the simulated-clock microseconds (the format's native
+  unit, so Perfetto's timeline reads directly in simulated time);
+* ``pid``/``tid`` map to (run, node) and span category, with ``"M"``
+  metadata events naming them, so one trace file can hold many
+  experiment runs side by side;
+* the client root span and the first server-side span of each trace are
+  linked with flow events (``"s"``/``"f"``), drawing the client→server
+  arrow in the viewer;
+* span instant events become ``"i"`` events on the same track.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.trace import Span, Tracer
+
+#: Schema version stamped into ``otherData`` (golden-file tests pin it).
+SCHEMA_VERSION = 1
+
+
+def _track(span: Span, run: str) -> Tuple[str, str]:
+    """(process name, thread name) for a span."""
+    process = f"{run}:{span.node}" if run else (span.node or "sim")
+    thread = span.category or span.name
+    return process, thread
+
+
+def chrome_trace_events(tracers: Iterable[Tracer]) -> List[dict]:
+    """All finished spans of ``tracers`` as Trace Event Format events."""
+    events: List[dict] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[int, str], int] = {}
+
+    def pid_of(process: str) -> int:
+        if process not in pids:
+            pids[process] = len(pids) + 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[process],
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        return pids[process]
+
+    def tid_of(pid: int, thread: str) -> int:
+        key = (pid, thread)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == pid]) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tids[key],
+                    "args": {"name": thread},
+                }
+            )
+        return tids[key]
+
+    for tracer in tracers:
+        run = getattr(tracer, "run", "")
+        spans = tracer.finished_spans()
+        first_remote: Dict[int, Span] = {}
+        root_node: Dict[int, str] = {}
+        for span in spans:
+            if span.parent_id is None:
+                root_node.setdefault(span.trace_id, span.node)
+        for span in spans:
+            # first finished span recorded on a different node than the
+            # trace root: the far end of the client->server flow arrow.
+            if (
+                span.trace_id in root_node
+                and span.node != root_node[span.trace_id]
+                and span.trace_id not in first_remote
+            ):
+                first_remote[span.trace_id] = span
+
+        for span in spans:
+            process, thread = _track(span, run)
+            pid = pid_of(process)
+            tid = tid_of(pid, thread)
+            args = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+            }
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args.update(span.attrs)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category or "span",
+                    "ph": "X",
+                    "ts": span.start_us,
+                    "dur": span.duration_us,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            for ev in span.events:
+                events.append(
+                    {
+                        "name": ev.name,
+                        "cat": span.category or "span",
+                        "ph": "i",
+                        "s": "t",  # thread-scoped instant
+                        "ts": ev.ts_us,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": dict(ev.attrs),
+                    }
+                )
+            if span.parent_id is None and span.trace_id in first_remote:
+                events.append(
+                    {
+                        "name": "rpc",
+                        "cat": "flow",
+                        "ph": "s",
+                        "id": f"{run}:{span.trace_id}" if run else span.trace_id,
+                        "ts": span.start_us,
+                        "pid": pid,
+                        "tid": tid,
+                    }
+                )
+        for trace_id, span in first_remote.items():
+            process, thread = _track(span, run)
+            pid = pid_of(process)
+            tid = tid_of(pid, thread)
+            events.append(
+                {
+                    "name": "rpc",
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": f"{run}:{trace_id}" if run else trace_id,
+                    "ts": span.start_us,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+    return events
+
+
+def chrome_trace(tracers: Iterable[Tracer], label: str = "") -> dict:
+    """The full Trace Event Format object for ``json.dump``."""
+    return {
+        "traceEvents": chrome_trace_events(tracers),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "clock": "simulated-microseconds",
+            "schema_version": SCHEMA_VERSION,
+            **({"label": label} if label else {}),
+        },
+    }
+
+
+def write_chrome_trace(path: str, tracers: Iterable[Tracer], label: str = "") -> int:
+    """Write the trace JSON; returns the number of events written."""
+    doc = chrome_trace(tracers, label=label)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return len(doc["traceEvents"])

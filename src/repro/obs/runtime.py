@@ -1,0 +1,104 @@
+"""Process-wide observability session for the experiment harness.
+
+The experiment modules construct their own ``Environment``/``Fabric``
+pairs internally (often one per data point), so the CLI cannot inject a
+tracer by argument.  Instead the runner *installs* an
+:class:`ObsSession`; every ``Fabric`` created while it is active asks
+:func:`current` for a tracer and metrics registry, and the session
+collects them all so the runner can export one combined Chrome trace
+and one metrics dump at the end::
+
+    with obs_session(trace=True) as session:
+        fig5_micro.run()
+    session.write_trace("/tmp/fig5.trace.json")
+
+With no session installed, fabrics fall back to the zero-cost
+:data:`~repro.obs.trace.NULL_TRACER` plus a private (unexported)
+registry — the default, calibration-safe configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import List, Optional
+
+from repro.obs.export import write_chrome_trace
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class ObsSession:
+    """Collects the tracers/registries of every Fabric built under it."""
+
+    def __init__(self, trace: bool = True, label: str = ""):
+        self.trace = trace
+        self.label = label
+        self.tracers: List[Tracer] = []
+        self.registries: List[MetricsRegistry] = []
+        self._runs = 0
+
+    # -- called by Fabric ---------------------------------------------------
+    def tracer_for(self, env) -> Optional[Tracer]:
+        """A fresh tracer for one environment (None = tracing off)."""
+        if not self.trace:
+            return None
+        self._runs += 1
+        tracer = Tracer(env, run=f"run{self._runs}")
+        self.tracers.append(tracer)
+        return tracer
+
+    def registry_for(self, env) -> MetricsRegistry:
+        registry = MetricsRegistry(env)
+        self.registries.append(registry)
+        return registry
+
+    # -- export -------------------------------------------------------------
+    def span_count(self) -> int:
+        return sum(len(t.finished_spans()) for t in self.tracers)
+
+    def write_trace(self, path: str) -> int:
+        """Write the combined Chrome trace; returns the event count."""
+        return write_chrome_trace(path, self.tracers, label=self.label)
+
+    def metrics_snapshots(self) -> List[dict]:
+        return [r.snapshot() for r in self.registries if r.snapshot()]
+
+    def write_metrics(self, path: str) -> int:
+        """Write per-run metrics snapshots as JSON; returns run count."""
+        snapshots = self.metrics_snapshots()
+        doc = {"label": self.label, "runs": snapshots}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True, default=lambda v: None)
+        return len(snapshots)
+
+
+_current: Optional[ObsSession] = None
+
+
+def current() -> Optional[ObsSession]:
+    """The active session, if any (consulted by ``Fabric.__init__``)."""
+    return _current
+
+
+def install(session: ObsSession) -> None:
+    global _current
+    if _current is not None:
+        raise RuntimeError("an ObsSession is already installed")
+    _current = session
+
+
+def uninstall() -> None:
+    global _current
+    _current = None
+
+
+@contextmanager
+def obs_session(trace: bool = True, label: str = ""):
+    """Scope an :class:`ObsSession` around a block of experiment runs."""
+    session = ObsSession(trace=trace, label=label)
+    install(session)
+    try:
+        yield session
+    finally:
+        uninstall()

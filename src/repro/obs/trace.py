@@ -1,0 +1,289 @@
+"""Span-based distributed tracing on the simulated clock.
+
+A :class:`Tracer` records hierarchical :class:`Span`\\ s for one
+simulation: every span carries the simulated-clock start/end times of
+one pipeline stage of an RPC (serialize, send, wire, receive, handler
+queue, handler, respond).  Spans belonging to one logical call share a
+*trace id*; the client's root ``rpc.call`` span is the parent of both
+its local children and the server-side stages, which receive the trace
+identity through a :class:`TraceRef` propagated *out of band* (never in
+the wire bytes — byte counts drive the cost model, so tracing must not
+change them).
+
+Tracing is **zero-cost when disabled**: the default tracer is
+:data:`NULL_TRACER`, whose ``start``/``complete`` return the shared
+:data:`NULL_SPAN` no-op.  No simulated-clock events are ever created by
+the tracing layer — spans only *read* ``env.now`` — so enabling tracing
+cannot perturb measured latencies either.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+@dataclass
+class TraceRef:
+    """Portable trace identity: what crosses a process/node boundary.
+
+    ``sent_at`` is stamped by the sender just before handing the frame
+    to the transport so the receiver can synthesize the ``rpc.wire``
+    span without threading context through the NIC model.
+    """
+
+    trace_id: int
+    span_id: int
+    sent_at: float = 0.0
+
+
+@dataclass
+class SpanEvent:
+    """An instant annotation inside a span (e.g. a pool-growth event)."""
+
+    name: str
+    ts_us: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class Span:
+    """One timed stage of a trace, recorded on the simulated clock."""
+
+    __slots__ = (
+        "tracer",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "node",
+        "start_us",
+        "end_us",
+        "attrs",
+        "events",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        category: str,
+        node: str,
+        start_us: float,
+    ):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.node = node
+        self.start_us = start_us
+        self.end_us: Optional[float] = None
+        self.attrs: Dict[str, object] = {}
+        self.events: List[SpanEvent] = []
+
+    # -- recording --------------------------------------------------------
+    def annotate(self, key: str, value: object) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instant event at the current simulated time."""
+        self.events.append(SpanEvent(name, self.tracer.env.now, dict(attrs)))
+
+    def end(self, end_us: Optional[float] = None) -> None:
+        """Close the span (idempotent; defaults to ``env.now``)."""
+        if self.end_us is None:
+            self.end_us = self.tracer.env.now if end_us is None else end_us
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.end_us is not None
+
+    @property
+    def duration_us(self) -> float:
+        if self.end_us is None:
+            raise ValueError(f"span {self.name!r} not finished")
+        return self.end_us - self.start_us
+
+    @property
+    def context(self) -> TraceRef:
+        """A fresh :class:`TraceRef` naming this span as parent."""
+        return TraceRef(self.trace_id, self.span_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = f"{self.end_us:.2f}" if self.end_us is not None else "..."
+        return (
+            f"<Span {self.name} trace={self.trace_id} id={self.span_id}"
+            f" [{self.start_us:.2f},{end}]us>"
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: every mutation is a no-op, context is None."""
+
+    __slots__ = ()
+
+    trace_id = 0
+    span_id = 0
+    parent_id = None
+    name = ""
+    category = ""
+    node = ""
+    start_us = 0.0
+    end_us = 0.0
+    attrs: Dict[str, object] = {}
+    events: List[SpanEvent] = []
+    finished = True
+    duration_us = 0.0
+    context = None
+
+    def annotate(self, key: str, value: object) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def end(self, end_us: Optional[float] = None) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<NullSpan>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The span handed out by :data:`NULL_TRACER` — annotate/end do nothing.
+NULL_SPAN = _NullSpan()
+
+#: Anything accepted as a span parent.
+ParentLike = Union[Span, TraceRef, _NullSpan, None]
+
+
+class Tracer:
+    """Collects spans for one simulation environment.
+
+    ``env`` only supplies the clock (``env.now``); the tracer never
+    schedules events, so recording is invisible to the simulation.
+    """
+
+    enabled = True
+
+    def __init__(self, env, run: str = ""):
+        self.env = env
+        #: label distinguishing this tracer's run when several
+        #: environments are exported into one Chrome trace.
+        self.run = run
+        self.spans: List[Span] = []
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    # -- span factories ----------------------------------------------------
+    def start(
+        self,
+        name: str,
+        parent: ParentLike = None,
+        node: str = "",
+        category: str = "",
+        start_us: Optional[float] = None,
+        **attrs,
+    ) -> Span:
+        """Open a span; a ``parent`` of None starts a new trace."""
+        trace_id, parent_id = self._identify(parent)
+        span = Span(
+            self,
+            trace_id,
+            next(self._span_ids),
+            parent_id,
+            name,
+            category,
+            node,
+            self.env.now if start_us is None else start_us,
+        )
+        if attrs:
+            span.attrs.update(attrs)
+        self.spans.append(span)
+        return span
+
+    def complete(
+        self,
+        name: str,
+        start_us: float,
+        end_us: float,
+        parent: ParentLike = None,
+        node: str = "",
+        category: str = "",
+        **attrs,
+    ) -> Span:
+        """Record an already-finished span (e.g. a synthesized wire leg)."""
+        span = self.start(
+            name, parent=parent, node=node, category=category, start_us=start_us, **attrs
+        )
+        span.end(end_us)
+        return span
+
+    def _identify(self, parent: ParentLike) -> Tuple[int, Optional[int]]:
+        if parent is None or parent is NULL_SPAN:
+            return next(self._trace_ids), None
+        return parent.trace_id, parent.span_id
+
+    # -- queries -----------------------------------------------------------
+    def finished_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.finished]
+
+    def trace(self, trace_id: int) -> List[Span]:
+        """All spans of one trace, in start order."""
+        return sorted(
+            (s for s in self.spans if s.trace_id == trace_id),
+            key=lambda s: (s.start_us, s.span_id),
+        )
+
+    def trace_ids(self) -> List[int]:
+        return sorted({s.trace_id for s in self.spans})
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return sorted(
+            (
+                s
+                for s in self.spans
+                if s.trace_id == span.trace_id and s.parent_id == span.span_id
+            ),
+            key=lambda s: (s.start_us, s.span_id),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Tracer run={self.run!r} spans={len(self.spans)}>"
+
+
+class NullTracer:
+    """The default: recording disabled, every call a cheap no-op."""
+
+    enabled = False
+
+    def start(self, name, parent=None, node="", category="", start_us=None, **attrs):
+        return NULL_SPAN
+
+    def complete(
+        self, name, start_us, end_us, parent=None, node="", category="", **attrs
+    ):
+        return NULL_SPAN
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<NullTracer>"
+
+
+#: Shared disabled tracer; Fabric uses this unless an ObsSession is active.
+NULL_TRACER = NullTracer()

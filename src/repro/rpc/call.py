@@ -85,6 +85,9 @@ class Call:
         self.params = params
         self.done = env.event()
         self.started_at = env.now
+        #: the call's root tracing span (repro.obs); NULL_SPAN when
+        #: tracing is disabled so annotation sites stay branch-free.
+        self.span = None
 
     def complete(self, value: Writable) -> None:
         self.done.succeed(value)

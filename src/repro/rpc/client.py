@@ -31,6 +31,7 @@ from repro.net import sockets as simsockets
 from repro.net.fabric import Fabric, Node
 from repro.net.sockets import SocketAddress, SocketClosed
 from repro.net.verbs import Endpoint, QueuePair
+from repro.obs.trace import NULL_SPAN
 from repro.rpc.call import Call, ConnectionHeader, Invocation, RemoteException, RpcStatus
 from repro.rpc.metrics import CallProfile, RpcMetrics
 from repro.rpc.protocol import RpcProtocol
@@ -100,16 +101,33 @@ class Client:
         )
 
     def _call_proc(self, address, protocol, method, params):
-        conn = yield from self._get_connection(address, protocol)
+        tracer = self.fabric.tracer
+        span = tracer.start(
+            "rpc.call",
+            node=self.node.name,
+            category="rpc.client",
+            protocol=protocol.protocol_name(),
+            method=method,
+            engine="rpcoib" if self.ib_enabled else "socket",
+        )
+        try:
+            conn = yield from self._get_connection(address, protocol, parent=span)
+        except Exception:
+            span.annotate("error", "connect").end()
+            raise
         call = Call(
             next(self._call_ids), protocol.protocol_name(), method, params, self.env
         )
+        call.span = span
         profile_info = yield from conn.send_call(call)
         try:
             value = yield call.done
-        except RemoteException:
+        except RemoteException as exc:
             self.metrics.record_failure()
+            self.fabric.metrics.counter("rpc.client.calls_failed", node=self.node.name).add()
+            span.annotate("error", exc.class_name).end()
             raise
+        latency_us = self.env.now - call.started_at
         self.metrics.record_call(
             CallProfile(
                 protocol=call.protocol,
@@ -117,10 +135,18 @@ class Client:
                 mem_adjustments=profile_info["adjustments"],
                 serialization_us=profile_info["serialization_us"],
                 send_us=profile_info["send_us"],
-                latency_us=self.env.now - call.started_at,
+                latency_us=latency_us,
                 message_bytes=profile_info["message_bytes"],
             )
         )
+        reg = self.fabric.metrics
+        reg.counter("rpc.client.calls_completed", node=self.node.name).add()
+        reg.tally(
+            "rpc.client.latency_us", protocol=call.protocol, method=call.method
+        ).observe(latency_us)
+        span.annotate("latency_us", latency_us)
+        span.annotate("message_bytes", profile_info["message_bytes"])
+        span.end()
         return value
 
     def close(self) -> None:
@@ -129,7 +155,9 @@ class Client:
         self._connections.clear()
 
     # -- connection management -----------------------------------------------
-    def _get_connection(self, address: SocketAddress, protocol: Type[RpcProtocol]):
+    def _get_connection(
+        self, address: SocketAddress, protocol: Type[RpcProtocol], parent=None
+    ):
         key = (address, protocol.protocol_name())
         while True:
             conn = self._connections.get(key)
@@ -141,6 +169,13 @@ class Client:
                 continue
             gate = self.env.event()
             self._connecting[key] = gate
+            cspan = self.fabric.tracer.start(
+                "rpc.connect",
+                parent=parent,
+                node=self.node.name,
+                category="rpc.client",
+                address=str(address),
+            )
             try:
                 if self.ib_enabled:
                     conn = IBConnection(self, address, protocol)
@@ -150,6 +185,7 @@ class Client:
                 self._connections[key] = conn
                 return conn
             finally:
+                cspan.end()
                 del self._connecting[key]
                 gate.succeed()
 
@@ -228,6 +264,12 @@ class SocketConnection(BaseConnection):
 
     def send_call(self, call: Call):
         """Listing 1: serialize into a DataOutputBuffer, then send."""
+        tracer = self.client.fabric.tracer
+        parent = call.span if call.span is not None else NULL_SPAN
+        sspan = tracer.start(
+            "rpc.serialize", parent=parent, node=self.client.node.name,
+            category="rpc.client",
+        )
         ledger = CostLedger(self.model)
         initial = self.client.conf.get_int("io.buffer.initial.size")
         buf = DataOutputBuffer(ledger, initial_size=initial)
@@ -237,12 +279,24 @@ class SocketConnection(BaseConnection):
         message_bytes = buf.get_length()
         self.calls[call.id] = call
         yield self.env.timeout(ledger.drain())
+        sspan.annotate("adjustments", buf.adjustments)
+        sspan.annotate("message_bytes", message_bytes)
+        sspan.end()
 
         send_start = self.env.now
+        dspan = tracer.start(
+            "rpc.send", parent=parent, node=self.client.node.name,
+            category="rpc.client",
+        )
         frame = self._frame(buf, ledger)
         yield self.env.timeout(ledger.drain())
-        yield self.sock.send(frame)  # completes at local write
+        ref = parent.context  # None when tracing is disabled
+        if ref is not None:
+            ref.sent_at = self.env.now
+        yield self.sock.send(frame, trace=ref)  # completes at local write
         send_us = self.env.now - send_start
+        dspan.annotate("frame_bytes", len(frame))
+        dspan.end()
         self._absorb(ledger)
         return {
             "adjustments": buf.adjustments,
@@ -254,11 +308,13 @@ class SocketConnection(BaseConnection):
     def _receive_loop(self):
         """Connection thread: read responses, complete waiting callers."""
         sw = self.model.software
+        tracer = self.client.fabric.tracer
         while not self.closed:
             try:
                 header = yield self.sock.recv(4)
             except SocketClosed:
                 break
+            receive_start = self.env.now
             ledger = CostLedger(self.model)
             ledger.charge_heap_alloc(4)
             length = int.from_bytes(header, "big")
@@ -281,6 +337,13 @@ class SocketConnection(BaseConnection):
                 error_msg = inp.read_utf()
             yield self.env.timeout(ledger.drain() + sw.thread_handoff_us)
             self._absorb(ledger)
+            call = self.calls.get(call_id)
+            if call is not None and call.span is not None:
+                tracer.complete(
+                    "rpc.recv", receive_start, self.env.now, parent=call.span,
+                    node=self.client.node.name, category="rpc.client",
+                    response_bytes=length,
+                )
             self._complete(call_id, status, value, error_cls or "", error_msg or "")
         self._fail_all(SocketClosed("connection closed"))
 
@@ -326,6 +389,14 @@ class IBConnection(BaseConnection):
 
     def send_call(self, call: Call):
         """Serialize straight into a pooled registered buffer and post."""
+        tracer = self.client.fabric.tracer
+        parent = call.span if call.span is not None else NULL_SPAN
+        sspan = tracer.start(
+            "rpc.serialize", parent=parent, node=self.client.node.name,
+            category="rpc.client",
+        )
+        pool = self.client.pool
+        predicted = pool.predicted_size(self.protocol_name, call.method)
         ledger = CostLedger(self.model)
         out = RDMAOutputStream(
             self.client.pool, self.protocol_name, call.method, ledger
@@ -337,15 +408,33 @@ class IBConnection(BaseConnection):
         adjustments = out.grow_count
         self.calls[call.id] = call
         yield self.env.timeout(ledger.drain())
+        # Section III-C pool behaviour as span annotations: whether the
+        # size-history prediction held, and any pool-doubling growths
+        # (RPCoIB's analogue of Algorithm-1 adjustments).
+        sspan.annotate("pool_predicted_bytes", predicted)
+        sspan.annotate("pool_hit", adjustments == 0)
+        sspan.annotate("adjustments", adjustments)
+        sspan.annotate("message_bytes", message_bytes)
+        sspan.end()
 
         send_start = self.env.now
+        dspan = tracer.start(
+            "rpc.send", parent=parent, node=self.client.node.name,
+            category="rpc.client",
+        )
         buffer, length = out.detach()
+        ref = parent.context  # None when tracing is disabled
+        if ref is not None:
+            ref.sent_at = self.env.now
         yield self.qp.post_send(
-            buffer, length, rdma_threshold=self.rdma_threshold, context=call.id
+            buffer, length, rdma_threshold=self.rdma_threshold, context=call.id,
+            trace=ref,
         )
         send_us = self.env.now - send_start
         out.release()  # buffer reusable: payload snapshotted at post
         yield self.env.timeout(ledger.drain())
+        dspan.annotate("eager", length <= self.rdma_threshold)
+        dspan.end()
         self._absorb(ledger)
         return {
             "adjustments": adjustments,
@@ -356,8 +445,10 @@ class IBConnection(BaseConnection):
 
     def _receive_loop(self):
         sw = self.model.software
+        tracer = self.client.fabric.tracer
         while not self.closed:
             message = yield self.qp.recv()
+            receive_start = self.env.now
             ledger = CostLedger(self.model)
             inp = RDMAInputStream(message.data, message.length, ledger)
             call_id = inp.read_int()
@@ -370,6 +461,13 @@ class IBConnection(BaseConnection):
                 error_msg = inp.read_utf()
             yield self.env.timeout(ledger.drain() + sw.thread_handoff_us)
             self._absorb(ledger)
+            call = self.calls.get(call_id)
+            if call is not None and call.span is not None:
+                tracer.complete(
+                    "rpc.recv", receive_start, self.env.now, parent=call.span,
+                    node=self.client.node.name, category="rpc.client",
+                    response_bytes=message.length, eager=message.eager,
+                )
             self._complete(call_id, status, value, error_cls or "", error_msg or "")
 
     def close(self) -> None:

@@ -67,6 +67,8 @@ class ServerCall:
     call_id: int
     invocation: Invocation
     received_at: float
+    #: propagated client trace identity (repro.obs), None untraced.
+    trace: object = None
 
 
 class Server:
@@ -112,6 +114,28 @@ class Server:
         self.listener_socket = ListenerSocket(fabric, node, port)
         self.calls_handled = 0
         self.calls_errored = 0
+
+        # Observability: spans come from the fabric tracer; queue and
+        # throughput instruments live in the fabric-wide registry under
+        # this server's name.
+        self.tracer = fabric.tracer
+        reg = fabric.metrics
+        engine_label = "ib" if self.conf.get_bool("rpc.ib.enabled") else "socket"
+        self.queue_depth = reg.gauge(
+            "rpc.server.handler_queue_depth", server=self.name, fabric=engine_label
+        )
+        self.handlers_busy = reg.gauge(
+            "rpc.server.handlers_busy", server=self.name, fabric=engine_label
+        )
+        self.handled_counter = reg.counter(
+            "rpc.server.calls_handled", server=self.name, fabric=engine_label
+        )
+        self.errored_counter = reg.counter(
+            "rpc.server.calls_errored", server=self.name, fabric=engine_label
+        )
+        self.queue_wait_tally = reg.tally(
+            "rpc.server.queue_wait_us", server=self.name, fabric=engine_label
+        )
 
         # RPCoIB state (live regardless of the flag so that mixed
         # clusters — e.g. RPC(IPoIB) clients against an IB-capable
@@ -232,9 +256,23 @@ class Server:
                         payload_bytes=length,
                     )
                 )
+                ref = conn.sock.pop_trace()
+                if ref is not None:
+                    if ref.sent_at:
+                        self.tracer.complete(
+                            "rpc.wire", ref.sent_at, receive_start, parent=ref,
+                            node=self.node.name, category="net", bytes=length,
+                        )
+                    self.tracer.complete(
+                        "rpc.server.receive", receive_start, self.env.now,
+                        parent=ref, node=self.node.name, category="rpc.server",
+                        protocol=conn.protocol_name, method=invocation.method,
+                        alloc_us=ledger.category("alloc"), payload_bytes=length,
+                    )
                 yield self.call_queue.put(
-                    ServerCall(conn, call_id, invocation, self.env.now)
+                    ServerCall(conn, call_id, invocation, self.env.now, trace=ref)
                 )
+                self.queue_depth.inc()
             self.node.heap("rpc-server").absorb(ledger)
             conn.scheduled = False
             if conn.sock.available > 0 and not conn.scheduled:
@@ -269,15 +307,45 @@ class Server:
                     payload_bytes=message.length,
                 )
             )
+            ref = qp.pop_trace()
+            if ref is not None:
+                if ref.sent_at:
+                    self.tracer.complete(
+                        "rpc.wire", ref.sent_at, receive_start, parent=ref,
+                        node=self.node.name, category="net",
+                        bytes=message.length, eager=message.eager,
+                    )
+                self.tracer.complete(
+                    "rpc.server.receive", receive_start, self.env.now,
+                    parent=ref, node=self.node.name, category="rpc.server",
+                    protocol=conn.protocol_name, method=invocation.method,
+                    alloc_us=0.0, payload_bytes=message.length,
+                )
             yield self.call_queue.put(
-                ServerCall(conn, call_id, invocation, self.env.now)
+                ServerCall(conn, call_id, invocation, self.env.now, trace=ref)
             )
+            self.queue_depth.inc()
 
     # -- Handlers -----------------------------------------------------------------
     def _handler_loop(self, index: int):
         sw = self.model.software
         while self.running:
             scall = yield self.call_queue.get()
+            self.queue_depth.dec()
+            self.handlers_busy.inc()
+            queue_wait_us = self.env.now - scall.received_at
+            self.queue_wait_tally.observe(queue_wait_us)
+            if scall.trace is not None:
+                self.tracer.complete(
+                    "rpc.server.queue", scall.received_at, self.env.now,
+                    parent=scall.trace, node=self.node.name,
+                    category="rpc.server", depth_after=self.queue_depth.value,
+                )
+            hspan = self.tracer.start(
+                "rpc.server.handler", parent=scall.trace, node=self.node.name,
+                category="rpc.server", method=scall.invocation.method,
+                handler=index,
+            ) if scall.trace is not None else None
             yield self.env.timeout(sw.thread_handoff_us + sw.reflection_invoke_us)
             status, result, error = RpcStatus.SUCCESS, None, None
             method = getattr(self.instance, scall.invocation.method, None)
@@ -304,9 +372,15 @@ class Server:
                     error = (type(exc).__name__, str(exc))
             if status == RpcStatus.SUCCESS:
                 self.calls_handled += 1
+                self.handled_counter.add()
             else:
                 self.calls_errored += 1
+                self.errored_counter.add()
             response = yield from self._serialize_response(scall, status, result, error)
+            if hspan is not None:
+                hspan.annotate("status", int(status))
+                hspan.end()
+            self.handlers_busy.dec()
             yield self.response_queue.put(response)
 
     def _serialize_response(self, scall: ServerCall, status, result, error):
@@ -327,7 +401,7 @@ class Server:
                 out.write_utf(error[0])
                 out.write_utf(error[1])
             yield self.env.timeout(ledger.drain())
-            return ("ib", scall.conn, out)
+            return ("ib", scall.conn, out, scall.trace)
         initial = self.conf.get_int("io.server.buffer.initial.size")
         buf = DataOutputBuffer(ledger, initial_size=initial)
         buf.write_int(scall.call_id)
@@ -345,22 +419,34 @@ class Server:
         out_stream.flush()
         yield self.env.timeout(ledger.drain())
         self.node.heap("rpc-server").absorb(ledger)
-        return ("socket", scall.conn, sink.getvalue())
+        return ("socket", scall.conn, sink.getvalue(), scall.trace)
 
     # -- Responder -------------------------------------------------------------------
     def _responder_loop(self):
         sw = self.model.software
         threshold = self.conf.get_int("rpc.ib.rdma.threshold")
         while self.running:
-            kind, conn, payload = yield self.response_queue.get()
+            kind, conn, payload, ref = yield self.response_queue.get()
             yield self.env.timeout(sw.thread_handoff_us)
+            rspan = self.tracer.start(
+                "rpc.server.respond", parent=ref, node=self.node.name,
+                category="rpc.server",
+            ) if ref is not None else None
             if kind == "ib":
                 stream: RDMAOutputStream = payload
                 buffer, length = stream.detach()
                 yield conn.qp.post_send(buffer, length, rdma_threshold=threshold)
                 stream.release()
+                if rspan is not None:
+                    rspan.annotate("response_bytes", length)
+                    rspan.end()
             else:
                 try:
                     yield conn.sock.send(payload)
                 except SocketClosed:
+                    if rspan is not None:
+                        rspan.annotate("error", "SocketClosed").end()
                     continue
+                if rspan is not None:
+                    rspan.annotate("response_bytes", len(payload))
+                    rspan.end()

@@ -54,17 +54,18 @@ class Tally:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean; ``nan`` when no samples were observed."""
         if not self.samples:
-            raise ValueError(f"Tally {self.name!r} has no samples")
+            return math.nan
         return self.total / len(self.samples)
 
     @property
     def minimum(self) -> float:
-        return min(self.samples)
+        return min(self.samples) if self.samples else math.nan
 
     @property
     def maximum(self) -> float:
-        return max(self.samples)
+        return max(self.samples) if self.samples else math.nan
 
     @property
     def stdev(self) -> float:
@@ -75,11 +76,15 @@ class Tally:
         return math.sqrt(math.fsum((x - mu) ** 2 for x in self.samples) / (n - 1))
 
     def percentile(self, q: float) -> float:
-        """Exact percentile via linear interpolation; ``q`` in [0, 100]."""
-        if not self.samples:
-            raise ValueError(f"Tally {self.name!r} has no samples")
+        """Exact percentile via linear interpolation; ``q`` in [0, 100].
+
+        Returns ``nan`` when no samples were observed (an out-of-range
+        ``q`` is still a caller bug and raises).
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile q={q} out of [0, 100]")
+        if not self.samples:
+            return math.nan
         data = sorted(self.samples)
         if len(data) == 1:
             return data[0]
@@ -90,6 +95,12 @@ class Tally:
             return data[lo]
         frac = pos - lo
         return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def merge(self, other: "Tally") -> "Tally":
+        """Fold ``other``'s samples into this tally (for cross-run or
+        cross-node aggregation); returns ``self`` for chaining."""
+        self.samples.extend(other.samples)
+        return self
 
     def __repr__(self) -> str:
         if not self.samples:

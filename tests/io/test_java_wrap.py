@@ -1,0 +1,82 @@
+"""Java two's-complement wrap semantics of the primitive write path.
+
+Regression tests for the seed failure where ``write_int`` raised
+``struct.error`` for values >= 2**31: Java's ``DataOutput`` primitives
+never range-check — they truncate to the type's low bits — and the
+reproduction must do the same so overflowing arithmetic (e.g. an int
+sum crossing 2**31) serializes instead of crashing.
+"""
+
+import pytest
+
+from repro.calibration import CostModel
+from repro.io.data_input import DataInputBuffer
+from repro.io.data_output import DataOutputBuffer
+from repro.mem.cost import CostLedger
+
+
+def _ledger():
+    return CostLedger(CostModel.default())
+
+
+def _roundtrip(write, read, value):
+    buf = DataOutputBuffer(_ledger())
+    write(buf, value)
+    return read(DataInputBuffer(buf.get_data(), _ledger()))
+
+
+def _wrap(value, bits):
+    masked = value & ((1 << bits) - 1)
+    return masked - (1 << bits) if masked >= 1 << (bits - 1) else masked
+
+
+INT_BOUNDARIES = [
+    0,
+    1,
+    -1,
+    2**31 - 1,          # Integer.MAX_VALUE: representable, unchanged
+    -(2**31),           # Integer.MIN_VALUE: representable, unchanged
+    2**31,              # MAX_VALUE + 1 -> MIN_VALUE (the seed crash)
+    -(2**31) - 1,       # MIN_VALUE - 1 -> MAX_VALUE
+    2**32,              # wraps to 0
+    2**33 + 7,          # wraps to 7
+    -(2**40),           # deep negative overflow
+]
+
+
+@pytest.mark.parametrize("value", INT_BOUNDARIES)
+def test_write_int_wraps_like_java(value):
+    got = _roundtrip(
+        lambda b, v: b.write_int(v), lambda i: i.read_int(), value
+    )
+    assert got == _wrap(value, 32)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [0, 2**15 - 1, -(2**15), 2**15, -(2**15) - 1, 2**16, 2**20 + 3],
+)
+def test_write_short_wraps_like_java(value):
+    got = _roundtrip(
+        lambda b, v: b.write_short(v), lambda i: i.read_short(), value
+    )
+    assert got == _wrap(value, 16)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [0, 2**63 - 1, -(2**63), 2**63, -(2**63) - 1, 2**64, 2**70 + 11],
+)
+def test_write_long_wraps_like_java(value):
+    got = _roundtrip(
+        lambda b, v: b.write_long(v), lambda i: i.read_long(), value
+    )
+    assert got == _wrap(value, 64)
+
+
+def test_in_range_values_unchanged():
+    """Wrap is a no-op inside the representable range (bit-compat)."""
+    for value in (-2, 0, 41, 123456, -(2**31), 2**31 - 1):
+        buf = DataOutputBuffer(_ledger())
+        buf.write_int(value)
+        assert int.from_bytes(buf.get_data(), "big", signed=True) == value

@@ -1,0 +1,118 @@
+"""Chrome-trace export: event schema + golden file.
+
+The golden file (``golden_trace.json``) pins the exact Trace Event
+Format output for a small hand-built trace; regenerate it with::
+
+    PYTHONPATH=src python tests/obs/test_export.py
+
+after an intentional schema change, and bump ``SCHEMA_VERSION``.
+"""
+
+import json
+import os
+
+from repro.obs.export import SCHEMA_VERSION, chrome_trace
+from repro.obs.trace import Tracer
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_trace.json")
+
+VALID_PHASES = {"X", "M", "i", "s", "f"}
+
+
+class _Clock:
+    """Stand-in environment: the tracer only ever reads ``now``."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+def build_reference_trace() -> dict:
+    """A deterministic two-node trace exercising every event kind."""
+    env = _Clock()
+    tracer = Tracer(env, run="run1")
+    root = tracer.start(
+        "rpc.call", node="client", category="rpc.client",
+        protocol="EchoProtocol", method="echo",
+    )
+    env.now = 2.0
+    ser = tracer.start("rpc.serialize", parent=root, node="client",
+                       category="rpc.client")
+    ser.annotate("message_bytes", 128)
+    env.now = 3.0
+    ser.event("buffer.grow", capacity=256)
+    env.now = 5.0
+    ser.end()
+    # wire + server legs synthesized from a propagated TraceRef
+    ref = root.context
+    tracer.complete("rpc.wire", 5.0, 30.0, parent=ref, node="server",
+                    category="net", bytes=160)
+    tracer.complete("rpc.server.handler", 30.0, 42.0, parent=ref,
+                    node="server", category="rpc.server", method="echo")
+    env.now = 55.0
+    root.annotate("latency_us", 55.0)
+    root.end()
+    return chrome_trace([tracer], label="golden")
+
+
+def test_chrome_trace_schema():
+    doc = build_reference_trace()
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["otherData"]["schema_version"] == SCHEMA_VERSION
+    assert doc["otherData"]["clock"] == "simulated-microseconds"
+    events = doc["traceEvents"]
+    assert events
+    for event in events:
+        assert event["ph"] in VALID_PHASES
+        assert isinstance(event["pid"], int)
+        if event["ph"] == "X":
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["dur"] >= 0
+            assert {"trace_id", "span_id"} <= set(event["args"])
+    # every (pid, tid) used by a span is named by metadata events
+    named_pids = {
+        e["pid"] for e in events if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    named_tids = {
+        (e["pid"], e["tid"])
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    for event in events:
+        if event["ph"] == "X":
+            assert event["pid"] in named_pids
+            assert (event["pid"], event["tid"]) in named_tids
+
+
+def test_flow_events_link_client_to_server():
+    events = build_reference_trace()["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == 1 and len(finishes) == 1
+    assert starts[0]["id"] == finishes[0]["id"]
+    assert finishes[0]["bp"] == "e"
+    # the arrow goes from the client-side root to the first server span
+    assert starts[0]["ts"] == 0.0
+    assert finishes[0]["ts"] == 5.0  # rpc.wire start
+
+
+def test_matches_golden_file():
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        golden = json.load(fh)
+    # round-trip through JSON so both sides have identical types
+    assert json.loads(json.dumps(build_reference_trace())) == golden
+
+
+def test_instant_events_exported():
+    events = build_reference_trace()["traceEvents"]
+    (instant,) = [e for e in events if e["ph"] == "i"]
+    assert instant["name"] == "buffer.grow"
+    assert instant["ts"] == 3.0
+    assert instant["args"] == {"capacity": 256}
+
+
+if __name__ == "__main__":  # regenerate the golden file
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(build_reference_trace(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")

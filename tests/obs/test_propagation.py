@@ -1,0 +1,171 @@
+"""End-to-end trace propagation across the full RPC ping-pong.
+
+The client's root ``rpc.call`` span must be the parent of every
+client- and server-side stage, the trace id must survive the (out of
+band) hop across the wire, and recorded durations must be consistent
+with the end-to-end latency — on both engines.
+"""
+
+import pytest
+
+from repro.io.writables import BytesWritable, IntWritable
+from repro.obs.runtime import obs_session
+from repro.obs.trace import NULL_TRACER
+from tests.rpc.conftest import RpcHarness
+
+#: every pipeline stage a single traced call records, in causal order
+STAGES = [
+    "rpc.call",
+    "rpc.connect",
+    "rpc.serialize",
+    "rpc.send",
+    "rpc.wire",
+    "rpc.server.receive",
+    "rpc.server.queue",
+    "rpc.server.handler",
+    "rpc.server.respond",
+    "rpc.recv",
+]
+
+
+def _traced_harness(ib):
+    with obs_session(trace=True):
+        return RpcHarness(ib=ib)
+
+
+@pytest.mark.parametrize("ib", [False, True], ids=["sockets", "rpcoib"])
+def test_ping_pong_produces_one_complete_span_tree(ib):
+    harness = _traced_harness(ib)
+
+    def caller(env):
+        return (yield harness.proxy.echo(BytesWritable(b"x" * 100)))
+
+    harness.run(caller)
+    tracer = harness.fabric.tracer
+    assert tracer is not NULL_TRACER
+
+    (root,) = tracer.roots()
+    assert root.name == "rpc.call"
+    spans = tracer.trace(root.trace_id)
+    assert sorted(s.name for s in spans) == sorted(STAGES)
+    assert all(s.finished for s in spans)
+    # single shared trace id, client root is everyone's parent
+    assert {s.trace_id for s in spans} == {root.trace_id}
+    for span in spans:
+        if span is not root:
+            assert span.parent_id == root.span_id
+    # stages land on the right node
+    by_name = {s.name: s for s in spans}
+    for name in ("rpc.call", "rpc.connect", "rpc.serialize", "rpc.send", "rpc.recv"):
+        assert by_name[name].node == "client"
+    for name in (
+        "rpc.server.receive",
+        "rpc.server.queue",
+        "rpc.server.handler",
+        "rpc.server.respond",
+    ):
+        assert by_name[name].node == "server"
+
+
+@pytest.mark.parametrize("ib", [False, True], ids=["sockets", "rpcoib"])
+def test_span_durations_consistent_with_latency(ib):
+    harness = _traced_harness(ib)
+
+    def caller(env):
+        yield harness.proxy.echo(BytesWritable(b"y" * 2048))
+
+    harness.run(caller)
+    tracer = harness.fabric.tracer
+    (root,) = tracer.roots()
+    spans = tracer.trace(root.trace_id)
+    # the root covers connect + call; its latency annotation (measured
+    # from after connection establishment) accounts for the remainder
+    by_name_all = {s.name: s for s in spans}
+    connect_us = by_name_all["rpc.connect"].duration_us
+    assert root.duration_us == pytest.approx(
+        connect_us + root.attrs["latency_us"]
+    )
+    assert root.duration_us > 0
+    for span in spans:
+        assert span.duration_us >= 0
+        assert root.start_us <= span.start_us
+        assert span.end_us <= root.end_us
+    by_name = {s.name: s for s in spans}
+    # causality along the pipeline: each stage starts no earlier than
+    # the previous one
+    starts = [by_name[name].start_us for name in STAGES[2:]]
+    assert starts == sorted(starts)
+    # the wire leg lies between local send start and server receive end
+    wire = by_name["rpc.wire"]
+    assert wire.start_us >= by_name["rpc.send"].start_us
+    assert wire.end_us <= by_name["rpc.server.receive"].end_us
+
+
+@pytest.mark.parametrize("ib", [False, True], ids=["sockets", "rpcoib"])
+def test_concurrent_calls_get_distinct_traces(ib):
+    harness = _traced_harness(ib)
+    n = 6
+
+    def one(env, i):
+        yield harness.proxy.add(IntWritable(i), IntWritable(1))
+
+    def caller(env):
+        yield env.all_of([env.process(one(env, i)) for i in range(n)])
+
+    harness.run(caller)
+    tracer = harness.fabric.tracer
+    roots = tracer.roots()
+    assert len(roots) == n
+    assert len({r.trace_id for r in roots}) == n
+    for root in roots:
+        names = {s.name for s in tracer.trace(root.trace_id)}
+        # every call records the full pipeline (rpc.connect only once:
+        # all six share the cached connection)
+        assert set(STAGES) - {"rpc.connect"} <= names
+
+
+def test_server_metrics_recorded_during_traced_run():
+    harness = _traced_harness(ib=False)
+
+    def caller(env):
+        for _ in range(3):
+            yield harness.proxy.echo(BytesWritable(b"z"))
+
+    harness.run(caller)
+    reg = harness.fabric.metrics
+    handled = reg.find("rpc.server.calls_handled")
+    assert sum(c.value for c in handled.values()) == 3
+    latency = reg.find("rpc.client.latency_us")
+    assert sum(t.count for t in latency.values()) == 3
+    depth = reg.find("rpc.server.handler_queue_depth")
+    assert depth  # gauge registered with fabric label
+    assert all("fabric=" in key for key in depth)
+
+
+def test_tracing_disabled_by_default():
+    harness = RpcHarness(ib=False)  # no ObsSession installed
+    assert harness.fabric.tracer is NULL_TRACER
+
+    def caller(env):
+        return (yield harness.proxy.echo(BytesWritable(b"q")))
+
+    harness.run(caller)
+    assert NULL_TRACER.finished_spans() == []
+
+
+def test_identical_timing_with_and_without_tracing():
+    """Tracing must not perturb the simulated clock: same workload,
+    same final sim time, traced or not."""
+
+    def workload(harness):
+        def caller(env):
+            for size in (1, 512, 4096):
+                yield harness.proxy.echo(BytesWritable(b"a" * size))
+
+        harness.run(caller)
+        return harness.env.now
+
+    for ib in (False, True):
+        baseline = workload(RpcHarness(ib=ib))
+        traced = workload(_traced_harness(ib))
+        assert traced == baseline

@@ -1,0 +1,108 @@
+"""MetricsRegistry: label identity, snapshots, JSON export."""
+
+import json
+
+from repro.obs.registry import MetricsRegistry, format_key
+from repro.simcore import Environment
+
+
+def test_format_key_renders_prometheus_style():
+    assert format_key("rpc.calls", ()) == "rpc.calls"
+    assert (
+        format_key("rpc.calls", (("fabric", "ib"), ("server", "nn")))
+        == "rpc.calls{fabric=ib,server=nn}"
+    )
+
+
+def test_same_name_and_labels_share_one_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("rpc.calls", server="nn", fabric="ib")
+    b = reg.counter("rpc.calls", fabric="ib", server="nn")  # order-insensitive
+    assert a is b
+    a.add(3)
+    assert b.value == 3
+
+
+def test_different_labels_are_distinct_instruments():
+    reg = MetricsRegistry()
+    ib = reg.counter("rpc.calls", fabric="ib")
+    sock = reg.counter("rpc.calls", fabric="socket")
+    bare = reg.counter("rpc.calls")
+    assert ib is not sock and ib is not bare
+    ib.add(1)
+    assert sock.value == 0 and bare.value == 0
+
+
+def test_label_values_are_stringified():
+    reg = MetricsRegistry()
+    assert reg.gauge("g", port=9000) is reg.gauge("g", port="9000")
+
+
+def test_find_groups_by_name():
+    reg = MetricsRegistry()
+    reg.counter("rpc.calls", fabric="ib")
+    reg.counter("rpc.calls", fabric="socket")
+    reg.counter("rpc.other")
+    found = reg.find("rpc.calls")
+    assert sorted(found) == [
+        "rpc.calls{fabric=ib}",
+        "rpc.calls{fabric=socket}",
+    ]
+
+
+def test_keys_cover_every_instrument_kind():
+    reg = MetricsRegistry()
+    reg.counter("c")
+    reg.gauge("g", node="n1")
+    reg.tally("t")
+    reg.histogram("h", [10, 100])
+    assert reg.keys() == ["c", "g{node=n1}", "h", "t"]
+
+
+def test_gauge_time_weighted_mean_uses_env_clock():
+    env = Environment()
+    reg = MetricsRegistry(env)
+    depth = reg.gauge("rpc.server.handler_queue_depth", fabric="ib")
+
+    def proc(env):
+        depth.inc()  # 1 at t=0
+        yield env.timeout(10.0)
+        depth.inc()  # 2 at t=10
+        yield env.timeout(10.0)
+        depth.dec()
+        depth.dec()  # 0 at t=20
+        yield env.timeout(20.0)
+
+    env.run(env.process(proc(env)))
+    assert depth.value == 0
+    # mean over [0,40): (1*10 + 2*10 + 0*20)/40
+    assert depth.mean(40.0) == 0.75
+
+
+def test_snapshot_shapes():
+    env = Environment()
+    reg = MetricsRegistry(env)
+    reg.counter("calls", fabric="ib").add(2)
+    reg.gauge("depth").set(3)
+    lat = reg.tally("latency_us")
+    for v in (10.0, 20.0, 30.0):
+        lat.observe(v)
+    reg.histogram("sizes", [128, 4096]).observe(64)
+    snap = reg.snapshot()
+    assert snap["calls{fabric=ib}"] == {"type": "counter", "value": 2}
+    assert snap["depth"]["value"] == 3
+    assert snap["latency_us"]["count"] == 3
+    assert snap["latency_us"]["mean"] == 20.0
+    assert snap["latency_us"]["p50"] == 20.0
+    assert snap["sizes"]["total"] == 1
+    assert snap["sizes"]["buckets"] == {"<=128": 1, "<=4096": 0, ">4096": 0}
+
+
+def test_to_json_is_strict_json_even_with_empty_tallies():
+    reg = MetricsRegistry()
+    reg.tally("empty")  # would render nan stats if unguarded
+    reg.counter("ok").add(1)
+    text = reg.to_json()
+    parsed = json.loads(text)  # strict: would reject a bare NaN token
+    assert parsed["empty"] == {"type": "tally", "count": 0}
+    assert parsed["ok"]["value"] == 1

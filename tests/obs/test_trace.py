@@ -1,0 +1,136 @@
+"""Tracer/span semantics on the simulated clock."""
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Span, TraceRef, Tracer
+from repro.simcore import Environment
+
+
+def test_span_records_simulated_times():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc(env):
+        span = tracer.start("work", node="n1", category="test")
+        yield env.timeout(25.0)
+        span.end()
+
+    env.run(env.process(proc(env)))
+    (span,) = tracer.finished_spans()
+    assert span.start_us == 0.0
+    assert span.end_us == 25.0
+    assert span.duration_us == 25.0
+    assert span.node == "n1"
+
+
+def test_span_nesting_under_concurrent_processes():
+    """Interleaved DES processes keep independent traces untangled."""
+    env = Environment()
+    tracer = Tracer(env)
+
+    def worker(env, delay):
+        root = tracer.start("outer", node="n")
+        yield env.timeout(delay)
+        child = tracer.start("inner", parent=root, node="n")
+        yield env.timeout(delay)
+        child.end()
+        yield env.timeout(delay)
+        root.end()
+
+    def main(env):
+        yield env.all_of(
+            [env.process(worker(env, d)) for d in (3.0, 5.0, 7.0)]
+        )
+
+    env.run(env.process(main(env)))
+    assert len(tracer.finished_spans()) == 6
+    assert len(tracer.trace_ids()) == 3
+    for root in tracer.roots():
+        assert root.name == "outer"
+        (child,) = tracer.children_of(root)
+        assert child.name == "inner"
+        assert child.trace_id == root.trace_id
+        # nesting: the child lies strictly inside its parent
+        assert root.start_us < child.start_us
+        assert child.end_us < root.end_us
+
+
+def test_trace_returns_spans_in_start_order():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc(env):
+        root = tracer.start("a")
+        yield env.timeout(10.0)
+        second = tracer.start("b", parent=root)
+        # a sibling synthesized with an *earlier* start still sorts first
+        tracer.complete("early", 2.0, 4.0, parent=root)
+        yield env.timeout(1.0)
+        second.end()
+        root.end()
+
+    env.run(env.process(proc(env)))
+    (trace_id,) = tracer.trace_ids()
+    assert [s.name for s in tracer.trace(trace_id)] == ["a", "early", "b"]
+
+
+def test_parent_can_be_span_or_ref():
+    env = Environment()
+    tracer = Tracer(env)
+    root = tracer.start("root")
+    by_span = tracer.start("child1", parent=root)
+    by_ref = tracer.start("child2", parent=root.context)
+    assert isinstance(root.context, TraceRef)
+    assert by_span.trace_id == root.trace_id == by_ref.trace_id
+    assert by_span.parent_id == root.span_id == by_ref.parent_id
+
+
+def test_span_end_is_idempotent_and_duration_guarded():
+    env = Environment()
+    tracer = Tracer(env)
+    span = tracer.start("s")
+    with pytest.raises(ValueError):
+        span.duration_us
+    span.end(5.0)
+    span.end(99.0)  # ignored
+    assert span.end_us == 5.0
+
+
+def test_annotate_and_events():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc(env):
+        span = tracer.start("s").annotate("bytes", 128)
+        yield env.timeout(3.0)
+        span.event("pool.grow", size=256)
+        span.end()
+
+    env.run(env.process(proc(env)))
+    (span,) = tracer.finished_spans()
+    assert span.attrs["bytes"] == 128
+    (ev,) = span.events
+    assert ev.name == "pool.grow"
+    assert ev.ts_us == 3.0
+    assert ev.attrs == {"size": 256}
+
+
+def test_null_tracer_is_inert():
+    """The disabled path allocates nothing and propagates nothing."""
+    assert NULL_TRACER.enabled is False
+    span = NULL_TRACER.start("anything", node="x", bytes=1)
+    assert span is NULL_SPAN
+    assert NULL_TRACER.complete("x", 0.0, 1.0) is NULL_SPAN
+    assert span.annotate("k", "v") is NULL_SPAN
+    span.event("e")
+    span.end()
+    assert span.context is None  # nothing to push out of band
+    assert not span  # falsy, so `if span:` guards skip work
+    assert NULL_TRACER.finished_spans() == []
+
+
+def test_null_span_as_parent_starts_fresh_trace():
+    env = Environment()
+    tracer = Tracer(env)
+    span = tracer.start("s", parent=NULL_SPAN)
+    assert span.parent_id is None

@@ -20,6 +20,12 @@ def test_echo_is_identity_for_any_payload(payload, ib):
     assert harness.run(caller).value == payload
 
 
+def _jint(value):
+    """Java 32-bit int wrap (what IntWritable's writeInt transmits)."""
+    masked = value & 0xFFFFFFFF
+    return masked - 2**32 if masked >= 2**31 else masked
+
+
 @given(
     values=st.lists(
         st.integers(min_value=-(2**30), max_value=2**30), min_size=1, max_size=8
@@ -28,6 +34,9 @@ def test_echo_is_identity_for_any_payload(payload, ib):
 )
 @settings(max_examples=20, deadline=None)
 def test_addition_server_side_matches_local(values, ib):
+    """Server-side accumulation equals local accumulation under the same
+    Java-int semantics: each partial sum wraps at 32 bits on the wire,
+    exactly as Hadoop's IntWritable would."""
     harness = RpcHarness(ib=ib)
 
     def caller(env):
@@ -37,7 +46,10 @@ def test_addition_server_side_matches_local(values, ib):
             total = got.value
         return total
 
-    assert harness.run(caller) == sum(values)
+    expected = 0
+    for v in values:
+        expected = _jint(expected + v)
+    assert harness.run(caller) == expected
 
 
 @given(text=st.text(max_size=200))
