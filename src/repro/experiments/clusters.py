@@ -13,7 +13,6 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -24,6 +23,7 @@ from repro.hdfs.cluster import HdfsCluster
 from repro.mapred.cluster import MapReduceCluster
 from repro.net.fabric import Fabric
 from repro.simcore import Environment
+from repro.simcore.rng import Random
 
 
 @dataclass
@@ -67,14 +67,14 @@ def build_mapreduce_stack(
     values = {"rpc.ib.enabled": rpc_ib}
     values.update(conf_overrides or {})
     conf = Configuration(values)
-    rng = random.Random(seed)
+    rng = Random(seed)
     hdfs = HdfsCluster(
         fabric, master, slave_nodes, network, conf=conf,
-        rng=random.Random(rng.getrandbits(32)), heartbeats=heartbeats,
+        rng=Random(rng.getrandbits(32)), heartbeats=heartbeats,
     )
     mapred = MapReduceCluster(
         fabric, master, slave_nodes, network, hdfs=hdfs, conf=conf,
-        rng=random.Random(rng.getrandbits(32)),
+        rng=Random(rng.getrandbits(32)),
     )
     return MapReduceStack(env, fabric, hdfs, mapred, conf)
 
@@ -119,7 +119,7 @@ def build_hdfs_stack(
     hdfs = HdfsCluster(
         fabric, nn, dn_nodes, rpc_network, conf=conf,
         data_transport=data_transport, data_spec=data_network,
-        rng=random.Random(seed), heartbeats=True,
+        rng=Random(seed), heartbeats=True,
     )
     return HdfsStack(env, fabric, hdfs, client_node, conf)
 
@@ -163,16 +163,16 @@ def build_hbase_stack(
     values = {"rpc.ib.enabled": rpc_ib}
     values.update(conf_overrides or {})
     conf = Configuration(values)
-    rng = random.Random(seed)
+    rng = Random(seed)
     hdfs = HdfsCluster(
         fabric, nn, rs_nodes, rpc_network, conf=conf,
         data_transport="rdma" if hdfs_rdma else "socket",
-        rng=random.Random(rng.getrandbits(32)), heartbeats=False,
+        rng=Random(rng.getrandbits(32)), heartbeats=False,
     )
     hbase = HBaseCluster(
         fabric, rs_nodes, hdfs, rpc_network, conf=conf,
         payload_rdma=payload_rdma,
         wal_data_spec=IB_RDMA if hdfs_rdma else rpc_network,
-        rng=random.Random(rng.getrandbits(32)),
+        rng=Random(rng.getrandbits(32)),
     )
     return HBaseStack(env, fabric, hdfs, hbase, client_nodes, conf)

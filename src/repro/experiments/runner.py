@@ -14,6 +14,13 @@ Observability flags (see ``repro.obs``):
 
 Tracing is off by default and, when off, adds no simulated-clock events
 — reported numbers are bit-identical with and without the flags.
+
+``--sanitize`` arms the runtime sim-sanitizer
+(:mod:`repro.simcore.sanitizer`): clock-monotonicity assertions,
+rejection of past-scheduled events, a buffer-leak ledger on every
+native pool, and stalled-process detection.  The report goes to stderr
+(stdout stays bit-identical to an unsanitized run) and a dirty report
+turns into exit status 1.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ def main(argv=None) -> int:
     from repro.experiments import ALL_EXPERIMENTS
     from repro.obs import runtime as obs_runtime
     from repro.obs.runtime import ObsSession
+    from repro.simcore import sanitizer as sim_sanitizer
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -50,6 +58,12 @@ def main(argv=None) -> int:
         default=None,
         help="write JSON snapshots of every run's metrics registry",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the runtime sim-sanitizer (leak/monotonicity checks); "
+        "report goes to stderr, dirty reports exit 1",
+    )
     args = parser.parse_args(argv)
     names = (
         sorted(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -68,6 +82,10 @@ def main(argv=None) -> int:
     if args.trace or args.metrics:
         session = ObsSession(trace=args.trace is not None, label="+".join(names))
         obs_runtime.install(session)
+    sanitizer_session = None
+    if args.sanitize:
+        sanitizer_session = sim_sanitizer.SimSanitizer(label="+".join(names))
+        sim_sanitizer.install(sanitizer_session)
     try:
         for name in names:
             module = ALL_EXPERIMENTS[name]
@@ -79,6 +97,8 @@ def main(argv=None) -> int:
     finally:
         if session is not None:
             obs_runtime.uninstall()
+        if sanitizer_session is not None:
+            sim_sanitizer.uninstall()
     if session is not None:
         if args.trace:
             events = session.write_trace(args.trace)
@@ -89,6 +109,12 @@ def main(argv=None) -> int:
         if args.metrics:
             runs = session.write_metrics(args.metrics)
             print(f"metrics: {runs} run snapshots -> {args.metrics}")
+    if sanitizer_session is not None:
+        for line in sanitizer_session.report_lines():
+            print(line, file=sys.stderr)
+        print(sanitizer_session.summary(), file=sys.stderr)
+        if not sanitizer_session.clean:
+            return 1
     return 0
 
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional
 
 from repro.calibration import IB_RDMA, NetworkSpec
@@ -11,6 +10,7 @@ from repro.hbase.protocol import GetWritable, HRegionInterface, PutWritable
 from repro.net.fabric import Fabric, Node
 from repro.rpc.engine import RPC
 from repro.rpc.metrics import RpcMetrics
+from repro.simcore.rng import Random, named_stream
 
 
 class HTable:
@@ -30,7 +30,7 @@ class HTable:
         conf: Optional[Configuration] = None,
         payload_rdma: bool = False,
         metrics: Optional[RpcMetrics] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
         record_bytes: int = 1024,
     ):
         self.fabric = fabric
@@ -42,7 +42,7 @@ class HTable:
         self.payload_rdma = payload_rdma
         self.record_bytes = record_bytes
         self.model = fabric.model
-        self.rng = rng or random.Random(hash(node.name) ^ 0x7AB1E)
+        self.rng = rng or named_stream(f"htable:{node.name}")
         self.client = RPC.get_client(
             fabric, node, rpc_spec, conf=conf, metrics=metrics,
             name=f"htable@{node.name}",

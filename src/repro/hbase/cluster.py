@@ -6,7 +6,6 @@ pure bookkeeping here — region locations are static)."""
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional
 
 from repro.calibration import NetworkSpec
@@ -16,6 +15,7 @@ from repro.hbase.regionserver import HRegionServer
 from repro.hdfs.cluster import HdfsCluster
 from repro.net.fabric import Fabric, Node
 from repro.rpc.metrics import RpcMetrics
+from repro.simcore.rng import Random, named_stream
 
 
 class HBaseCluster:
@@ -30,7 +30,7 @@ class HBaseCluster:
         conf: Optional[Configuration] = None,
         payload_rdma: bool = False,
         wal_data_spec: Optional[NetworkSpec] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
         metrics: Optional[RpcMetrics] = None,
     ):
         self.fabric = fabric
@@ -40,7 +40,7 @@ class HBaseCluster:
         self.rpc_spec = rpc_spec
         self.payload_rdma = payload_rdma
         self.metrics = metrics or RpcMetrics()
-        rng = rng or random.Random(0xCAFE)
+        rng = rng or named_stream("hbase-cluster")
         self._rng = rng
         self.regionservers: List[HRegionServer] = []
         for node in regionserver_nodes:
@@ -54,7 +54,7 @@ class HBaseCluster:
                     payload_rdma=payload_rdma,
                     wal_data_spec=wal_data_spec,
                     metrics=self.metrics,
-                    rng=random.Random(rng.getrandbits(32)),
+                    rng=Random(rng.getrandbits(32)),
                 )
             )
         nodes = [server.node for server in self.regionservers]
@@ -77,7 +77,7 @@ class HBaseCluster:
             conf=self.conf,
             payload_rdma=self.payload_rdma,
             metrics=self.metrics,
-            rng=random.Random(self._rng.getrandbits(32)),
+            rng=Random(self._rng.getrandbits(32)),
             record_bytes=record_bytes,
         )
 

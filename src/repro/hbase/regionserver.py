@@ -16,7 +16,6 @@ The server-side op costs are where Fig. 8's curve shapes come from:
 from __future__ import annotations
 
 import itertools
-import random
 from typing import Dict, List, Optional
 
 from repro.calibration import IB_RDMA, NetworkSpec
@@ -26,6 +25,7 @@ from repro.net.fabric import Fabric, Node
 from repro.rpc.engine import RPC
 from repro.rpc.metrics import RpcMetrics
 from repro.simcore import Store
+from repro.simcore.rng import Random, named_stream
 
 #: HFile block size (what one cache miss reads off disk)
 HFILE_BLOCK = 64 * 1024
@@ -50,7 +50,7 @@ class HRegionServer(HRegionInterface):
         payload_rdma: bool = False,
         wal_data_spec: Optional[NetworkSpec] = None,
         metrics: Optional[RpcMetrics] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
         port: int = 60020,
     ):
         assert rpc_spec is not None, "HRegionServer needs the RPC network spec"
@@ -61,7 +61,7 @@ class HRegionServer(HRegionInterface):
         self.hdfs = hdfs
         self.conf = conf or Configuration()
         self.model = fabric.model
-        self.rng = rng or random.Random(hash(node.name) ^ 0xBA5E)
+        self.rng = rng or named_stream(f"regionserver:{node.name}")
         #: HBaseoIB: payloads move over RDMA, not inside the RPC message
         self.payload_rdma = payload_rdma
         self.wal_data_spec = wal_data_spec or rpc_spec

@@ -8,13 +8,13 @@ numbers the figure plots.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.hbase.cluster import HBaseCluster
 from repro.net.fabric import Node
 from repro.simcore import Tally
+from repro.simcore.rng import Random
 
 
 @dataclass
@@ -86,7 +86,7 @@ def run_ycsb(
     """
     env = cluster.env
     cluster.preload(workload.record_count, workload.record_bytes)
-    rng = random.Random(seed)
+    rng = Random(seed)
     get_latency = Tally("ycsb.get")
     put_latency = Tally("ycsb.put")
     window = {"start": None, "end": 0.0, "ops": 0}
@@ -95,7 +95,7 @@ def run_ycsb(
     tables = {}
 
     def client_proc(env, node, client_seed):
-        local = random.Random(client_seed)
+        local = Random(client_seed)
         if node.name not in tables:
             tables[node.name] = cluster.table(node, workload.record_bytes)
         table = tables[node.name]

@@ -14,7 +14,6 @@ Fig. 7 rides on:
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional
 
 from repro.calibration import NetworkSpec
@@ -28,6 +27,7 @@ from repro.rpc.call import RemoteException
 from repro.rpc.engine import RPC
 from repro.rpc.metrics import RpcMetrics
 from repro.simcore import Store
+from repro.simcore.rng import Random, named_stream
 
 #: 0.20.2 DFSClient retry/poll sleep quantum.
 RETRY_SLEEP_US = 400_000.0
@@ -46,7 +46,7 @@ class DFSClient:
         datanode_registry,
         conf: Optional[Configuration] = None,
         rpc_spec: Optional[NetworkSpec] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
         metrics: Optional[RpcMetrics] = None,
         name: str = "",
     ):
@@ -55,7 +55,7 @@ class DFSClient:
         self.node = node
         self.conf = conf or Configuration()
         assert rpc_spec is not None, "DFSClient needs the cluster's RPC network spec"
-        self.rng = rng or random.Random(hash(node.name) ^ 0xD5F5)
+        self.rng = rng or named_stream(f"dfsclient:{node.name}")
         self.name = name or f"dfsclient@{node.name}"
         #: callable: datanode name -> DataNode (the cluster's registry)
         self.datanode_registry = datanode_registry

@@ -7,7 +7,6 @@ Encodes the paper's Fig. 7 configuration matrix: the *data* transport
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional
 
 from repro.calibration import NetworkSpec
@@ -17,6 +16,7 @@ from repro.hdfs.datanode import DataNode
 from repro.hdfs.namenode import NameNode
 from repro.net.fabric import Fabric, Node
 from repro.rpc.metrics import RpcMetrics
+from repro.simcore.rng import Random, named_stream
 
 
 class HdfsCluster:
@@ -31,7 +31,7 @@ class HdfsCluster:
         conf: Optional[Configuration] = None,
         data_transport: str = "socket",
         data_spec: Optional[NetworkSpec] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
         metrics: Optional[RpcMetrics] = None,
         heartbeats: bool = True,
     ):
@@ -40,14 +40,14 @@ class HdfsCluster:
         self.conf = conf or Configuration()
         self.rpc_spec = rpc_spec
         self.metrics = metrics or RpcMetrics()
-        rng = rng or random.Random(4242)
+        rng = rng or named_stream("hdfs-cluster")
         self.namenode = NameNode(
             fabric,
             namenode_node,
             conf=self.conf,
             spec=rpc_spec,
             metrics=self.metrics,
-            rng=random.Random(rng.getrandbits(32)),
+            rng=Random(rng.getrandbits(32)),
         )
         self.datanodes: Dict[str, DataNode] = {}
         for node in datanode_nodes:
@@ -60,7 +60,7 @@ class HdfsCluster:
                 data_transport=data_transport,
                 data_spec=data_spec,
                 metrics=self.metrics,
-                rng=random.Random(rng.getrandbits(32)),
+                rng=Random(rng.getrandbits(32)),
                 heartbeats=heartbeats,
             )
         self._rng = rng
@@ -80,7 +80,7 @@ class HdfsCluster:
             self.datanode,
             conf=self.conf,
             rpc_spec=self.rpc_spec,
-            rng=random.Random(self._rng.getrandbits(32)),
+            rng=Random(self._rng.getrandbits(32)),
             metrics=self.metrics,
         )
 

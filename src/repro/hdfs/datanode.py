@@ -17,7 +17,6 @@ simulating every 64 KB packet.
 from __future__ import annotations
 
 import math
-import random
 from typing import Dict, List, Optional
 
 from repro.calibration import IB_RDMA, NetworkSpec
@@ -35,6 +34,7 @@ from repro.net.sockets import SYSCALL_CHUNK, SocketAddress
 from repro.rpc.engine import RPC
 from repro.rpc.metrics import RpcMetrics
 from repro.simcore import Resource, Store
+from repro.simcore.rng import Random, named_stream
 
 #: Pipeline streaming granularity (aggregates HDFS's 64 KB packets).
 PIPELINE_CHUNK = 8 * 1024 * 1024
@@ -53,7 +53,7 @@ class DataNode:
         data_transport: str = "socket",
         data_spec: Optional[NetworkSpec] = None,
         metrics: Optional[RpcMetrics] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
         heartbeats: bool = True,
     ):
         if data_transport not in ("socket", "rdma"):
@@ -64,7 +64,7 @@ class DataNode:
         self.name = node.name
         self.conf = conf or Configuration()
         self.model = fabric.model
-        self.rng = rng or random.Random(hash(node.name) & 0xFFFF)
+        self.rng = rng or named_stream(f"datanode:{node.name}")
         self.data_transport = data_transport
         self.data_spec = data_spec or (IB_RDMA if data_transport == "rdma" else rpc_spec)
         assert rpc_spec is not None, "DataNode needs the cluster's RPC network spec"

@@ -16,7 +16,6 @@ Implements the 0.20.2 semantics that matter for the paper's results:
 from __future__ import annotations
 
 import itertools
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -39,6 +38,7 @@ from repro.hdfs.protocol import (
 from repro.net.fabric import Fabric, Node
 from repro.rpc.engine import RPC
 from repro.rpc.metrics import RpcMetrics
+from repro.simcore.rng import Random, named_stream
 
 
 class NotReplicatedYet(RuntimeError):
@@ -94,13 +94,13 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         conf: Optional[Configuration] = None,
         spec: Optional[NetworkSpec] = None,
         metrics: Optional[RpcMetrics] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
     ):
         self.fabric = fabric
         self.env = fabric.env
         self.node = node
         self.conf = conf or Configuration()
-        self.rng = rng or random.Random(17)
+        self.rng = rng or named_stream("namenode")
         self.metrics = metrics or RpcMetrics()
         assert spec is not None, "NameNode needs the cluster's RPC network spec"
         self.spec = spec

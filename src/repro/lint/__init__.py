@@ -1,0 +1,36 @@
+"""``repro.lint`` — simulation-safety static analysis.
+
+The reproduction's whole value is that latencies *emerge*
+deterministically from mechanistic code on a simulated clock.  This
+package mechanically enforces the invariants that make that true:
+
+========  ==============================================================
+SIM001    wall-clock reads (``time.time``, ``datetime.now``) outside the
+          experiments harness
+SIM002    nondeterministic randomness: module-level ``random.*`` draws,
+          ``hash()``-derived seeds (PYTHONHASHSEED!), unseeded
+          ``numpy.random`` — use :mod:`repro.simcore.rng` streams
+SIM003    ``NativeBufferPool.get()`` without a ``put()`` on every path,
+          including exception paths
+SIM004    simulated-time hazards: float ``==`` on clock values,
+          negative ``timeout``/``schedule`` delays
+SIM005    discarded process handles / bare generator-function calls
+          that silently do nothing
+SIM006    cost-model bypass: charging a :class:`~repro.mem.cost.CostLedger`
+          with numeric literals instead of calibrated constants
+========  ==============================================================
+
+Run it as ``python -m repro.lint src tests``.  Findings can be
+suppressed inline (``# sim-lint: disable=SIM001``), per file
+(``# sim-lint: disable-file=SIM002``), or grandfathered in a committed
+baseline file (``lint-baseline.json``).
+
+Rules marked *src-scoped* (SIM003, SIM004's equality check, SIM006)
+apply only to simulation source under ``src/`` — unit tests may
+legitimately leak pool buffers or assert exact clock values.
+"""
+
+from repro.lint.findings import Finding, RULES
+from repro.lint.engine import lint_paths, lint_source, lint_file
+
+__all__ = ["Finding", "RULES", "lint_paths", "lint_source", "lint_file"]

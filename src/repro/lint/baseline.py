@@ -1,0 +1,63 @@
+"""Baseline files: grandfather existing findings, fail only on new ones.
+
+The baseline is a committed JSON document keyed by
+``(rule, path, message)`` — line numbers are excluded so edits above a
+grandfathered finding do not resurrect it.  Matching is count-aware: a
+baseline entry absorbs at most as many findings as were recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load(path: "str | Path") -> Counter:
+    """Load a baseline into a Counter of baseline keys."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {doc.get('version')!r}"
+        )
+    counts: Counter = Counter()
+    for entry in doc.get("findings", []):
+        counts[(entry["rule"], entry["path"], entry["message"])] += 1
+    return counts
+
+
+def write(path: "str | Path", findings: List[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    doc = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(doc["findings"])
+
+
+def split(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, grandfathered)."""
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

@@ -1,0 +1,138 @@
+"""Command line interface: ``python -m repro.lint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint import baseline as baseline_mod
+from repro.lint import engine
+from repro.lint.findings import RULES
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Simulation-safety static analysis (rules SIM001-SIM006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: "
+        f"{DEFAULT_BASELINE}; silently skipped if absent)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file even if it exists",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="SIM00x",
+        dest="rules",
+        help="run only this rule (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="extra directory names to skip while recursing (fixtures, "
+        "__pycache__ etc. are always skipped; explicit file arguments "
+        "are always linted)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, summary in sorted(RULES.items()):
+            print(f"{code}  {summary}")
+        return 0
+
+    excluded = set(engine.DEFAULT_EXCLUDED_DIRS)
+    excluded.update(args.exclude or ())
+    if args.rules:
+        unknown = sorted(set(r.upper() for r in args.rules) - set(RULES))
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(unknown)}")
+    try:
+        files = engine.iter_python_files(args.paths, excluded_dirs=excluded)
+        findings = engine.lint_paths(
+            args.paths,
+            excluded_dirs=excluded,
+            rules=[r.upper() for r in args.rules] if args.rules else None,
+        )
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    if args.write_baseline:
+        count = baseline_mod.write(args.baseline, findings)
+        print(f"repro.lint: wrote {count} finding(s) to {args.baseline}")
+        return 0
+
+    grandfathered: List = []
+    if not args.no_baseline and Path(args.baseline).is_file():
+        new, grandfathered = baseline_mod.split(
+            findings, baseline_mod.load(args.baseline)
+        )
+    else:
+        new = findings
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files": len(files),
+                    "findings": [f.to_json() for f in new],
+                    "grandfathered": len(grandfathered),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.format())
+        summary = Counter(f.rule for f in new)
+        if new:
+            by_rule = ", ".join(f"{c} {r}" for r, c in sorted(summary.items()))
+            print(
+                f"repro.lint: {len(new)} finding(s) in {len(files)} file(s) "
+                f"({by_rule}; {len(grandfathered)} baselined)"
+            )
+        else:
+            print(
+                f"repro.lint: clean — {len(files)} file(s), "
+                f"{len(grandfathered)} baselined finding(s)"
+            )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

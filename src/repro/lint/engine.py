@@ -1,0 +1,164 @@
+"""File walking, suppression handling, and rule dispatch."""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.lint import astutil
+from repro.lint.findings import Finding, RULES
+from repro.lint.rules import CHECKERS, LintContext
+
+#: Directory names skipped while *recursing* (explicitly-listed files
+#: are always linted — that is how the test suite lints its fixture
+#: files, which contain violations on purpose).
+DEFAULT_EXCLUDED_DIRS = {"fixtures", "__pycache__", ".git", ".hypothesis", ".venv"}
+
+#: ``# sim-lint: disable=SIM001,SIM004`` on the flagged line, or a bare
+#: ``# sim-lint: disable`` to silence every rule on that line.
+_LINE_SUPPRESS = re.compile(
+    r"#\s*sim-lint:\s*disable(?:=([A-Za-z0-9_,\s]+))?(?:\s|$)"
+)
+#: ``# sim-lint: disable-file=SIM002`` anywhere in the file.
+_FILE_SUPPRESS = re.compile(
+    r"#\s*sim-lint:\s*disable-file(?:=([A-Za-z0-9_,\s]+))?(?:\s|$)"
+)
+
+
+def _parse_rule_list(spec: Optional[str]) -> Optional[Set[str]]:
+    """None means "all rules" (a bare ``disable``)."""
+    if spec is None:
+        return None
+    rules = {part.strip().upper() for part in spec.split(",") if part.strip()}
+    return rules or None
+
+
+def _suppressed(finding: Finding, lines: List[str], file_off: Optional[Set[str]]) -> bool:
+    if file_off is not None and (not file_off or finding.rule in file_off):
+        return True
+    if 1 <= finding.line <= len(lines):
+        match = _LINE_SUPPRESS.search(lines[finding.line - 1])
+        if match:
+            rules = _parse_rule_list(match.group(1))
+            return rules is None or finding.rule in rules
+    return False
+
+
+def _file_suppressions(lines: List[str]) -> Optional[Set[str]]:
+    """Set of file-wide disabled rules; empty set = all; None = none."""
+    disabled: Optional[Set[str]] = None
+    for line in lines:
+        match = _FILE_SUPPRESS.search(line)
+        if match:
+            rules = _parse_rule_list(match.group(1))
+            if rules is None:
+                return set()  # bare disable-file: everything off
+            disabled = (disabled or set()) | rules
+    return disabled
+
+
+def lint_source(
+    source: str,
+    path: str,
+    in_src: Optional[bool] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one module given as text.
+
+    ``in_src`` overrides the src-scoping heuristic — pass True to apply
+    the src-only rules (SIM003, SIM004's equality check, SIM006)
+    regardless of where the file lives.
+    """
+    posix = Path(path).absolute().as_posix()
+    if in_src is None:
+        in_src = "/src/" in posix
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="SIM000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(
+        path=path,
+        posix=posix,
+        tree=tree,
+        in_src=in_src,
+        aliases=astutil.build_alias_map(tree),
+        parents=astutil.build_parent_map(tree),
+    )
+    lines = source.splitlines()
+    file_off = _file_suppressions(lines)
+    selected = set(rules) if rules is not None else set(CHECKERS)
+    findings: List[Finding] = []
+    for code, checker in CHECKERS.items():
+        if code not in selected:
+            continue
+        for finding in checker(ctx):
+            if not _suppressed(finding, lines, file_off):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: "str | Path",
+    in_src: Optional[bool] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, str(path), in_src=in_src, rules=rules)
+
+
+def iter_python_files(
+    paths: Sequence["str | Path"],
+    excluded_dirs: Optional[Set[str]] = None,
+) -> List[Path]:
+    """Expand files/directories into a deterministic list of .py files."""
+    if excluded_dirs is None:
+        excluded_dirs = DEFAULT_EXCLUDED_DIRS
+    out: List[Path] = []
+    seen: Set[Path] = set()
+
+    def add(candidate: Path) -> None:
+        resolved = candidate.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            out.append(candidate)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            add(path)  # explicit files bypass the excludes
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in excluded_dirs for part in candidate.parts):
+                continue
+            add(candidate)
+    return out
+
+
+def lint_paths(
+    paths: Sequence["str | Path"],
+    excluded_dirs: Optional[Set[str]] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint every python file under ``paths``; returns sorted findings."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths, excluded_dirs=excluded_dirs):
+        findings.extend(lint_file(path, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def rule_catalogue() -> Dict[str, str]:
+    return dict(RULES)

@@ -5,7 +5,6 @@ the paper's testbed)."""
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional
 
 from repro.calibration import NetworkSpec
@@ -19,6 +18,7 @@ from repro.mapred.tasktracker import TaskTracker
 from repro.net.fabric import Fabric, Node
 from repro.rpc.engine import RPC
 from repro.rpc.metrics import RpcMetrics
+from repro.simcore.rng import Random, named_stream
 
 #: job-client completion polling period
 JOB_POLL_US = 1_000_000.0
@@ -36,7 +36,7 @@ class MapReduceCluster:
         hdfs: Optional[HdfsCluster] = None,
         conf: Optional[Configuration] = None,
         data_spec: Optional[NetworkSpec] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
         metrics: Optional[RpcMetrics] = None,
     ):
         self.fabric = fabric
@@ -47,7 +47,7 @@ class MapReduceCluster:
         self.data_spec = data_spec or rpc_spec
         self.hdfs = hdfs
         self.metrics = metrics or RpcMetrics()
-        rng = rng or random.Random(1337)
+        rng = rng or named_stream("mapred-cluster")
         self._rng = rng
         self.job_confs: Dict[str, JobConf] = {}
         self.jobtracker = JobTracker(
@@ -56,7 +56,7 @@ class MapReduceCluster:
             conf=self.conf,
             spec=rpc_spec,
             metrics=self.metrics,
-            rng=random.Random(rng.getrandbits(32)),
+            rng=Random(rng.getrandbits(32)),
         )
         self.trackers: Dict[str, TaskTracker] = {}
         for node in slave_nodes:
@@ -68,7 +68,7 @@ class MapReduceCluster:
                 conf=self.conf,
                 spec=rpc_spec,
                 metrics=self.metrics,
-                rng=random.Random(rng.getrandbits(32)),
+                rng=Random(rng.getrandbits(32)),
             )
         self._dfs_clients: Dict[str, object] = {}
         self._umbilical_clients: Dict[str, object] = {}

@@ -9,7 +9,6 @@ TaskTrackers fetch incrementally for their reducers.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -30,6 +29,7 @@ from repro.mapred.protocol import (
 from repro.net.fabric import Fabric, Node
 from repro.rpc.engine import RPC
 from repro.rpc.metrics import RpcMetrics
+from repro.simcore.rng import Random, named_stream
 
 #: fraction of maps that must complete before reduces are scheduled
 REDUCE_SLOWSTART = 0.05
@@ -91,14 +91,14 @@ class JobTracker(InterTrackerProtocol, JobSubmissionProtocol):
         conf: Optional[Configuration] = None,
         spec: Optional[NetworkSpec] = None,
         metrics: Optional[RpcMetrics] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
     ):
         assert spec is not None, "JobTracker needs the cluster's RPC network spec"
         self.fabric = fabric
         self.env = fabric.env
         self.node = node
         self.conf = conf or Configuration()
-        self.rng = rng or random.Random(23)
+        self.rng = rng or named_stream("jobtracker")
         self.jobs: Dict[str, JobInProgress] = {}
         #: registered-but-not-yet-submitted confs (submission staging:
         #: the real JobClient uploads the conf to HDFS; we stage the

@@ -9,7 +9,6 @@ very messages whose sizes Fig. 3 traces.
 from __future__ import annotations
 
 import itertools
-import random
 from typing import Dict, List, Optional
 
 from repro.calibration import NetworkSpec
@@ -28,6 +27,7 @@ from repro.net.fabric import Fabric, Node
 from repro.rpc.engine import RPC
 from repro.rpc.metrics import RpcMetrics
 from repro.simcore import Resource
+from repro.simcore.rng import Random, named_stream
 
 
 class TaskTracker(TaskUmbilicalProtocol):
@@ -44,7 +44,7 @@ class TaskTracker(TaskUmbilicalProtocol):
         conf: Optional[Configuration] = None,
         spec: Optional[NetworkSpec] = None,
         metrics: Optional[RpcMetrics] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
     ):
         assert spec is not None, "TaskTracker needs the cluster's RPC network spec"
         self.fabric = fabric
@@ -56,7 +56,7 @@ class TaskTracker(TaskUmbilicalProtocol):
         self.conf = conf or Configuration()
         self.spec = spec
         self.metrics = metrics
-        self.rng = rng or random.Random(hash(node.name) ^ 0x7A5)
+        self.rng = rng or named_stream(f"tasktracker:{node.name}")
         self.map_slots = self.conf.get_int("mapred.tasktracker.map.tasks.maximum")
         self.reduce_slots = self.conf.get_int("mapred.tasktracker.reduce.tasks.maximum")
         # umbilical RPC server (child tasks -> this tracker)

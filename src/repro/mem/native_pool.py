@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.calibration import CostModel
 from repro.mem.cost import CostLedger
+from repro.simcore import sanitizer as _sanitizer
 
 
 class PoolExhausted(RuntimeError):
@@ -79,6 +80,12 @@ class NativeBufferPool:
         self.gets = 0
         self.returns = 0
         self.preregistration_us = 0.0
+        # Sanitizer ledger: id(buffer) -> acquisition site, populated
+        # only when a SimSanitizer is installed at construction time.
+        self._sanitizer = _sanitizer.current()
+        self._acquired_at: Dict[int, str] = {}
+        if self._sanitizer is not None:
+            self._sanitizer.note_pool(self)
         mem = model.memory
         for cls_size in self.size_classes:
             self.preregistration_us += buffers_per_class * (
@@ -107,7 +114,10 @@ class NativeBufferPool:
             )
             self.runtime_registrations += 1
             self.outstanding += 1
-            return NativeBuffer(nbytes, -1)
+            buf = NativeBuffer(nbytes, -1)
+            if self._sanitizer is not None:
+                self._acquired_at[id(buf)] = _sanitizer.acquisition_site()
+            return buf
         free = self._free[cls_size]
         if free:
             buf = free.pop()
@@ -131,6 +141,8 @@ class NativeBufferPool:
             self.runtime_registrations += 1
             buf = NativeBuffer(cls_size, cls_size)
         self.outstanding += 1
+        if self._sanitizer is not None:
+            self._acquired_at[id(buf)] = _sanitizer.acquisition_site()
         return buf
 
     def put(self, buffer: NativeBuffer, ledger: CostLedger) -> None:
@@ -139,6 +151,8 @@ class NativeBufferPool:
             raise RuntimeError("double return of a pooled buffer")
         self.returns += 1
         self.outstanding -= 1
+        if self._sanitizer is not None:
+            self._acquired_at.pop(id(buffer), None)
         ledger.charge_pool_return()
         if buffer.size_class in self._free:
             buffer.in_pool = True
@@ -147,6 +161,10 @@ class NativeBufferPool:
 
     def free_count(self, cls_size: int) -> int:
         return len(self._free.get(cls_size, ()))
+
+    def sanitizer_outstanding(self) -> List[str]:
+        """Acquisition sites of buffers never returned (sanitizer only)."""
+        return sorted(self._acquired_at.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -112,8 +112,15 @@ class Client:
         )
         try:
             conn = yield from self._get_connection(address, protocol, parent=span)
-        except Exception:
-            span.annotate("error", "connect").end()
+        except ConnectionError as exc:
+            # ConnectionRefused / SocketClosed / RPCoIB-negotiation failure
+            span.annotate("error", type(exc).__name__).end()
+            raise
+        except BaseException:
+            # Anything else is a simulator bug, not a connect failure —
+            # close the span so the trace stays well-formed, then let it
+            # crash the run.
+            span.annotate("error", "unexpected").end()
             raise
         call = Call(
             next(self._call_ids), protocol.protocol_name(), method, params, self.env

@@ -36,7 +36,7 @@ from repro.simcore.resources import (
     Store,
 )
 from repro.simcore.monitor import Counter, Histogram, StatsRegistry, Tally, TimeWeighted
-from repro.simcore.rng import RngRegistry
+from repro.simcore.rng import RngRegistry, named_stream, stable_seed
 
 __all__ = [
     "AllOf",
@@ -58,4 +58,6 @@ __all__ = [
     "Tally",
     "TimeWeighted",
     "Timeout",
+    "named_stream",
+    "stable_seed",
 ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, Optional
 
+from repro.simcore import sanitizer as _sanitizer
 from repro.simcore.events import AllOf, AnyOf, Event, NORMAL, Timeout
 from repro.simcore.process import Process
 
@@ -31,6 +32,10 @@ class Environment:
         self._queue: list = []  # heap of (time, priority, eid, event)
         self._eid = 0
         self._active_process: Optional[Process] = None
+        # Bound at construction so per-event checks are a single branch.
+        self._sanitizer = _sanitizer.current()
+        if self._sanitizer is not None:
+            self._sanitizer.note_environment(self)
 
     # -- clock ----------------------------------------------------------
     @property
@@ -61,6 +66,8 @@ class Environment:
     # -- scheduling -------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Enqueue a triggered event for processing at ``now + delay``."""
+        if self._sanitizer is not None and delay < 0:
+            self._sanitizer.past_schedule(self, delay)
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
@@ -71,9 +78,12 @@ class Environment:
     def step(self) -> None:
         """Process the next event.  Raises :class:`EmptySchedule` if none."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            when, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        if self._sanitizer is not None and when < self._now:
+            self._sanitizer.clock_regression(self, when, self._now)
+        self._now = when
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

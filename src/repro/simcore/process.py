@@ -50,6 +50,9 @@ class Process(Event):
         init._value = None
         env.schedule(init, priority=URGENT)
         self._target = init
+        san = getattr(env, "_sanitizer", None)
+        if san is not None:
+            san.note_process(self)
 
     @property
     def is_alive(self) -> bool:

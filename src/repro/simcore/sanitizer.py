@@ -1,0 +1,204 @@
+"""Opt-in runtime sim-sanitizer: the dynamic half of :mod:`repro.lint`.
+
+Static analysis cannot see every invariant violation — a buffer that
+leaks only under a rare interleaving, or an event scheduled into the
+past from computed state.  The sanitizer catches those at runtime:
+
+* :class:`~repro.simcore.environment.Environment` asserts clock
+  monotonicity and *rejects* events scheduled with a negative delay;
+* :class:`~repro.mem.native_pool.NativeBufferPool` keeps an
+  outstanding-buffer ledger with acquisition sites and reports leaks at
+  teardown;
+* :class:`~repro.simcore.process.Process` instances whose generator
+  died while waiters were still registered — the termination event was
+  never delivered, so those waiters are stranded forever — are flagged
+  at teardown.
+
+Like the observability session (:mod:`repro.obs.runtime`), the
+sanitizer is installed process-wide because experiments construct their
+``Environment`` objects internally::
+
+    from repro.simcore import sanitizer
+
+    with sanitizer.sanitized() as session:
+        fig5_micro.run()
+    for line in session.report_lines():
+        print(line)
+
+With no session installed every hook is a single ``is None`` branch —
+the sanitizer adds **no simulated-clock events and no RNG draws**, so
+reported numbers are bit-identical with and without it.  The
+experiments CLI exposes it as ``python -m repro.experiments <exp>
+--sanitize``.
+"""
+
+from __future__ import annotations
+
+import traceback
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simcore.environment import Environment
+    from repro.simcore.process import Process
+
+
+class SanitizerError(AssertionError):
+    """A simulation-safety invariant was violated at runtime."""
+
+
+#: Path fragments whose frames are skipped when attributing an
+#: acquisition site — we want the *caller* of the pool, not the pool.
+_INTERNAL_FRAGMENTS = ("mem/native_pool.py", "simcore/sanitizer.py")
+
+
+def acquisition_site(limit: int = 12) -> str:
+    """``file:line in func`` of the nearest frame outside pool internals."""
+    for frame in reversed(traceback.extract_stack(limit=limit)[:-1]):
+        filename = frame.filename.replace("\\", "/")
+        if not filename.endswith(_INTERNAL_FRAGMENTS):
+            return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+class SimSanitizer:
+    """Collects invariant checks across every Environment/pool built
+    while installed, and renders one teardown report."""
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self.environments = 0
+        self.pools: List[object] = []
+        self.processes: List["Process"] = []
+        #: violations that were raised (kept for the report even though
+        #: the offending run crashed)
+        self.violations: List[str] = []
+
+    # -- hooks (called by the instrumented components) ---------------------
+    def note_environment(self, env: "Environment") -> None:
+        self.environments += 1
+
+    def note_pool(self, pool: object) -> None:
+        self.pools.append(pool)
+
+    def note_process(self, process: "Process") -> None:
+        self.processes.append(process)
+
+    def past_schedule(self, env: "Environment", delay: float) -> None:
+        message = (
+            f"past-scheduled event rejected: delay={delay!r} at t={env.now!r}"
+        )
+        self.violations.append(message)
+        raise SanitizerError(message)
+
+    def clock_regression(
+        self, env: "Environment", event_time: float, now: float
+    ) -> None:
+        message = (
+            f"clock regression: next event at t={event_time!r} but "
+            f"now={now!r} — the heap ordering invariant is broken"
+        )
+        self.violations.append(message)
+        raise SanitizerError(message)
+
+    # -- teardown reporting ------------------------------------------------
+    def pool_leaks(self) -> List[Tuple[object, List[str]]]:
+        """(pool, acquisition sites of still-outstanding buffers)."""
+        leaks = []
+        for pool in self.pools:
+            sites = pool.sanitizer_outstanding()
+            if sites:
+                leaks.append((pool, sites))
+        return leaks
+
+    def stalled_processes(self) -> List["Process"]:
+        """Processes whose generator died with waiters never notified.
+
+        A Process is also the event of its own termination: when the
+        generator returns or raises, that event is scheduled and its
+        callbacks (the waiters) are delivered on the next step.  If the
+        scheduler stops first — a crash mid-step, a truncated run —
+        the generator is dead but ``callbacks`` is still a non-empty
+        list: every one of those waiters is silently stranded.
+
+        Blocked-but-alive processes are deliberately *not* flagged:
+        daemon chains (a receive loop yielding on a socket read) look
+        structurally identical to deadlock, so an alive-process check
+        cannot avoid false positives.
+        """
+        return [
+            process
+            for process in self.processes
+            if not process.is_alive and process.callbacks
+        ]
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.violations
+            and not self.pool_leaks()
+            and not self.stalled_processes()
+        )
+
+    def report_lines(self) -> List[str]:
+        lines: List[str] = []
+        for message in self.violations:
+            lines.append(f"sanitizer: VIOLATION {message}")
+        for pool, sites in self.pool_leaks():
+            lines.append(
+                f"sanitizer: LEAK {len(sites)} buffer(s) outstanding in {pool!r}"
+            )
+            for site in sites:
+                lines.append(f"sanitizer:   acquired at {site}")
+        for process in self.stalled_processes():
+            lines.append(
+                f"sanitizer: STALLED {process!r} died with "
+                f"{len(process.callbacks)} waiter(s) never notified"
+            )
+        return lines
+
+    def summary(self) -> str:
+        checked = (
+            f"{self.environments} environment(s), {len(self.pools)} pool(s), "
+            f"{len(self.processes)} process(es)"
+        )
+        if self.clean:
+            return f"sanitizer: clean — {checked}"
+        issues = (
+            len(self.violations)
+            + sum(len(sites) for _, sites in self.pool_leaks())
+            + len(self.stalled_processes())
+        )
+        return f"sanitizer: {issues} issue(s) — {checked}"
+
+
+_current: Optional[SimSanitizer] = None
+
+
+def current() -> Optional[SimSanitizer]:
+    """The active sanitizer, if any (consulted at construction time by
+    Environment and NativeBufferPool)."""
+    return _current
+
+
+def install(session: SimSanitizer) -> None:
+    global _current
+    if _current is not None:
+        raise RuntimeError("a SimSanitizer is already installed")
+    _current = session
+
+
+def uninstall() -> None:
+    global _current
+    _current = None
+
+
+@contextmanager
+def sanitized(label: str = ""):
+    """Scope a :class:`SimSanitizer` around a block of simulation runs."""
+    session = SimSanitizer(label=label)
+    install(session)
+    try:
+        yield session
+    finally:
+        uninstall()

@@ -1,0 +1,35 @@
+"""Fixture: near-miss patterns that must NOT be flagged, even in-src."""
+
+from repro.simcore.rng import named_stream
+
+
+def jitter(env, rng=None):
+    # seeded named stream, not the global RNG
+    rng = rng or named_stream("clean-fixture")
+    return env.timeout(rng.uniform(0.0, 5.0))
+
+
+def borrow(pool, ledger):
+    # released on every path, including exceptions
+    buf = pool.get(512, ledger)
+    try:
+        buf.data[0] = 1
+    finally:
+        pool.put(buf, ledger)
+
+
+def handoff(pool, ledger):
+    # ownership transfer via return is not a leak
+    buf = pool.get(512, ledger)
+    return buf
+
+
+def awaited(env, worker):
+    # captured handle is used
+    handle = env.process(worker())
+    yield handle
+
+
+def tolerant_compare(env, deadline):
+    # ordering comparisons against the clock are fine
+    return env.now >= deadline

@@ -1,0 +1,7 @@
+"""Fixture: exactly one SIM001 violation (host clock read)."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: exactly one SIM002 violation (global-RNG draw)."""
+
+import random
+
+
+def jitter():
+    return random.uniform(0.0, 1.0)

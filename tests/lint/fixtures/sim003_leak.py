@@ -1,0 +1,9 @@
+"""Fixture: exactly one SIM003 violation (pool buffer never put back).
+
+Lint with ``in_src=True`` — SIM003 is scoped to simulation source.
+"""
+
+
+def leak(pool, ledger):
+    buf = pool.get(1024, ledger)
+    buf.data[0] = 1

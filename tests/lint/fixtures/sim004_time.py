@@ -1,0 +1,5 @@
+"""Fixture: exactly one SIM004 violation (negative timeout delay)."""
+
+
+def rewind(env):
+    return env.timeout(-5.0)

@@ -1,0 +1,6 @@
+"""Fixture: exactly one SIM005 violation (process handle never awaited)."""
+
+
+def spawn(env, worker):
+    handle = env.process(worker())
+    return None

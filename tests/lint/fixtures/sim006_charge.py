@@ -1,0 +1,8 @@
+"""Fixture: exactly one SIM006 violation (literal cost charged).
+
+Lint with ``in_src=True`` — SIM006 is scoped to simulation source.
+"""
+
+
+def charge_flat(ledger):
+    ledger.charge("serialize", 12.5)

@@ -1,0 +1,91 @@
+"""CLI tests for ``python -m repro.lint``."""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_violating_file_exits_nonzero(capsys):
+    code = main([str(FIXTURES / "sim001_wallclock.py"), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SIM001" in out
+    assert "1 finding(s)" in out
+
+
+def test_clean_file_exits_zero(capsys):
+    code = main([str(FIXTURES / "clean.py"), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out
+
+
+def test_json_format(capsys):
+    code = main(
+        [str(FIXTURES / "sim002_random.py"), "--no-baseline", "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["files"] == 1
+    assert [f["rule"] for f in payload["findings"]] == ["SIM002"]
+
+
+def test_rule_filter_flag(capsys):
+    code = main(
+        [
+            str(FIXTURES / "sim001_wallclock.py"),
+            str(FIXTURES / "sim002_random.py"),
+            "--no-baseline",
+            "--rule",
+            "sim002",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SIM002" in out and "SIM001" not in out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
+        assert rule in out
+
+
+def test_write_baseline_then_grandfather(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    target = str(FIXTURES / "sim004_time.py")
+    assert main([target, "--baseline", str(base), "--write-baseline"]) == 0
+    capsys.readouterr()
+    # with the baseline in place the same finding no longer fails the run
+    assert main([target, "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+    # and ignoring it brings the failure back
+    assert main([target, "--baseline", str(base), "--no-baseline"]) == 1
+
+
+def test_missing_baseline_is_silently_skipped(capsys):
+    code = main(
+        [str(FIXTURES / "clean.py"), "--baseline", "no-such-baseline.json"]
+    )
+    assert code == 0
+
+
+def test_repo_default_invocation_is_clean(capsys):
+    """`python -m repro.lint src tests` on this repo: exit 0, no findings."""
+    code = main(
+        [
+            str(REPO / "src"),
+            str(REPO / "tests"),
+            "--baseline",
+            str(REPO / "lint-baseline.json"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "clean" in out

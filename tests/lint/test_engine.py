@@ -1,0 +1,139 @@
+"""Engine-level tests: suppressions, file walking, baselines."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import iter_python_files
+from repro.lint.findings import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+# -- suppressions ----------------------------------------------------------
+
+
+def test_line_suppression_specific_rule():
+    src = "import time\n\ndef f():\n    return time.time()  # sim-lint: disable=SIM001\n"
+    assert lint_source(src, "mod.py") == []
+
+
+def test_line_suppression_wrong_rule_does_not_apply():
+    src = "import time\n\ndef f():\n    return time.time()  # sim-lint: disable=SIM002\n"
+    assert [f.rule for f in lint_source(src, "mod.py")] == ["SIM001"]
+
+
+def test_line_suppression_bare_disables_all():
+    src = "import time\n\ndef f():\n    return time.time()  # sim-lint: disable\n"
+    assert lint_source(src, "mod.py") == []
+
+
+def test_line_suppression_with_trailing_comment():
+    src = (
+        "import time\n\ndef f():\n"
+        "    return time.time()  # sim-lint: disable=SIM001 — measured on purpose\n"
+    )
+    assert lint_source(src, "mod.py") == []
+
+
+def test_file_suppression():
+    src = (
+        "# sim-lint: disable-file=SIM001\n"
+        "import time\n\ndef f():\n    return time.time()\n"
+    )
+    assert lint_source(src, "mod.py") == []
+
+
+def test_file_suppression_bare_disables_everything():
+    src = (
+        "# sim-lint: disable-file\n"
+        "import time\nimport random\n\n"
+        "def f():\n    return time.time() + random.random()\n"
+    )
+    assert lint_source(src, "mod.py") == []
+
+
+def test_file_suppression_leaves_other_rules_on():
+    src = (
+        "# sim-lint: disable-file=SIM001\n"
+        "import time\nimport random\n\n"
+        "def f():\n    return time.time() + random.random()\n"
+    )
+    assert [f.rule for f in lint_source(src, "mod.py")] == ["SIM002"]
+
+
+# -- rule selection and syntax errors --------------------------------------
+
+
+def test_rule_filter():
+    src = "import time\nimport random\n\ndef f():\n    return time.time() + random.random()\n"
+    only = lint_source(src, "mod.py", rules=["SIM002"])
+    assert [f.rule for f in only] == ["SIM002"]
+
+
+def test_syntax_error_becomes_sim000():
+    findings = lint_source("def broken(:\n", "mod.py")
+    assert [f.rule for f in findings] == ["SIM000"]
+    assert "syntax error" in findings[0].message
+
+
+# -- file walking ----------------------------------------------------------
+
+
+def test_walk_skips_fixture_dirs_but_lints_explicit_files():
+    walked = iter_python_files([Path(__file__).parent])
+    assert not any("fixtures" in p.parts for p in walked)
+    explicit = iter_python_files([FIXTURES / "sim001_wallclock.py"])
+    assert len(explicit) == 1
+
+
+def test_walk_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        iter_python_files(["no/such/dir"])
+
+
+def test_lint_paths_sorted_and_deduplicated():
+    target = FIXTURES / "sim001_wallclock.py"
+    findings = lint_paths([target, target])
+    assert [f.rule for f in findings] == ["SIM001"]
+
+
+# -- baseline --------------------------------------------------------------
+
+
+def _finding(rule="SIM001", path="a.py", line=3, message="m"):
+    return Finding(path=path, line=line, col=1, rule=rule, message=message)
+
+
+def test_baseline_roundtrip_and_split(tmp_path):
+    base = tmp_path / "base.json"
+    old = _finding(line=3)
+    baseline_mod.write(base, [old])
+    # same (rule, path, message) at a different line is still grandfathered
+    moved = _finding(line=9)
+    fresh = _finding(rule="SIM002", message="other")
+    new, grandfathered = baseline_mod.split([moved, fresh], baseline_mod.load(base))
+    assert new == [fresh]
+    assert grandfathered == [moved]
+
+
+def test_baseline_counts_duplicates(tmp_path):
+    base = tmp_path / "base.json"
+    baseline_mod.write(base, [_finding(line=3)])
+    # two identical findings, only one baselined: the second is new
+    new, grandfathered = baseline_mod.split(
+        [_finding(line=3), _finding(line=9)], baseline_mod.load(base)
+    )
+    assert len(new) == 1
+    assert len(grandfathered) == 1
+
+
+# -- the repo itself must lint clean ---------------------------------------
+
+
+def test_repo_tree_is_lint_clean():
+    repo = Path(__file__).resolve().parents[2]
+    findings = lint_paths([repo / "src", repo / "tests"])
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)

@@ -1,0 +1,266 @@
+"""Per-rule tests: every SIM rule fires on its fixture and variants."""
+
+from pathlib import Path
+
+from repro.lint import lint_file, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- fixture files: one known violation per rule ---------------------------
+
+
+def test_sim001_fixture_fires_once():
+    findings = lint_file(FIXTURES / "sim001_wallclock.py")
+    assert rules_of(findings) == ["SIM001"]
+    assert "time.time" in findings[0].message
+
+
+def test_sim002_fixture_fires_once():
+    findings = lint_file(FIXTURES / "sim002_random.py")
+    assert rules_of(findings) == ["SIM002"]
+    assert "random.uniform" in findings[0].message
+
+
+def test_sim003_fixture_fires_once():
+    findings = lint_file(FIXTURES / "sim003_leak.py", in_src=True)
+    assert rules_of(findings) == ["SIM003"]
+    assert "never released" in findings[0].message
+
+
+def test_sim004_fixture_fires_once():
+    findings = lint_file(FIXTURES / "sim004_time.py")
+    assert rules_of(findings) == ["SIM004"]
+    assert "past" in findings[0].message
+
+
+def test_sim005_fixture_fires_once():
+    findings = lint_file(FIXTURES / "sim005_process.py")
+    assert rules_of(findings) == ["SIM005"]
+    assert "handle" in findings[0].message
+
+
+def test_sim006_fixture_fires_once():
+    findings = lint_file(FIXTURES / "sim006_charge.py", in_src=True)
+    assert rules_of(findings) == ["SIM006"]
+    assert "12.5" in findings[0].message
+
+
+def test_clean_fixture_is_clean_even_in_src():
+    assert lint_file(FIXTURES / "clean.py", in_src=True) == []
+
+
+# -- SIM001 variants -------------------------------------------------------
+
+
+def test_sim001_resolves_aliased_imports():
+    src = "from time import perf_counter as pc\n\ndef f():\n    return pc()\n"
+    assert rules_of(lint_source(src, "mod.py")) == ["SIM001"]
+
+
+def test_sim001_allows_the_experiments_runner():
+    src = "import time\n\ndef f():\n    return time.time()\n"
+    path = "/x/src/repro/experiments/runner.py"
+    assert lint_source(src, path, in_src=True) == []
+
+
+def test_sim001_ignores_unrelated_time_attr():
+    src = "def f(msg):\n    return msg.time()\n"
+    assert lint_source(src, "mod.py") == []
+
+
+# -- SIM002 variants -------------------------------------------------------
+
+
+def test_sim002_import_flagged_only_in_src():
+    src = "import random\n"
+    assert rules_of(lint_source(src, "mod.py", in_src=True)) == ["SIM002"]
+    assert lint_source(src, "mod.py", in_src=False) == []
+
+
+def test_sim002_hash_seeded_random():
+    src = "import random\n\ndef f(name):\n    return random.Random(hash(name))\n"
+    findings = lint_source(src, "mod.py", in_src=False)
+    assert rules_of(findings) == ["SIM002"]
+    assert "stable_seed" in findings[0].message
+
+
+def test_sim002_hash_seed_inside_expression():
+    src = (
+        "import random\n\n"
+        "def f(name):\n"
+        "    return random.Random(hash(name) & 0xFFFF)\n"
+    )
+    assert rules_of(lint_source(src, "mod.py", in_src=False)) == ["SIM002"]
+
+
+def test_sim002_unseeded_random():
+    src = "import random\n\ndef f():\n    return random.Random()\n"
+    findings = lint_source(src, "mod.py", in_src=False)
+    assert rules_of(findings) == ["SIM002"]
+    assert "OS entropy" in findings[0].message
+
+
+def test_sim002_numpy_global_draw():
+    src = "import numpy\n\ndef f():\n    return numpy.random.rand(3)\n"
+    assert rules_of(lint_source(src, "mod.py", in_src=False)) == ["SIM002"]
+
+
+def test_sim002_seeded_random_instance_ok():
+    src = "import random\n\ndef f():\n    return random.Random(42)\n"
+    assert lint_source(src, "mod.py", in_src=False) == []
+
+
+def test_sim002_instance_draws_ok():
+    src = "def f(rng):\n    return rng.uniform(0, 1)\n"
+    assert lint_source(src, "mod.py", in_src=True) == []
+
+
+def test_sim002_rng_module_itself_exempt():
+    src = "import random\n\ndef f():\n    return random.Random(1)\n"
+    assert lint_source(src, "/x/src/repro/simcore/rng.py", in_src=True) == []
+
+
+# -- SIM003 variants -------------------------------------------------------
+
+
+def test_sim003_conditional_release_flagged():
+    src = (
+        "def f(pool, ledger, flag):\n"
+        "    buf = pool.get(64, ledger)\n"
+        "    if flag:\n"
+        "        pool.put(buf, ledger)\n"
+    )
+    findings = lint_source(src, "mod.py", in_src=True)
+    assert rules_of(findings) == ["SIM003"]
+    assert "some control-flow paths" in findings[0].message
+
+
+def test_sim003_raise_between_get_and_put_flagged():
+    src = (
+        "def f(pool, ledger, n):\n"
+        "    buf = pool.get(64, ledger)\n"
+        "    if n < 0:\n"
+        "        raise ValueError(n)\n"
+        "    pool.put(buf, ledger)\n"
+    )
+    findings = lint_source(src, "mod.py", in_src=True)
+    assert rules_of(findings) == ["SIM003"]
+    assert "exception path" in findings[0].message
+
+
+def test_sim003_finally_release_ok():
+    src = (
+        "def f(pool, ledger, n):\n"
+        "    buf = pool.get(64, ledger)\n"
+        "    try:\n"
+        "        if n < 0:\n"
+        "            raise ValueError(n)\n"
+        "    finally:\n"
+        "        pool.put(buf, ledger)\n"
+    )
+    assert lint_source(src, "mod.py", in_src=True) == []
+
+
+def test_sim003_escape_via_call_ok():
+    src = (
+        "def f(pool, ledger, sink):\n"
+        "    buf = pool.get(64, ledger)\n"
+        "    sink.push(buf)\n"
+    )
+    assert lint_source(src, "mod.py", in_src=True) == []
+
+
+def test_sim003_not_applied_outside_src():
+    src = "def f(pool, ledger):\n    buf = pool.get(64, ledger)\n"
+    assert lint_source(src, "mod.py", in_src=False) == []
+
+
+def test_sim003_non_pool_get_ignored():
+    src = "def f(cache, ledger):\n    value = cache.get('k')\n"
+    assert lint_source(src, "mod.py", in_src=True) == []
+
+
+# -- SIM004 variants -------------------------------------------------------
+
+
+def test_sim004_negative_schedule_delay():
+    src = "def f(env, ev):\n    env.schedule(ev, delay=-2.5)\n"
+    assert rules_of(lint_source(src, "mod.py")) == ["SIM004"]
+
+
+def test_sim004_clock_equality_in_src_only():
+    src = "def f(env):\n    return env.now == 5.0\n"
+    assert rules_of(lint_source(src, "mod.py", in_src=True)) == ["SIM004"]
+    assert lint_source(src, "mod.py", in_src=False) == []
+
+
+def test_sim004_nonnegative_timeout_ok():
+    src = "def f(env):\n    return env.timeout(0.0)\n"
+    assert lint_source(src, "mod.py", in_src=True) == []
+
+
+# -- SIM005 variants -------------------------------------------------------
+
+
+def test_sim005_underscore_handle_ok():
+    src = "def f(env, g):\n    _ = env.process(g())\n"
+    assert lint_source(src, "mod.py") == []
+
+
+def test_sim005_bare_generator_call():
+    src = (
+        "def worker(env):\n"
+        "    yield env.timeout(1)\n"
+        "\n"
+        "def f(env):\n"
+        "    worker(env)\n"
+    )
+    findings = lint_source(src, "mod.py")
+    assert rules_of(findings) == ["SIM005"]
+    assert "env.process" in findings[0].message
+
+
+def test_sim005_bare_self_method_generator_call():
+    src = (
+        "class A:\n"
+        "    def worker(self):\n"
+        "        yield None\n"
+        "\n"
+        "    def f(self):\n"
+        "        self.worker()\n"
+    )
+    assert rules_of(lint_source(src, "mod.py")) == ["SIM005"]
+
+
+def test_sim005_wrapped_generator_ok():
+    src = (
+        "def worker(env):\n"
+        "    yield env.timeout(1)\n"
+        "\n"
+        "def f(env):\n"
+        "    env.process(worker(env))\n"
+    )
+    assert lint_source(src, "mod.py") == []
+
+
+# -- SIM006 variants -------------------------------------------------------
+
+
+def test_sim006_zero_charge_ok():
+    src = "def f(ledger):\n    ledger.charge('noop', 0)\n"
+    assert lint_source(src, "mod.py", in_src=True) == []
+
+
+def test_sim006_model_derived_charge_ok():
+    src = "def f(ledger, sw):\n    ledger.charge('jni', sw.jni_crossing_us)\n"
+    assert lint_source(src, "mod.py", in_src=True) == []
+
+
+def test_sim006_not_applied_outside_src():
+    src = "def f(ledger):\n    ledger.charge('x', 3.0)\n"
+    assert lint_source(src, "mod.py", in_src=False) == []

@@ -101,7 +101,7 @@ def test_timeout_fires_at_delay():
 def test_timeout_negative_delay_rejected():
     env = Environment()
     with pytest.raises(ValueError):
-        env.timeout(-1.0)
+        env.timeout(-1.0)  # sim-lint: disable=SIM004 — rejection under test
 
 
 def test_timeouts_fire_in_time_order():

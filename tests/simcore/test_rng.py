@@ -1,6 +1,11 @@
 """Unit tests for deterministic RNG streams."""
 
-from repro.simcore import RngRegistry
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.simcore import RngRegistry, named_stream, stable_seed
 
 
 def test_same_seed_same_stream():
@@ -46,3 +51,42 @@ def test_adding_stream_does_not_perturb_existing():
     reg2 = RngRegistry(seed=3)
     reg2.stream("b")  # extra stream created first
     assert reg2.stream("a").random() == first
+
+
+def test_stable_seed_is_order_sensitive_and_deterministic():
+    assert stable_seed("a", "b") != stable_seed("b", "a")
+    assert stable_seed(42, "datanode:dn1") == stable_seed(42, "datanode:dn1")
+    assert 0 <= stable_seed("anything") < 2**32
+
+
+def test_named_stream_depends_on_name_and_seed():
+    assert named_stream("x").random() == named_stream("x").random()
+    assert named_stream("x").random() != named_stream("y").random()
+    assert named_stream("x", seed=1).random() != named_stream("x", seed=2).random()
+
+
+def _derived_seeds_in_subprocess(hash_seed: str) -> str:
+    """Print component-default seeds/draws under a given PYTHONHASHSEED."""
+    code = (
+        "from repro.simcore.rng import named_stream, stable_seed\n"
+        "print(stable_seed(20130901, 'datanode:dn3'),\n"
+        "      named_stream('datanode:dn3').random(),\n"
+        "      named_stream('tasktracker:slave7').uniform(0, 3),\n"
+        "      sep=',')\n"
+    )
+    repo_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        check=True,
+        capture_output=True,
+        text=True,
+        env=env,
+    ).stdout
+
+
+def test_component_seeds_stable_across_interpreter_runs():
+    """Regression: DataNode/TaskTracker default seeds used to derive from
+    hash(node.name), which PYTHONHASHSEED salts differently per process."""
+    assert _derived_seeds_in_subprocess("0") == _derived_seeds_in_subprocess("31337")

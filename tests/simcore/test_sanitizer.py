@@ -1,0 +1,199 @@
+"""Runtime sim-sanitizer tests: injected leaks and time violations."""
+
+import heapq
+
+import pytest
+
+from repro.calibration import CostModel
+from repro.mem.cost import CostLedger
+from repro.mem.native_pool import NativeBufferPool
+from repro.simcore import Environment, sanitizer
+from repro.simcore.events import NORMAL
+from repro.simcore.sanitizer import SanitizerError, SimSanitizer
+
+
+def _pool():
+    model = CostModel()
+    return NativeBufferPool(model, [1024, 4096]), CostLedger(model)
+
+
+# -- session management ----------------------------------------------------
+
+
+def test_no_session_by_default():
+    assert sanitizer.current() is None
+
+
+def test_install_uninstall_cycle():
+    session = SimSanitizer()
+    sanitizer.install(session)
+    try:
+        assert sanitizer.current() is session
+        with pytest.raises(RuntimeError):
+            sanitizer.install(SimSanitizer())
+    finally:
+        sanitizer.uninstall()
+    assert sanitizer.current() is None
+
+
+def test_context_manager_scopes_session():
+    with sanitizer.sanitized("scoped") as session:
+        assert sanitizer.current() is session
+        assert session.label == "scoped"
+    assert sanitizer.current() is None
+
+
+def test_without_session_no_ledger_is_kept():
+    pool, ledger = _pool()
+    buf = pool.get(100, ledger)
+    assert pool.sanitizer_outstanding() == []
+    pool.put(buf, ledger)
+
+
+# -- buffer-leak detection -------------------------------------------------
+
+
+def test_injected_pool_leak_is_reported():
+    with sanitizer.sanitized() as session:
+        pool, ledger = _pool()
+        pool.get(100, ledger)  # leaked on purpose
+        assert not session.clean
+        ((reported_pool, sites),) = session.pool_leaks()
+        assert reported_pool is pool
+        assert len(sites) == 1
+        assert "test_sanitizer.py" in sites[0]
+        report = "\n".join(session.report_lines())
+        assert "LEAK" in report and "acquired at" in report
+        assert "1 issue(s)" in session.summary()
+
+
+def test_returned_buffer_is_not_a_leak():
+    with sanitizer.sanitized() as session:
+        pool, ledger = _pool()
+        pool.put(pool.get(100, ledger), ledger)
+        assert session.clean
+        assert session.report_lines() == []
+        assert "clean" in session.summary()
+
+
+def test_oversized_buffer_tracked_too():
+    with sanitizer.sanitized() as session:
+        pool, ledger = _pool()
+        pool.get(1 << 20, ledger)  # beyond the largest class
+        assert len(session.pool_leaks()) == 1
+
+
+# -- time violations -------------------------------------------------------
+
+
+def test_past_scheduled_event_rejected():
+    with sanitizer.sanitized() as session:
+        env = Environment()
+        with pytest.raises(SanitizerError, match="past-scheduled"):
+            env.schedule(env.event(), delay=-1.0)  # sim-lint: disable=SIM004 — rejection under test
+        assert not session.clean
+        assert any("VIOLATION" in line for line in session.report_lines())
+
+
+def test_clock_regression_detected():
+    with sanitizer.sanitized() as session:
+        env = Environment()
+        env.timeout(10.0)
+        env.run()
+        assert env.now == 10.0  # sim-lint: disable=SIM004 — exact by construction
+        # corrupt the heap directly: an event stamped before `now`
+        stale = env.event()
+        stale._ok = True
+        stale._value = None
+        heapq.heappush(env._queue, (5.0, NORMAL, 999999, stale))
+        with pytest.raises(SanitizerError, match="clock regression"):
+            env.step()
+        assert not session.clean
+
+
+def test_normal_run_keeps_clock_checks_quiet():
+    with sanitizer.sanitized() as session:
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+            return "ok"
+
+        p = env.process(proc(env), name="p")
+        env.run()
+        assert p.value == "ok"
+        assert session.clean
+
+
+# -- stranded-waiter detection ---------------------------------------------
+
+
+def test_process_dying_with_waiters_is_reported():
+    with sanitizer.sanitized() as session:
+        env = Environment()
+        trigger = env.timeout(1.0)
+
+        def waits_trigger(env):
+            yield trigger
+
+        stranded = env.process(waits_trigger(env), name="stranded")
+
+        def waits_process(env):
+            yield stranded
+
+        env.process(waits_process(env), name="waiter")
+
+        def crash(event):
+            raise RuntimeError("boom")
+
+        def arm(env):
+            # register the crasher *behind* the process's own callback so
+            # the process terminates, then the scheduler dies before its
+            # termination event is delivered to the waiter
+            yield env.timeout(0.0)
+            trigger.add_callback(crash)
+
+        env.process(arm(env), name="arm")
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+        assert session.stalled_processes() == [stranded]
+        report = "\n".join(session.report_lines())
+        assert "STALLED" in report and "never notified" in report
+
+
+def test_blocked_daemon_is_not_flagged():
+    from repro.simcore import Store
+
+    with sanitizer.sanitized() as session:
+        env = Environment()
+        store = Store(env)
+
+        def daemon(env):
+            while True:
+                yield store.get()
+
+        env.process(daemon(env), name="daemon")
+        env.timeout(5.0)
+        env.run()
+        # daemon is still blocked on the empty store: normal teardown
+        assert session.stalled_processes() == []
+        assert session.clean
+
+
+# -- bookkeeping -----------------------------------------------------------
+
+
+def test_session_counts_components():
+    with sanitizer.sanitized() as session:
+        env = Environment()
+        _pool()
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert session.environments == 1
+        assert len(session.pools) == 1
+        assert len(session.processes) == 1
