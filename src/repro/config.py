@@ -31,6 +31,15 @@ class Configuration:
         "ipc.server.reader.count": 1,
         "ipc.server.callqueue.size": 100,
         "ipc.client.connection.maxidletime": 10_000_000.0,  # usec
+        # -- RPC failure semantics (Hadoop ipc.Client analogues) -----------
+        "ipc.client.connect.max.retries": 10,
+        "ipc.client.connect.retry.interval": 1_000_000.0,  # usec
+        "ipc.client.connect.retry.policy": "fixed",  # or "exponential"
+        "ipc.client.call.timeout": 0.0,  # usec; 0 disables call deadlines
+        "ipc.client.call.max.retries": 5,
+        "ipc.client.call.retry.interval": 200_000.0,  # usec (exponential)
+        "ipc.client.ping": True,
+        "ipc.ping.interval": 60_000_000.0,  # usec
         # -- buffer management --------------------------------------------
         "io.buffer.initial.size": 32,  # DataOutputBuffer initial (Java)
         "io.server.buffer.initial.size": 10 * 1024,  # server-side initial

@@ -8,6 +8,7 @@ used for the cluster-scale experiments.
 """
 
 from repro.experiments import (
+    chaos,
     fig1_alloc_ratio,
     fig3_size_locality,
     fig5_micro,
@@ -25,6 +26,7 @@ ALL_EXPERIMENTS = {
     "fig6": fig6_mapreduce,
     "fig7": fig7_hdfs,
     "fig8": fig8_hbase,
+    "chaos": chaos,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

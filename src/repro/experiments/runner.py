@@ -15,6 +15,14 @@ Observability flags (see ``repro.obs``):
 Tracing is off by default and, when off, adds no simulated-clock events
 — reported numbers are bit-identical with and without the flags.
 
+``--faults plan.json`` arms the deterministic fault-injection plane
+(:mod:`repro.faults`): every fabric the experiments build runs under the
+given fault plan — node crashes/restarts, partitions, packet loss,
+corruption, QP breaks, bootstrap failures, slow NICs/disks — all drawn
+from seeded named RNG streams, so two runs of the same plan are
+identical.  With the flag off, the plane is never armed and outputs are
+bit-identical to builds without it.
+
 ``--sanitize`` arms the runtime sim-sanitizer
 (:mod:`repro.simcore.sanitizer`): clock-monotonicity assertions,
 rejection of past-scheduled events, a buffer-leak ledger on every
@@ -32,6 +40,8 @@ import time
 
 def main(argv=None) -> int:
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.faults import FaultPlan, FaultSession
+    from repro.faults import runtime as faults_runtime
     from repro.obs import runtime as obs_runtime
     from repro.obs.runtime import ObsSession
     from repro.simcore import sanitizer as sim_sanitizer
@@ -59,6 +69,13 @@ def main(argv=None) -> int:
         help="write JSON snapshots of every run's metrics registry",
     )
     parser.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="arm the fault-injection plane with the given JSON fault plan "
+        "(see repro.faults.plan for the schema)",
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help="arm the runtime sim-sanitizer (leak/monotonicity checks); "
@@ -78,6 +95,13 @@ def main(argv=None) -> int:
             except OSError as exc:
                 parser.error(f"cannot write {path}: {exc}")
 
+    fault_plan = None
+    if args.faults is not None:
+        try:
+            fault_plan = FaultPlan.from_file(args.faults)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load fault plan {args.faults}: {exc}")
+
     session = None
     if args.trace or args.metrics:
         session = ObsSession(trace=args.trace is not None, label="+".join(names))
@@ -86,6 +110,10 @@ def main(argv=None) -> int:
     if args.sanitize:
         sanitizer_session = sim_sanitizer.SimSanitizer(label="+".join(names))
         sim_sanitizer.install(sanitizer_session)
+    fault_session = None
+    if fault_plan is not None:
+        fault_session = FaultSession(fault_plan, label="+".join(names))
+        faults_runtime.install(fault_session)
     try:
         for name in names:
             module = ALL_EXPERIMENTS[name]
@@ -99,6 +127,8 @@ def main(argv=None) -> int:
             obs_runtime.uninstall()
         if sanitizer_session is not None:
             sim_sanitizer.uninstall()
+        if fault_session is not None:
+            faults_runtime.uninstall()
     if session is not None:
         if args.trace:
             events = session.write_trace(args.trace)
@@ -109,6 +139,11 @@ def main(argv=None) -> int:
         if args.metrics:
             runs = session.write_metrics(args.metrics)
             print(f"metrics: {runs} run snapshots -> {args.metrics}")
+    if fault_session is not None:
+        print(
+            f"faults: {fault_session.injected_total()} injected over "
+            f"{len(fault_session.fabrics)} fabric(s) ({args.faults})"
+        )
     if sanitizer_session is not None:
         for line in sanitizer_session.report_lines():
             print(line, file=sys.stderr)

@@ -1,0 +1,25 @@
+"""Deterministic fault-injection plane for the DES substrate.
+
+A :class:`~repro.faults.plan.FaultPlan` is a declarative list of timed
+fault events — node crash/restart, link partitions, per-transfer packet
+loss and corruption, QP breaks, endpoint-bootstrap failures, slow-NIC
+and slow-disk degradation factors.  A plan is armed process-wide via a
+:class:`~repro.faults.runtime.FaultSession` (the ``--faults plan.json``
+flag on the experiments CLI); every :class:`~repro.net.fabric.Fabric`
+built while the session is installed attaches a
+:class:`~repro.faults.injector.FabricFaults` that schedules the plan as
+ordinary sim processes on that fabric's clock.
+
+With no session installed every hook is a single ``is None`` branch —
+the plane adds no simulated-clock events and no RNG draws, so reported
+numbers are bit-identical with and without it (the same zero-cost-when-
+off contract as :mod:`repro.obs` and the sim-sanitizer).  All stochastic
+injectors (loss, corruption, bootstrap failure) draw from dedicated
+:class:`repro.simcore.rng.RngRegistry` streams seeded from the plan, so
+chaos runs are bit-reproducible across interpreters (rule SIM007).
+"""
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.runtime import FaultSession
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultSession"]

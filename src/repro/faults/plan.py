@@ -1,0 +1,201 @@
+"""Declarative fault plans: parse, validate, and describe fault events.
+
+A plan is JSON of the shape::
+
+    {
+      "seed": 20130901,
+      "events": [
+        {"kind": "node_crash",   "at": 1300000, "node": "server"},
+        {"kind": "node_restart", "at": 1600000, "node": "server"},
+        {"kind": "partition",    "at": 700000, "until": 900000,
+         "between": [["cn0", "cn1"], ["server"]]},
+        {"kind": "packet_loss",  "at": 0, "until": 1500000,
+         "rate": 0.03, "rto_us": 30000},
+        {"kind": "corruption",   "at": 1700000, "until": 1900000, "rate": 0.05},
+        {"kind": "qp_break",     "at": 450000, "node": "server"},
+        {"kind": "ib_bootstrap_failure", "at": 0, "until": 200000, "rate": 1.0},
+        {"kind": "slow_nic",     "at": 1000000, "until": 1200000,
+         "node": "server", "factor": 8.0},
+        {"kind": "slow_disk",    "at": 0, "node": "dn3", "factor": 4.0}
+      ]
+    }
+
+Times are simulated microseconds, like everything else in the DES.
+Validation happens at construction so a bad plan fails before any
+simulation runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.simcore.rng import DEFAULT_SEED
+
+#: Every fault kind the injector understands.
+KINDS = frozenset(
+    {
+        "node_crash",
+        "node_restart",
+        "partition",
+        "packet_loss",
+        "corruption",
+        "qp_break",
+        "ib_bootstrap_failure",
+        "slow_nic",
+        "slow_disk",
+    }
+)
+
+#: Kinds that name a single node.
+_NODE_KINDS = frozenset({"node_crash", "node_restart", "slow_nic", "slow_disk"})
+
+#: Kinds with a stochastic per-event rate in [0, 1].
+_RATE_KINDS = frozenset({"packet_loss", "corruption", "ib_bootstrap_failure"})
+
+#: Default retransmission penalty charged per lost wire chunk (usec):
+#: Linux's TCP minimum RTO floor, the right order of magnitude for the
+#: gigabit/IPoIB fabrics the paper measures.
+DEFAULT_RTO_US = 200_000.0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One validated fault event of a plan."""
+
+    kind: str
+    at: float = 0.0
+    until: Optional[float] = None
+    node: Optional[str] = None
+    between: Optional[Tuple[FrozenSet[str], FrozenSet[str]]] = None
+    rate: float = 0.0
+    factor: float = 1.0
+    rto_us: float = DEFAULT_RTO_US
+
+    def active(self, now: float) -> bool:
+        """Whether a windowed event applies at simulated time ``now``."""
+        if now < self.at:
+            return False
+        return self.until is None or now < self.until
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "at": self.at}
+        if self.until is not None:
+            out["until"] = self.until
+        if self.node is not None:
+            out["node"] = self.node
+        if self.between is not None:
+            out["between"] = [sorted(self.between[0]), sorted(self.between[1])]
+        if self.kind in _RATE_KINDS:
+            out["rate"] = self.rate
+        if self.kind == "packet_loss":
+            out["rto_us"] = self.rto_us
+        if self.kind in ("slow_nic", "slow_disk"):
+            out["factor"] = self.factor
+        return out
+
+
+def _parse_event(index: int, payload: Dict[str, Any]) -> FaultEvent:
+    where = f"events[{index}]"
+    if not isinstance(payload, dict):
+        raise ValueError(f"{where}: expected an object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind not in KINDS:
+        raise ValueError(
+            f"{where}: unknown kind {kind!r} (expected one of {sorted(KINDS)})"
+        )
+    at = float(payload.get("at", payload.get("from", 0.0)))
+    if at < 0:
+        raise ValueError(f"{where}: 'at' must be >= 0, got {at}")
+    until = payload.get("until")
+    if until is not None:
+        until = float(until)
+        if until <= at:
+            raise ValueError(f"{where}: 'until' ({until}) must be > 'at' ({at})")
+    node = payload.get("node")
+    if kind in _NODE_KINDS and not node:
+        raise ValueError(f"{where}: {kind} requires a 'node'")
+    between = None
+    if kind == "partition":
+        raw = payload.get("between")
+        if (
+            not isinstance(raw, (list, tuple))
+            or len(raw) != 2
+            or not all(isinstance(side, (list, tuple)) and side for side in raw)
+        ):
+            raise ValueError(
+                f"{where}: partition requires 'between': [[nodes...], [nodes...]]"
+            )
+        between = (frozenset(map(str, raw[0])), frozenset(map(str, raw[1])))
+        if between[0] & between[1]:
+            raise ValueError(
+                f"{where}: partition sides overlap: {sorted(between[0] & between[1])}"
+            )
+    rate = float(payload.get("rate", 0.0))
+    if kind in _RATE_KINDS and not 0.0 <= rate <= 1.0:
+        raise ValueError(f"{where}: 'rate' must be in [0, 1], got {rate}")
+    factor = float(payload.get("factor", 1.0))
+    if kind in ("slow_nic", "slow_disk") and factor < 1.0:
+        raise ValueError(f"{where}: 'factor' must be >= 1, got {factor}")
+    rto_us = float(payload.get("rto_us", DEFAULT_RTO_US))
+    if rto_us < 0:
+        raise ValueError(f"{where}: 'rto_us' must be >= 0, got {rto_us}")
+    return FaultEvent(
+        kind=kind,
+        at=at,
+        until=until,
+        node=str(node) if node is not None else None,
+        between=between,
+        rate=rate,
+        factor=factor,
+        rto_us=rto_us,
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, immutable fault schedule."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = DEFAULT_SEED
+    label: str = ""
+    #: free-form plan description carried through from the JSON.
+    note: str = field(default="", compare=False)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any], label: str = "") -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"fault plan must be an object, got {type(payload).__name__}"
+            )
+        raw_events = payload.get("events", [])
+        if not isinstance(raw_events, list):
+            raise ValueError("'events' must be a list")
+        events = tuple(
+            _parse_event(i, event) for i, event in enumerate(raw_events)
+        )
+        return cls(
+            events=events,
+            seed=int(payload.get("seed", DEFAULT_SEED)),
+            label=label or str(payload.get("label", "")),
+            note=str(payload.get("note", "")),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls.from_dict(payload, label=path)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def kinds(self) -> List[str]:
+        return sorted({event.kind for event in self.events})
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,89 @@
+"""Process-wide fault-session plumbing (the ``--faults`` flag).
+
+Experiments construct their :class:`~repro.net.fabric.Fabric` objects
+internally, so — like :mod:`repro.obs.runtime` and the sim-sanitizer —
+the fault plane is armed process-wide::
+
+    from repro.faults import FaultPlan, runtime as faults_runtime
+
+    plan = FaultPlan.from_file("plan.json")
+    with faults_runtime.session(plan):
+        chaos.run()
+
+Every fabric built while a session is installed gets a
+:class:`~repro.faults.injector.FabricFaults` attached (``fabric.faults``);
+with no session installed ``fabric.faults`` is ``None`` and every hook
+in the transports is a single ``is None`` branch.
+
+:func:`suppressed` temporarily masks the installed session so a chaos
+experiment can run its clean baseline on the same process without
+faults, then compare.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional
+
+from repro.faults.injector import FabricFaults
+from repro.faults.plan import FaultPlan
+
+
+class FaultSession:
+    """One armed fault plan, attached to every fabric built under it."""
+
+    def __init__(self, plan: FaultPlan, label: str = ""):
+        self.plan = plan
+        self.label = label or plan.label
+        self.fabrics: List[FabricFaults] = []
+
+    def attach(self, fabric) -> FabricFaults:
+        """Called by ``Fabric.__init__``: arm the plan on this fabric."""
+        faults = FabricFaults(fabric, self.plan)
+        self.fabrics.append(faults)
+        return faults
+
+    def injected_total(self) -> int:
+        return sum(faults.injected for faults in self.fabrics)
+
+
+_current: Optional[FaultSession] = None
+
+
+def current() -> Optional[FaultSession]:
+    """The active fault session, if any (consulted by Fabric.__init__)."""
+    return _current
+
+
+def install(session: FaultSession) -> None:
+    global _current
+    if _current is not None:
+        raise RuntimeError("a FaultSession is already installed")
+    _current = session
+
+
+def uninstall() -> None:
+    global _current
+    _current = None
+
+
+@contextmanager
+def session(plan: FaultPlan, label: str = ""):
+    """Scope a :class:`FaultSession` around a block of simulation runs."""
+    sess = FaultSession(plan, label=label)
+    install(sess)
+    try:
+        yield sess
+    finally:
+        uninstall()
+
+
+@contextmanager
+def suppressed():
+    """Temporarily mask the installed session (clean-baseline runs)."""
+    global _current
+    saved, _current = _current, None
+    try:
+        yield
+    finally:
+        _current = saved

@@ -184,6 +184,9 @@ class DataNode:
         with self.disk.request() as grant:
             yield grant
             cost = nbytes / disk_spec.seq_write + (disk_spec.seek_us if seek else 0.0)
+            ff = self.fabric.faults
+            if ff is not None:
+                cost *= ff.disk_factor(self.name)
             yield self.env.timeout(cost)
 
     def _report_received(self, block: BlockWritable, nbytes: int):

@@ -478,6 +478,68 @@ def check_sim006(ctx: LintContext) -> Iterator[Finding]:
             )
 
 
+# --------------------------------------------------------------------------
+# SIM007 — fault-injection determinism
+# --------------------------------------------------------------------------
+
+#: SIM007 applies to the fault-injection plane only: fault draws decide
+#: *which* failures happen, so any nondeterminism there silently changes
+#: the injected schedule between runs.
+FAULTS_PATH_FRAGMENT = "repro/faults/"
+
+#: Approved draw/seed entry points of repro.simcore.rng.
+_RNG_ENTRY_POINTS = ("stream", "np_stream", "named_stream", "RngRegistry",
+                     "stable_seed")
+
+
+def _volatile_seed_source(node: ast.AST) -> Optional[str]:
+    """Name of a run-varying subexpression feeding an RNG, if any."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id in ("hash", "id")
+        ):
+            return f"{sub.func.id}()"
+        dotted = astutil.dotted_name(sub)
+        if dotted and dotted.endswith(".now"):
+            return dotted
+    return None
+
+
+def check_sim007(ctx: LintContext) -> Iterator[Finding]:
+    if FAULTS_PATH_FRAGMENT not in ctx.posix:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = astutil.resolved_name(node.func, ctx.aliases) or ""
+        last = astutil.last_segment(resolved)
+        if resolved.startswith("random.") or resolved.startswith("numpy.random."):
+            # Even a *seeded* private Random is wrong here: its draw
+            # order is not isolated per fault rule, so adding one rule
+            # reshuffles every other rule's outcomes.
+            yield ctx.finding(
+                node,
+                "SIM007",
+                f"{resolved}() in fault-injection code — injectors must draw "
+                "only from repro.simcore.rng named streams "
+                "(RngRegistry.stream(name))",
+            )
+        elif last in _RNG_ENTRY_POINTS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                source = _volatile_seed_source(arg)
+                if source is not None:
+                    yield ctx.finding(
+                        node,
+                        "SIM007",
+                        f"{last}(...) fed from {source}: varies between runs "
+                        "— fault schedules must derive from the plan seed "
+                        "via stable_seed(...)",
+                    )
+                    break
+
+
 #: rule code -> checker, in report order.
 CHECKERS = {
     "SIM001": check_sim001,
@@ -486,4 +548,5 @@ CHECKERS = {
     "SIM004": check_sim004,
     "SIM005": check_sim005,
     "SIM006": check_sim006,
+    "SIM007": check_sim007,
 }

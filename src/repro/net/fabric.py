@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.calibration import CostModel, NetworkSpec
+from repro.faults import runtime as faults_runtime
 from repro.mem.jvm import JvmHeap
 from repro.obs import runtime as obs_runtime
 from repro.obs.registry import MetricsRegistry
@@ -68,6 +69,13 @@ class Fabric:
         else:
             self.tracer = NULL_TRACER
             self.metrics = MetricsRegistry(env)
+        # Fault injection (``--faults``): with a FaultSession armed the
+        # plan is scheduled on this fabric's clock; otherwise every
+        # transport hook is a single ``is None`` branch (zero cost).
+        fault_session = faults_runtime.current()
+        self.faults = (
+            fault_session.attach(self) if fault_session is not None else None
+        )
 
     def add_node(self, name: str, cores: Optional[int] = None) -> Node:
         if name in self.nodes:
@@ -103,13 +111,25 @@ class Fabric:
         )
 
     def _transfer_proc(self, src: Node, dst: Node, nbytes: int, spec: NetworkSpec):
+        """Returns True when the bytes arrived, False when a fault
+        (crashed endpoint) swallowed them mid-flight."""
+        if self.faults is not None:
+            # Partitions park the transfer until heal; a crashed
+            # endpoint means the bytes are lost.
+            ok = yield from self.faults.wait_transferable(src, dst)
+            if not ok:
+                return False
         if src is dst:
             # Loopback: kernel memcpy, no NIC, tiny latency.
             yield self.env.timeout(
                 1.0 + nbytes * self.model.memory.memcpy_per_byte_us
             )
-            return
+            return True
         serialization_us = nbytes / spec.bandwidth
+        if self.faults is not None:
+            factor = self.faults.nic_factor(src.name, dst.name)
+            if factor != 1.0:
+                serialization_us *= factor
 
         def hold(resource, delay_before):
             if delay_before:
@@ -125,3 +145,6 @@ class Fabric:
         tx_side = self.env.process(hold(src.nic_tx, 0.0))
         rx_side = self.env.process(hold(dst.nic_rx, spec.latency_us))
         yield tx_side & rx_side
+        if self.faults is not None and not self.faults.deliverable(src, dst):
+            return False
+        return True

@@ -96,6 +96,8 @@ class SimSocket:
         self.on_data: Optional[Callable[["SimSocket"], None]] = None
         self.bytes_sent = 0
         self.bytes_received = 0
+        if fabric.faults is not None:
+            fabric.faults.register_socket(self)
         #: out-of-band trace refs travelling with frames (repro.obs):
         #: the sender appends to the *peer's* deque in frame order, the
         #: receiver pops one per decoded call frame.  Never serialized
@@ -157,9 +159,27 @@ class SimSocket:
             data = yield self._tx_queue.get()
             for start in range(0, len(data), self.WIRE_CHUNK):
                 chunk = data[start : start + self.WIRE_CHUNK]
-                yield self.fabric.transfer(
+                faults = self.fabric.faults
+                if faults is not None:
+                    retransmit_us = faults.loss_delay(
+                        self.local.name, self.remote.name
+                    )
+                    if retransmit_us > 0.0:
+                        # Lost on the wire: TCP retransmits after an RTO.
+                        yield self.env.timeout(retransmit_us)
+                    if faults.corrupts(self.local.name, self.remote.name):
+                        # Checksum failure past TCP's ability to mask —
+                        # both ends see the connection reset.
+                        peer = self.peer
+                        self.close()
+                        if peer is not None:
+                            peer.close()
+                        return
+                delivered = yield self.fabric.transfer(
                     self.local, self.remote, len(chunk), self.spec
                 )
+                if delivered is False:
+                    continue  # endpoint crashed mid-flight: bytes lost
                 if self.peer is not None and not self.peer.closed:
                     self.peer._deliver(chunk)
 
@@ -252,6 +272,10 @@ def connect(
         if listener is None:
             raise ConnectionRefused(f"no listener at {address}")
         server_node = listener.node
+        if fabric.faults is not None and fabric.faults.blocked(
+            client_node.name, server_node.name
+        ):
+            raise ConnectionRefused(f"{address}: unreachable (fault injected)")
         yield env.timeout(fabric.model.software.socket_connect_us)
         yield fabric.transfer(client_node, server_node, 128, spec)
         client_sock = SimSocket(

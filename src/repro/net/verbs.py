@@ -22,6 +22,27 @@ from repro.simcore import Store
 from repro.simcore.process import Process
 
 
+class QPBrokenError(ConnectionError):
+    """A work request was posted on (or delivered to) a broken QP."""
+
+
+class QPBreak:
+    """Poison message delivered through a broken QP's completion path.
+
+    A Store getter cannot be failed from outside, so a QP break is
+    surfaced the way real verbs surface it: as an error completion
+    polled off the CQ.  Receive loops must isinstance-check for it.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str = "qp broken"):
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<QPBreak {self.reason!r}>"
+
+
 class VerbsMessage(NamedTuple):
     """A completed receive: payload snapshot + how it travelled."""
 
@@ -64,6 +85,9 @@ class QueuePair:
         self.cq: Optional[Store] = None
         self.peer: Optional["QueuePair"] = None
         self.closed = False
+        self.broken = False
+        if self.fabric.faults is not None:
+            self.fabric.faults.register_qp(self)
         self._tx_queue: Optional[Store] = None
         self._tx_worker = None
         self.sends = 0
@@ -103,6 +127,10 @@ class QueuePair:
         """
         if self.closed:
             raise RuntimeError("post_send on closed QP")
+        if self.broken:
+            raise QPBrokenError(
+                f"{self.local.name}->{self.remote.name}: post_send on broken QP"
+            )
         view = data.data if isinstance(data, NativeBuffer) else data
         if length is None:
             length = len(view)
@@ -149,7 +177,7 @@ class QueuePair:
                 self.local.node, self.remote.node, len(payload), spec
             )
             peer = self.peer
-            if peer is not None and not peer.closed:
+            if peer is not None and not peer.closed and not peer.broken:
                 message = VerbsMessage(payload, len(payload), eager, context)
                 if peer.cq is not None:
                     yield peer.cq.put((peer, message))
@@ -178,6 +206,23 @@ class QueuePair:
 
     def close(self) -> None:
         self.closed = True
+
+    def break_qp(self, reason: str = "qp broken") -> None:
+        """Error both directions of the QP (fault injection).
+
+        Each side's completion path receives a :class:`QPBreak` poison
+        so blocked receivers wake; subsequent ``post_send`` raises
+        :class:`QPBrokenError`.
+        """
+        for qp in (self, self.peer):
+            if qp is None or qp.broken or qp.closed:
+                continue
+            qp.broken = True
+            poison = QPBreak(reason)
+            if qp.cq is not None:
+                qp.cq.put((qp, poison))
+            else:
+                qp.inbound.put(poison)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<QueuePair {self.local.name}->{self.remote.name}>"

@@ -27,6 +27,37 @@ class RemoteException(RuntimeError):
         self.message = message
 
 
+class ServerOverloadedException(RemoteException):
+    """The server's call queue was full; the client backs off and retries.
+
+    Hadoop analogue: the ``RetriableException`` family the IPC server
+    throws under call-queue pressure.
+    """
+
+    CLASS_NAME = "ServerOverloadedException"
+
+    def __init__(self, message: str = "call queue full"):
+        super().__init__(self.CLASS_NAME, message)
+
+
+class RpcTimeoutError(ConnectionError):
+    """A call exceeded ``ipc.client.call.timeout`` on the sim clock."""
+
+
+class RetriesExhaustedError(ConnectionError):
+    """Connect/call retries ran out; ``cause`` is the last failure."""
+
+    def __init__(self, message: str, attempts: int = 0, cause=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.cause = cause
+
+
+#: Reserved call id for connection-keepalive ping frames (Hadoop's
+#: ``Client.PING_CALL_ID``); never allocated to a real call.
+PING_CALL_ID = -1
+
+
 @writable_factory
 class Invocation(Writable):
     """A method invocation: method name + positional Writable params.
@@ -78,13 +109,19 @@ class Call:
     :class:`RemoteException`).
     """
 
-    def __init__(self, call_id: int, protocol: str, method: str, params, env):
+    def __init__(
+        self, call_id: int, protocol: str, method: str, params, env,
+        deadline: Optional[float] = None,
+    ):
         self.id = call_id
         self.protocol = protocol
         self.method = method
         self.params = params
         self.done = env.event()
         self.started_at = env.now
+        #: absolute sim time after which the call times out (None = no
+        #: timeout); enforced by the connection's keeper process.
+        self.deadline = deadline
         #: the call's root tracing span (repro.obs); NULL_SPAN when
         #: tracing is disabled so annotation sites stay branch-free.
         self.span = None
@@ -93,7 +130,12 @@ class Call:
         self.done.succeed(value)
 
     def error(self, exc: Exception) -> None:
+        # Pre-defuse: a failed call nobody is waiting on (the caller
+        # already gave up, or the failure races the retry loop) must not
+        # crash the scheduler.  Waiting processes still get the
+        # exception thrown — delivery checks _ok, not _defused.
         self.done.fail(exc)
+        self.done.defuse()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Call #{self.id} {self.protocol}.{self.method}>"

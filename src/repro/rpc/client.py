@@ -10,12 +10,26 @@ callers.  Two connection types implement the two engines:
 * :class:`IBConnection` — RPCoIB: endpoint bootstrap over the socket
   address, then JVM-bypass serialization into pooled registered
   buffers and verbs send/recv / RDMA past the adaptive threshold.
+
+Failure semantics mirror ``org.apache.hadoop.ipc.Client``: connect
+retry with fixed/exponential backoff (``ipc.client.connect.max.retries``,
+``ipc.client.connect.retry.interval``), per-call timeouts with ping
+keepalive (``ipc.client.call.timeout``, ``ipc.ping.interval``) enforced
+by a per-connection keeper process, idle-connection teardown
+(``ipc.client.connection.maxidletime``) with lazy reconnect, and
+backoff-and-retry on :class:`ServerOverloadedException`.  RPCoIB adds
+the paper's graceful degradation: the sockets path is always present,
+so a failed endpoint bootstrap or a QP that breaks mid-stream falls
+back to :class:`SocketConnection` transparently — in-flight calls are
+re-issued, the ``rpc.ib.fallbacks`` counter records the event, and the
+active span is annotated.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple, Type
+import math
+from typing import Dict, List, Optional, Set, Tuple, Type
 
 from repro.calibration import CostModel, NetworkSpec
 from repro.config import Configuration
@@ -30,12 +44,33 @@ from repro.mem.shadow_pool import HistoryShadowPool
 from repro.net import sockets as simsockets
 from repro.net.fabric import Fabric, Node
 from repro.net.sockets import SocketAddress, SocketClosed
-from repro.net.verbs import Endpoint, QueuePair
+from repro.net.verbs import Endpoint, QPBreak, QPBrokenError, QueuePair
 from repro.obs.trace import NULL_SPAN
-from repro.rpc.call import Call, ConnectionHeader, Invocation, RemoteException, RpcStatus
+from repro.rpc.call import (
+    Call,
+    ConnectionHeader,
+    Invocation,
+    PING_CALL_ID,
+    RemoteException,
+    RetriesExhaustedError,
+    RpcStatus,
+    RpcTimeoutError,
+    ServerOverloadedException,
+)
 from repro.rpc.metrics import CallProfile, RpcMetrics
 from repro.rpc.protocol import RpcProtocol
 from repro.simcore.process import Process
+
+
+class IBBootstrapError(ConnectionError):
+    """The RPCoIB endpoint exchange failed; the sockets path remains."""
+
+
+def _backoff_us(interval_us: float, attempt: int, policy: str) -> float:
+    """Delay before retry ``attempt`` (1-based) under a backoff policy."""
+    if policy == "exponential":
+        return interval_us * (2.0 ** (attempt - 1))
+    return interval_us
 
 
 class Client:
@@ -63,6 +98,9 @@ class Client:
         self._call_ids = itertools.count(1)
         self._connections: Dict[Tuple[SocketAddress, str], "BaseConnection"] = {}
         self._connecting: Dict[Tuple[SocketAddress, str], object] = {}
+        #: addresses where RPCoIB failed and the client fell back to the
+        #: sockets engine — sticky, like Hadoop's per-address blacklists.
+        self._ib_fallback: Set[SocketAddress] = set()
         # RPCoIB client-side pool, shared across connections (the
         # library-wide native pool of Section III-C).
         self._pool: Optional[HistoryShadowPool] = None
@@ -93,7 +131,9 @@ class Client:
         """Invoke ``protocol.method(*params)`` at ``address``.
 
         Returns a Process whose value is the returned Writable; raises
-        :class:`RemoteException` on server-side errors.
+        :class:`RemoteException` on server-side errors and
+        :class:`ConnectionError` subclasses (:class:`RpcTimeoutError`,
+        :class:`RetriesExhaustedError`, ...) on transport failures.
         """
         return self.env.process(
             self._call_proc(address, protocol, method, params),
@@ -110,54 +150,125 @@ class Client:
             method=method,
             engine="rpcoib" if self.ib_enabled else "socket",
         )
-        try:
-            conn = yield from self._get_connection(address, protocol, parent=span)
-        except ConnectionError as exc:
-            # ConnectionRefused / SocketClosed / RPCoIB-negotiation failure
-            span.annotate("error", type(exc).__name__).end()
-            raise
-        except BaseException:
-            # Anything else is a simulator bug, not a connect failure —
-            # close the span so the trace stays well-formed, then let it
-            # crash the run.
-            span.annotate("error", "unexpected").end()
-            raise
-        call = Call(
-            next(self._call_ids), protocol.protocol_name(), method, params, self.env
-        )
-        call.span = span
-        profile_info = yield from conn.send_call(call)
-        try:
-            value = yield call.done
-        except RemoteException as exc:
-            self.metrics.record_failure()
-            self.fabric.metrics.counter("rpc.client.calls_failed", node=self.node.name).add()
-            span.annotate("error", exc.class_name).end()
-            raise
-        latency_us = self.env.now - call.started_at
-        self.metrics.record_call(
-            CallProfile(
-                protocol=call.protocol,
-                method=call.method,
-                mem_adjustments=profile_info["adjustments"],
-                serialization_us=profile_info["serialization_us"],
-                send_us=profile_info["send_us"],
-                latency_us=latency_us,
-                message_bytes=profile_info["message_bytes"],
+        conf = self.conf
+        call_timeout_us = conf.get_float("ipc.client.call.timeout")
+        max_retries = conf.get_int("ipc.client.call.max.retries")
+        retry_interval_us = conf.get_float("ipc.client.call.retry.interval")
+        attempts = 0
+        while True:
+            try:
+                conn = yield from self._get_connection(address, protocol, parent=span)
+            except ConnectionError as exc:
+                # ConnectionRefused / RetriesExhausted / SocketClosed
+                span.annotate("error", type(exc).__name__).end()
+                raise
+            except BaseException:
+                # Anything else is a simulator bug, not a connect failure —
+                # close the span so the trace stays well-formed, then let it
+                # crash the run.
+                span.annotate("error", "unexpected").end()
+                raise
+            call = Call(
+                next(self._call_ids), protocol.protocol_name(), method, params,
+                self.env,
+                deadline=(
+                    self.env.now + call_timeout_us if call_timeout_us > 0 else None
+                ),
             )
-        )
+            call.span = span
+            try:
+                profile_info = yield from conn.send_call(call)
+            except QPBrokenError:
+                # The verbs engine died under the send.  The call is
+                # already registered on the connection, so the engine
+                # fallback re-issues it over sockets; wait for that
+                # outcome below.  The send profile is lost.
+                profile_info = None
+            except SocketClosed as exc:
+                # Transport reset mid-send: retry on a fresh connection.
+                conn.calls.pop(call.id, None)
+                attempts += 1
+                if attempts > max_retries:
+                    self._fail_call_metrics(span, type(exc).__name__)
+                    raise RetriesExhaustedError(
+                        f"{method}: transport failed after {attempts} attempt(s)",
+                        attempts=attempts, cause=exc,
+                    ) from exc
+                yield self.env.timeout(
+                    _backoff_us(retry_interval_us, attempts, "exponential")
+                )
+                continue
+            try:
+                value = yield call.done
+            except ServerOverloadedException as exc:
+                attempts += 1
+                if attempts > max_retries:
+                    self._fail_call_metrics(span, exc.CLASS_NAME)
+                    raise RetriesExhaustedError(
+                        f"{method}: server overloaded after {attempts} attempt(s)",
+                        attempts=attempts, cause=exc,
+                    ) from exc
+                yield self.env.timeout(
+                    _backoff_us(retry_interval_us, attempts, "exponential")
+                )
+                continue
+            except RpcTimeoutError:
+                self._fail_call_metrics(span, "RpcTimeoutError")
+                raise
+            except RemoteException as exc:
+                self._fail_call_metrics(span, exc.class_name)
+                raise
+            except ConnectionError as exc:
+                # The connection died before a response arrived (socket
+                # reset, failed engine fallback, crashed server): back
+                # off and retry on a fresh connection.
+                attempts += 1
+                if attempts > max_retries:
+                    self._fail_call_metrics(span, type(exc).__name__)
+                    raise RetriesExhaustedError(
+                        f"{method}: no response after {attempts} attempt(s)",
+                        attempts=attempts, cause=exc,
+                    ) from exc
+                yield self.env.timeout(
+                    _backoff_us(retry_interval_us, attempts, "exponential")
+                )
+                continue
+            break
+        latency_us = self.env.now - call.started_at
+        if profile_info is not None:
+            self.metrics.record_call(
+                CallProfile(
+                    protocol=call.protocol,
+                    method=call.method,
+                    mem_adjustments=profile_info["adjustments"],
+                    serialization_us=profile_info["serialization_us"],
+                    send_us=profile_info["send_us"],
+                    latency_us=latency_us,
+                    message_bytes=profile_info["message_bytes"],
+                )
+            )
         reg = self.fabric.metrics
         reg.counter("rpc.client.calls_completed", node=self.node.name).add()
         reg.tally(
             "rpc.client.latency_us", protocol=call.protocol, method=call.method
         ).observe(latency_us)
         span.annotate("latency_us", latency_us)
-        span.annotate("message_bytes", profile_info["message_bytes"])
+        if profile_info is not None:
+            span.annotate("message_bytes", profile_info["message_bytes"])
+        if attempts:
+            span.annotate("retries", attempts)
         span.end()
         return value
 
+    def _fail_call_metrics(self, span, label: str) -> None:
+        self.metrics.record_failure()
+        self.fabric.metrics.counter(
+            "rpc.client.calls_failed", node=self.node.name
+        ).add()
+        span.annotate("error", label).end()
+
     def close(self) -> None:
-        for conn in self._connections.values():
+        for conn in list(self._connections.values()):
             conn.close()
         self._connections.clear()
 
@@ -184,11 +295,7 @@ class Client:
                 address=str(address),
             )
             try:
-                if self.ib_enabled:
-                    conn = IBConnection(self, address, protocol)
-                else:
-                    conn = SocketConnection(self, address, protocol)
-                yield from conn.setup()
+                conn = yield from self._establish(address, protocol, cspan)
                 self._connections[key] = conn
                 return conn
             finally:
@@ -196,9 +303,102 @@ class Client:
                 del self._connecting[key]
                 gate.succeed()
 
+    def _establish(self, address, protocol, cspan):
+        """Connect with Hadoop's retry policy; RPCoIB bootstrap failures
+        degrade to the sockets engine instead of consuming retries."""
+        conf = self.conf
+        max_retries = conf.get_int("ipc.client.connect.max.retries")
+        interval_us = conf.get_float("ipc.client.connect.retry.interval")
+        policy = str(conf.get("ipc.client.connect.retry.policy", "fixed"))
+        attempt = 0
+        while True:
+            if self.ib_enabled and address not in self._ib_fallback:
+                conn = IBConnection(self, address, protocol)
+            else:
+                conn = SocketConnection(self, address, protocol)
+            try:
+                yield from conn.setup()
+            except IBBootstrapError:
+                # Graceful degradation (Section III-D): the socket
+                # address is always serving, so fall back — sticky for
+                # this address — without consuming connect retries.
+                conn.close()
+                self._note_ib_fallback(address, "bootstrap", span=cspan)
+                continue
+            except ConnectionError as exc:
+                conn.close()
+                attempt += 1
+                if attempt > max_retries:
+                    cspan.annotate("error", type(exc).__name__)
+                    raise RetriesExhaustedError(
+                        f"connect to {address} failed after {attempt} "
+                        f"attempt(s): {exc}",
+                        attempts=attempt, cause=exc,
+                    ) from exc
+                cspan.annotate("connect_retries", attempt)
+                yield self.env.timeout(_backoff_us(interval_us, attempt, policy))
+                continue
+            return conn
+
+    def _note_ib_fallback(self, address, reason: str, span=None) -> None:
+        self._ib_fallback.add(address)
+        self.fabric.metrics.counter(
+            "rpc.ib.fallbacks", node=self.node.name, reason=reason
+        ).add()
+        if span is not None:
+            span.annotate("ib_fallback", reason)
+
+    def _forget(self, conn: "BaseConnection") -> None:
+        key = (conn.address, conn.protocol_name)
+        if self._connections.get(key) is conn:
+            del self._connections[key]
+
+    def _drop_connection(self, conn: "BaseConnection") -> None:
+        """Idle teardown (``ipc.client.connection.maxidletime``); the
+        next call reconnects lazily."""
+        self._forget(conn)
+        conn.close()
+
+    # -- RPCoIB mid-stream fallback -------------------------------------------
+    def _begin_fallback(self, conn: "IBConnection", reason: str) -> None:
+        """A broken QP took the verbs engine down: migrate to sockets."""
+        self.env.process(
+            self._fallback_proc(conn, reason), name=f"rpc-fallback:{self.name}"
+        )
+
+    def _fallback_proc(self, conn, reason):
+        pending = [c for c in conn.calls.values() if not c.done.triggered]
+        conn.calls.clear()
+        self._note_ib_fallback(conn.address, reason)
+        try:
+            newconn = yield from self._get_connection(conn.address, conn.protocol)
+        except ConnectionError as exc:
+            for call in pending:
+                if not call.done.triggered:
+                    call.error(exc)
+            return
+        for call in pending:
+            if call.done.triggered:
+                continue  # e.g. timed out while we were reconnecting
+            if call.span is not None:
+                call.span.annotate("engine_fallback", reason)
+            try:
+                yield from newconn.send_call(call)
+            except ConnectionError as exc:
+                newconn.calls.pop(call.id, None)
+                if not call.done.triggered:
+                    call.error(exc)
+
 
 class BaseConnection:
-    """Shared call-table bookkeeping for both connection flavours."""
+    """Shared call-table bookkeeping for both connection flavours.
+
+    Every established connection runs a *keeper* process — the analogue
+    of Hadoop's connection thread housekeeping: it enforces per-call
+    deadlines, sends PING frames when the connection has been quiet too
+    long with calls outstanding, and tears the connection down after
+    ``ipc.client.connection.maxidletime`` without traffic.
+    """
 
     def __init__(self, client: Client, address: SocketAddress, protocol):
         self.client = client
@@ -209,8 +409,19 @@ class BaseConnection:
         self.protocol_name = protocol.protocol_name()
         self.calls: Dict[int, Call] = {}
         self.closed = False
+        conf = client.conf
+        self.max_idle_us = conf.get_float("ipc.client.connection.maxidletime")
+        self.ping_interval_us = (
+            conf.get_float("ipc.ping.interval")
+            if conf.get_bool("ipc.client.ping")
+            else 0.0
+        )
+        self.last_activity = self.env.now
+        self._kick = None
+        self._keeper = None
 
-    # subclasses: setup() generator, send_call(call) generator, close()
+    # subclasses: setup() generator, send_call(call) generator,
+    # _send_ping() generator, close()
 
     def _complete(self, call_id: int, status: int, value, error_cls="", error_msg=""):
         call = self.calls.pop(call_id, None)
@@ -218,6 +429,8 @@ class BaseConnection:
             return  # late response to an abandoned call
         if status == RpcStatus.SUCCESS:
             call.complete(value)
+        elif error_cls == ServerOverloadedException.CLASS_NAME:
+            call.error(ServerOverloadedException(error_msg))
         else:
             call.error(RemoteException(error_cls, error_msg))
 
@@ -230,6 +443,94 @@ class BaseConnection:
     def _absorb(self, ledger: CostLedger) -> None:
         """Fold an activity's allocation churn into the node's heap."""
         self.client.node.heap("rpc-client").absorb(ledger)
+
+    # -- keeper: timeouts, pings, idle teardown ---------------------------
+    def _start_keeper(self) -> None:
+        self.last_activity = self.env.now
+        self._keeper = self.env.process(
+            self._keeper_loop(), name=f"rpc-conn-keeper:{self.client.name}"
+        )
+
+    def _note_activity(self) -> None:
+        self.last_activity = self.env.now
+
+    def _wake_keeper(self) -> None:
+        if self._kick is not None and not self._kick.triggered:
+            self._kick.succeed()
+
+    def _next_wakeup(self) -> float:
+        """Earliest housekeeping deadline; inf when nothing is armed."""
+        wake = math.inf
+        if self.calls:
+            deadlines = [
+                c.deadline for c in self.calls.values() if c.deadline is not None
+            ]
+            if deadlines:
+                wake = min(deadlines)
+            if self.ping_interval_us > 0:
+                wake = min(wake, self.last_activity + self.ping_interval_us)
+        elif self.max_idle_us > 0:
+            wake = self.last_activity + self.max_idle_us
+        return wake
+
+    def _keeper_loop(self):
+        while not self.closed:
+            now = self.env.now
+            wake = self._next_wakeup()
+            if wake > now:
+                self._kick = self.env.event()
+                if math.isinf(wake):
+                    # Nothing armed: sleep until a send/close kicks us.
+                    yield self._kick
+                else:
+                    yield self.env.any_of(
+                        [self.env.timeout(wake - now), self._kick]
+                    )
+                self._kick = None
+                continue
+            if self.calls:
+                self._expire_calls(now)
+                # Same arithmetic as _next_wakeup (last + interval vs
+                # now), so a due wakeup always takes a branch — the
+                # subtraction form can disagree under float rounding
+                # and spin the loop.
+                if (
+                    self.ping_interval_us > 0
+                    and self.calls
+                    and now >= self.last_activity + self.ping_interval_us
+                ):
+                    try:
+                        yield from self._send_ping()
+                    except QPBrokenError:
+                        self._ping_engine_failed()
+                        return
+                    except ConnectionError as exc:
+                        self._transport_failed(exc)
+                        return
+                    self._note_activity()
+            elif self.max_idle_us > 0 and now >= self.last_activity + self.max_idle_us:
+                self.client._drop_connection(self)
+                return
+
+    def _expire_calls(self, now: float) -> None:
+        for call_id, call in list(self.calls.items()):
+            if call.deadline is not None and now >= call.deadline:
+                del self.calls[call_id]
+                call.error(
+                    RpcTimeoutError(
+                        f"{call.protocol}.{call.method} (call #{call_id}) "
+                        f"timed out after {now - call.started_at:.0f}us"
+                    )
+                )
+
+    def _transport_failed(self, exc: Exception) -> None:
+        self.closed = True
+        self.client._forget(self)
+        self._fail_all(exc)
+
+    def _ping_engine_failed(self) -> None:
+        """A ping hit a broken engine; subclasses may fall back."""
+        self._transport_failed(ConnectionError("ping failed: engine broken"))
 
 
 class SocketConnection(BaseConnection):
@@ -255,6 +556,7 @@ class SocketConnection(BaseConnection):
         self._receiver = self.env.process(
             self._receive_loop(), name=f"rpc-conn-recv:{self.client.name}"
         )
+        self._start_keeper()
 
     @staticmethod
     def _frame(buf: DataOutputBuffer, ledger: CostLedger) -> bytes:
@@ -305,12 +607,24 @@ class SocketConnection(BaseConnection):
         dspan.annotate("frame_bytes", len(frame))
         dspan.end()
         self._absorb(ledger)
+        self._note_activity()
+        self._wake_keeper()
         return {
             "adjustments": buf.adjustments,
             "serialization_us": serialization_us,
             "send_us": send_us,
             "message_bytes": message_bytes,
         }
+
+    def _send_ping(self):
+        """Hadoop ``Client.sendPing``: a PING_CALL_ID frame, liveness only."""
+        ledger = CostLedger(self.model)
+        buf = DataOutputBuffer(ledger)
+        buf.write_int(PING_CALL_ID)
+        frame = self._frame(buf, ledger)
+        yield self.env.timeout(ledger.drain())
+        self._absorb(ledger)
+        yield self.sock.send(frame)
 
     def _receive_loop(self):
         """Connection thread: read responses, complete waiting callers."""
@@ -352,12 +666,20 @@ class SocketConnection(BaseConnection):
                     response_bytes=length,
                 )
             self._complete(call_id, status, value, error_cls or "", error_msg or "")
+            self._note_activity()
+            # Re-arm the keeper: its sleep was computed while this call
+            # was outstanding (ping cadence); idle teardown now applies.
+            self._wake_keeper()
+        self.closed = True
+        self.client._forget(self)
         self._fail_all(SocketClosed("connection closed"))
+        self._wake_keeper()
 
     def close(self) -> None:
         self.closed = True
         if self.sock is not None:
             self.sock.close()
+        self._wake_keeper()
 
 
 class IBConnection(BaseConnection):
@@ -376,11 +698,18 @@ class IBConnection(BaseConnection):
             fabric, self.client.node, self.address, self.client.spec
         )
         yield self.env.timeout(self.model.software.endpoint_exchange_us)
+        if fabric.faults is not None and fabric.faults.ib_bootstrap_fails(
+            self.client.node.name, self.address.node
+        ):
+            sock.close()
+            raise IBBootstrapError(
+                f"{self.address}: endpoint exchange failed (fault injected)"
+            )
         service = fabric.listeners.get((self.address.node, self.address.port))
         server = getattr(service, "ib_service", None)
         if server is None:
             sock.close()
-            raise ConnectionError(
+            raise IBBootstrapError(
                 f"{self.address}: server is not RPCoIB-enabled"
             )
         endpoint = Endpoint(fabric, self.client.node, name=f"ep:{self.client.name}")
@@ -389,6 +718,7 @@ class IBConnection(BaseConnection):
         self._receiver = self.env.process(
             self._receive_loop(), name=f"rpcoib-conn-recv:{self.client.name}"
         )
+        self._start_keeper()
 
     @property
     def rdma_threshold(self) -> int:
@@ -433,16 +763,25 @@ class IBConnection(BaseConnection):
         ref = parent.context  # None when tracing is disabled
         if ref is not None:
             ref.sent_at = self.env.now
-        yield self.qp.post_send(
-            buffer, length, rdma_threshold=self.rdma_threshold, context=call.id,
-            trace=ref,
-        )
+        try:
+            yield self.qp.post_send(
+                buffer, length, rdma_threshold=self.rdma_threshold,
+                context=call.id, trace=ref,
+            )
+        except QPBrokenError:
+            out.release()
+            dspan.annotate("error", "QPBrokenError").end()
+            self._absorb(ledger)
+            self._engine_failed("qp_break")
+            raise
         send_us = self.env.now - send_start
         out.release()  # buffer reusable: payload snapshotted at post
         yield self.env.timeout(ledger.drain())
         dspan.annotate("eager", length <= self.rdma_threshold)
         dspan.end()
         self._absorb(ledger)
+        self._note_activity()
+        self._wake_keeper()
         return {
             "adjustments": adjustments,
             "serialization_us": serialization_us,
@@ -450,11 +789,32 @@ class IBConnection(BaseConnection):
             "message_bytes": message_bytes,
         }
 
+    def _send_ping(self):
+        """PING frame over the verbs engine (always eager-sized)."""
+        ledger = CostLedger(self.model)
+        out = RDMAOutputStream(
+            self.client.pool, self.protocol_name, "__ping__", ledger
+        )
+        out.write_int(PING_CALL_ID)
+        yield self.env.timeout(ledger.drain())
+        buffer, length = out.detach()
+        try:
+            yield self.qp.post_send(
+                buffer, length, rdma_threshold=self.rdma_threshold
+            )
+        finally:
+            out.release()
+        self._absorb(ledger)
+
     def _receive_loop(self):
         sw = self.model.software
         tracer = self.client.fabric.tracer
         while not self.closed:
             message = yield self.qp.recv()
+            if isinstance(message, QPBreak):
+                if not self.closed:
+                    self._engine_failed(message.reason)
+                return
             receive_start = self.env.now
             ledger = CostLedger(self.model)
             inp = RDMAInputStream(message.data, message.length, ledger)
@@ -476,8 +836,28 @@ class IBConnection(BaseConnection):
                     response_bytes=message.length, eager=message.eager,
                 )
             self._complete(call_id, status, value, error_cls or "", error_msg or "")
+            self._note_activity()
+            # Re-arm the keeper: its sleep was computed while this call
+            # was outstanding (ping cadence); idle teardown now applies.
+            self._wake_keeper()
+
+    def _engine_failed(self, reason: str) -> None:
+        """The QP broke: close this engine and migrate in-flight calls
+        to the always-present sockets path (graceful degradation)."""
+        if self.closed:
+            return
+        self.closed = True
+        if self.qp is not None:
+            self.qp.close()
+        self.client._forget(self)
+        self._wake_keeper()
+        self.client._begin_fallback(self, reason)
+
+    def _ping_engine_failed(self) -> None:
+        self._engine_failed("qp_break")
 
     def close(self) -> None:
         self.closed = True
         if self.qp is not None:
             self.qp.close()
+        self._wake_keeper()

@@ -29,11 +29,23 @@ from repro.mem.native_pool import NativeBufferPool
 from repro.mem.shadow_pool import HistoryShadowPool
 from repro.net.fabric import Fabric, Node
 from repro.net.sockets import ListenerSocket, SimSocket, SocketAddress, SocketClosed
-from repro.net.verbs import Endpoint, QueuePair
-from repro.rpc.call import ConnectionHeader, Invocation, RpcStatus
+from repro.net.verbs import Endpoint, QPBreak, QPBrokenError, QueuePair
+from repro.rpc.call import (
+    ConnectionHeader,
+    Invocation,
+    PING_CALL_ID,
+    RpcStatus,
+    ServerOverloadedException,
+)
 from repro.rpc.metrics import ReceiveProfile, RpcMetrics
 from repro.rpc.protocol import RpcProtocol
 from repro.simcore import Store
+from repro.simcore.process import Interrupt
+
+#: Exceptions that mean the *simulator* (or its sanitizer) failed, not
+#: the simulated handler — these must crash the run, never be
+#: serialized back to the client as a RemoteException.
+ENGINE_EXCEPTIONS = (Interrupt, AssertionError)  # SanitizerError is an AssertionError
 
 
 class SocketServerConnection:
@@ -135,6 +147,13 @@ class Server:
         )
         self.queue_wait_tally = reg.tally(
             "rpc.server.queue_wait_us", server=self.name, fabric=engine_label
+        )
+        self.ping_counter = reg.counter(
+            "rpc.server.pings_received", server=self.name, fabric=engine_label
+        )
+        self.overload_counter = reg.counter(
+            "rpc.server.calls_rejected_overload", server=self.name,
+            fabric=engine_label,
         )
 
         # RPCoIB state (live regardless of the flag so that mixed
@@ -241,38 +260,57 @@ class Server:
             else:
                 inp = DataInputBuffer(payload, ledger)
                 call_id = inp.read_int()
-                invocation = Invocation()
-                invocation.read_fields(inp)
-                yield self.env.timeout(ledger.drain() + sw.handler_dispatch_us)
-                self.metrics.record_receive(
-                    ReceiveProfile(
-                        protocol=conn.protocol_name,
-                        method=invocation.method,
-                        # all per-call heap buffer allocations of the
-                        # Listing-2 path (len buffer, data buffer, and
-                        # the Writables' backing arrays)
-                        alloc_us=ledger.category("alloc"),
-                        receive_total_us=self.env.now - receive_start,
-                        payload_bytes=length,
-                    )
-                )
-                ref = conn.sock.pop_trace()
-                if ref is not None:
-                    if ref.sent_at:
-                        self.tracer.complete(
-                            "rpc.wire", ref.sent_at, receive_start, parent=ref,
-                            node=self.node.name, category="net", bytes=length,
+                if call_id == PING_CALL_ID:
+                    # Keepalive frame (Hadoop Client.sendPing): consume
+                    # and discard — liveness only, never queued.
+                    yield self.env.timeout(ledger.drain())
+                    self.ping_counter.add()
+                else:
+                    invocation = Invocation()
+                    invocation.read_fields(inp)
+                    yield self.env.timeout(ledger.drain() + sw.handler_dispatch_us)
+                    self.metrics.record_receive(
+                        ReceiveProfile(
+                            protocol=conn.protocol_name,
+                            method=invocation.method,
+                            # all per-call heap buffer allocations of the
+                            # Listing-2 path (len buffer, data buffer, and
+                            # the Writables' backing arrays)
+                            alloc_us=ledger.category("alloc"),
+                            receive_total_us=self.env.now - receive_start,
+                            payload_bytes=length,
                         )
-                    self.tracer.complete(
-                        "rpc.server.receive", receive_start, self.env.now,
-                        parent=ref, node=self.node.name, category="rpc.server",
-                        protocol=conn.protocol_name, method=invocation.method,
-                        alloc_us=ledger.category("alloc"), payload_bytes=length,
                     )
-                yield self.call_queue.put(
-                    ServerCall(conn, call_id, invocation, self.env.now, trace=ref)
-                )
-                self.queue_depth.inc()
+                    ref = conn.sock.pop_trace()
+                    if ref is not None:
+                        if ref.sent_at:
+                            self.tracer.complete(
+                                "rpc.wire", ref.sent_at, receive_start, parent=ref,
+                                node=self.node.name, category="net", bytes=length,
+                            )
+                        self.tracer.complete(
+                            "rpc.server.receive", receive_start, self.env.now,
+                            parent=ref, node=self.node.name, category="rpc.server",
+                            protocol=conn.protocol_name, method=invocation.method,
+                            alloc_us=ledger.category("alloc"), payload_bytes=length,
+                        )
+                    scall = ServerCall(
+                        conn, call_id, invocation, self.env.now, trace=ref
+                    )
+                    if len(self.call_queue.items) >= self.call_queue.capacity:
+                        # Backpressure: reject instead of queueing, so
+                        # clients back off and retry (Hadoop's
+                        # RetriableException on call-queue overflow).
+                        self.overload_counter.add()
+                        response = yield from self._serialize_response(
+                            scall, RpcStatus.ERROR, None,
+                            (ServerOverloadedException.CLASS_NAME,
+                             f"call queue full ({self.call_queue.capacity})"),
+                        )
+                        yield self.response_queue.put(response)
+                    else:
+                        yield self.call_queue.put(scall)
+                        self.queue_depth.inc()
             self.node.heap("rpc-server").absorb(ledger)
             conn.scheduled = False
             if conn.sock.available > 0 and not conn.scheduled:
@@ -284,11 +322,23 @@ class Server:
         sw = self.model.software
         while self.running:
             qp, message = yield self.cq.get()
+            if isinstance(message, QPBreak):
+                # Error completion: the QP died (fault injection or a
+                # crashed peer).  Drop the server-side connection state.
+                conn = qp.owner
+                if conn in self.ib_connections:
+                    self.ib_connections.remove(conn)
+                continue
             receive_start = self.env.now
             conn: IBServerConnection = qp.owner
             ledger = CostLedger(self.model)
             inp = RDMAInputStream(message.data, message.length, ledger)
             call_id = inp.read_int()
+            if call_id == PING_CALL_ID:
+                # Keepalive over the verbs engine: poll cost, no queueing.
+                yield self.env.timeout(ledger.drain() + sw.cq_poll_us)
+                self.ping_counter.add()
+                continue
             invocation = Invocation()
             invocation.read_fields(inp)
             # cq poll + per-connection event-poll scan + dispatch
@@ -321,10 +371,18 @@ class Server:
                     protocol=conn.protocol_name, method=invocation.method,
                     alloc_us=0.0, payload_bytes=message.length,
                 )
-            yield self.call_queue.put(
-                ServerCall(conn, call_id, invocation, self.env.now, trace=ref)
-            )
-            self.queue_depth.inc()
+            scall = ServerCall(conn, call_id, invocation, self.env.now, trace=ref)
+            if len(self.call_queue.items) >= self.call_queue.capacity:
+                self.overload_counter.add()
+                response = yield from self._serialize_response(
+                    scall, RpcStatus.ERROR, None,
+                    (ServerOverloadedException.CLASS_NAME,
+                     f"call queue full ({self.call_queue.capacity})"),
+                )
+                yield self.response_queue.put(response)
+            else:
+                yield self.call_queue.put(scall)
+                self.queue_depth.inc()
 
     # -- Handlers -----------------------------------------------------------------
     def _handler_loop(self, index: int):
@@ -367,7 +425,11 @@ class Server:
                             f"{scall.invocation.method} returned non-Writable "
                             f"{type(result).__name__}"
                         )
-                except Exception as exc:  # noqa: BLE001 - server boundary
+                except ENGINE_EXCEPTIONS:
+                    # Simulator bug or sanitizer violation — crash the
+                    # run rather than serializing it to the client.
+                    raise
+                except Exception as exc:  # noqa: BLE001 - handler boundary
                     status = RpcStatus.ERROR
                     error = (type(exc).__name__, str(exc))
             if status == RpcStatus.SUCCESS:
@@ -435,7 +497,15 @@ class Server:
             if kind == "ib":
                 stream: RDMAOutputStream = payload
                 buffer, length = stream.detach()
-                yield conn.qp.post_send(buffer, length, rdma_threshold=threshold)
+                try:
+                    yield conn.qp.post_send(
+                        buffer, length, rdma_threshold=threshold
+                    )
+                except QPBrokenError:
+                    stream.release()
+                    if rspan is not None:
+                        rspan.annotate("error", "QPBrokenError").end()
+                    continue
                 stream.release()
                 if rspan is not None:
                     rspan.annotate("response_bytes", length)

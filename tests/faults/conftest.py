@@ -1,0 +1,42 @@
+"""Shared helpers for fault-plane tests.
+
+The fault session must be installed *before* the fabric is built
+(``Fabric.__init__`` consults ``faults_runtime.current()``), so the
+harness factory here arms a plan, builds an :class:`RpcHarness` under
+it, and keeps the session installed for the test body via fixture-less
+context managers in each test.
+"""
+
+import contextlib
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults import runtime as faults_runtime
+
+from tests.rpc.conftest import RpcHarness
+
+
+def plan_of(*events, seed=None):
+    payload = {"events": list(events)}
+    if seed is not None:
+        payload["seed"] = seed
+    return FaultPlan.from_dict(payload)
+
+
+@contextlib.contextmanager
+def faulted_harness(*events, ib=False, seed=None, conf=None, handlers=4):
+    """RpcHarness built with the given fault events armed."""
+    with faults_runtime.session(plan_of(*events, seed=seed)):
+        harness = RpcHarness(ib=ib, handlers=handlers)
+        for key, value in (conf or {}).items():
+            harness.conf.set(key, value)
+        yield harness
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    """Every test must leave the process-wide session uninstalled."""
+    yield
+    assert faults_runtime.current() is None
+    faults_runtime.uninstall()

@@ -1,0 +1,75 @@
+"""The chaos experiment: liveness invariant, fallback use, determinism."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import chaos
+from repro.faults import FaultPlan
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CANNED = REPO_ROOT / "examples" / "faultplans" / "chaos.json"
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One full chaos run (faulted + clean baseline), shared by tests."""
+    return chaos.run()
+
+
+def test_liveness_every_call_completes_or_raises(result):
+    faulted = result["faulted"]
+    expected = chaos.NUM_CLIENTS * chaos.OPS_PER_CLIENT
+    assert faulted["issued"] == expected
+    assert faulted["completed"] + faulted["raised"] == faulted["issued"]
+    assert result["clean"]["completed"] == expected
+    assert result["clean"]["raised"] == 0
+
+
+def test_faults_actually_fired_and_forced_fallbacks(result):
+    faulted = result["faulted"]
+    assert faulted["faults_injected"] >= len(chaos.DEFAULT_PLAN_DICT["events"])
+    assert faulted["fallbacks"] >= 1  # RDMA -> socket degradation used
+    # The failure-semantics layer absorbs the canned plan completely:
+    # retries and fallbacks ride out every fault window.
+    assert 0.0 < result["availability"] <= 1.0
+    assert result["latency_degradation"] > 1.0  # but not for free
+
+
+def test_failures_are_typed(result):
+    # Every raised error is one of the declared failure-semantics types,
+    # not a bare Exception leaking through the boundary.
+    allowed = {
+        "RpcTimeoutError",
+        "RetriesExhaustedError",
+        "SocketClosed",
+        "ConnectionRefused",
+        "ConnectionError",
+        "RemoteException",
+        "ServerOverloadedException",
+    }
+    assert set(result["faulted"]["errors"]) <= allowed
+    assert sum(result["faulted"]["errors"].values()) == result["faulted"]["raised"]
+
+
+def test_chaos_is_deterministic(result):
+    assert chaos.run() == result
+
+
+def test_canned_plan_matches_the_default():
+    shipped = FaultPlan.from_file(str(CANNED))
+    inline = FaultPlan.from_dict(chaos.DEFAULT_PLAN_DICT)
+    assert shipped.events == inline.events
+
+
+def test_format_result_mentions_the_invariants(result):
+    text = chaos.format_result(result)
+    assert "none hung" in text
+    assert "fallbacks" in text
+    assert "availability" in text
+
+
+def test_canned_plan_file_is_valid_json():
+    payload = json.loads(CANNED.read_text(encoding="utf-8"))
+    assert payload["events"]

@@ -1,0 +1,81 @@
+"""RDMA -> socket graceful degradation (Section III-D failure paths)."""
+
+from repro.io.writables import Text
+
+from tests.faults.conftest import faulted_harness
+
+
+def fallback_count(harness):
+    counters = harness.fabric.metrics.find("rpc.ib.fallbacks")
+    return sum(c.value for c in counters.values())
+
+
+def test_bootstrap_failure_degrades_to_sockets_and_sticks():
+    with faulted_harness(
+        {"kind": "ib_bootstrap_failure", "at": 0, "rate": 1.0},
+        ib=True,
+    ) as h:
+        def caller(env):
+            first = yield h.proxy.echo(Text("one"))
+            second = yield h.proxy.echo(Text("two"))
+            return first, second
+
+        first, second = h.run(caller)
+        assert (first, second) == (Text("one"), Text("two"))
+        address = h.server.address
+        assert address in h.client._ib_fallback  # sticky for this address
+        conn = next(iter(h.client._connections.values()))
+        assert not hasattr(conn, "qp")  # a SocketConnection
+        # One fallback event total: the second call reused the socket
+        # engine instead of re-attempting bootstrap.
+        assert fallback_count(h) == 1
+
+
+def test_mid_stream_qp_break_reissues_the_call_over_sockets():
+    with faulted_harness(
+        {"kind": "qp_break", "at": 100_000, "node": "server"},
+        ib=True,
+    ) as h:
+        h.service.delay_us = 500_000.0
+
+        def caller(env):
+            got = yield h.proxy.slow(Text("survives"))
+            return got, env.now
+
+        got, finished_at = h.run(caller)
+        # The QP died while the handler was busy; the call migrated to
+        # a fresh socket connection and was answered there.
+        assert got == Text("survives")
+        assert finished_at > 500_000.0
+        assert fallback_count(h) >= 1
+        assert h.server.address in h.client._ib_fallback
+        conn = next(iter(h.client._connections.values()))
+        assert not hasattr(conn, "qp")
+
+
+def test_qp_break_before_any_call_falls_back_on_demand():
+    with faulted_harness(
+        {"kind": "qp_break", "at": 50_000, "node": "server"},
+        ib=True,
+    ) as h:
+        def caller(env):
+            first = yield h.proxy.echo(Text("pre"))  # rides the QP
+            yield env.timeout(100_000)  # QP breaks while idle
+            second = yield h.proxy.echo(Text("post"))  # re-issued path
+            return first, second
+
+        first, second = h.run(caller)
+        assert (first, second) == (Text("pre"), Text("post"))
+        assert fallback_count(h) >= 1
+
+
+def test_no_fallback_without_faults():
+    with faulted_harness(ib=True) as h:
+        def caller(env):
+            return (yield h.proxy.echo(Text("clean")))
+
+        assert h.run(caller) == Text("clean")
+        assert fallback_count(h) == 0
+        assert h.client._ib_fallback == set()
+        conn = next(iter(h.client._connections.values()))
+        assert conn.qp is not None  # still on the RDMA engine

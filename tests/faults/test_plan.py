@@ -1,0 +1,105 @@
+"""FaultPlan parsing, validation, and round-tripping."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan
+from repro.faults.plan import DEFAULT_RTO_US, KINDS
+from repro.simcore.rng import DEFAULT_SEED
+
+VALID = {
+    "seed": 42,
+    "label": "t",
+    "events": [
+        {"kind": "node_crash", "at": 1_300_000, "node": "server"},
+        {"kind": "node_restart", "at": 1_600_000, "node": "server"},
+        {"kind": "partition", "at": 700_000, "until": 900_000,
+         "between": [["cn0", "cn1"], ["server"]]},
+        {"kind": "packet_loss", "at": 0, "until": 1_500_000, "rate": 0.03,
+         "rto_us": 30_000},
+        {"kind": "corruption", "at": 1_700_000, "until": 1_900_000, "rate": 0.05},
+        {"kind": "qp_break", "at": 450_000, "node": "server"},
+        {"kind": "ib_bootstrap_failure", "at": 0, "until": 200_000, "rate": 1.0},
+        {"kind": "slow_nic", "at": 1_000_000, "until": 1_200_000,
+         "node": "server", "factor": 8.0},
+        {"kind": "slow_disk", "at": 0, "node": "dn3", "factor": 4.0},
+    ],
+}
+
+
+def test_parse_valid_plan_covers_every_kind():
+    plan = FaultPlan.from_dict(VALID)
+    assert len(plan) == 9
+    assert plan.seed == 42
+    assert set(plan.kinds()) == KINDS
+
+
+def test_round_trip_through_to_dict():
+    plan = FaultPlan.from_dict(VALID)
+    again = FaultPlan.from_dict(plan.to_dict())
+    assert again.events == plan.events
+    assert again.seed == plan.seed
+
+
+def test_from_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(VALID), encoding="utf-8")
+    plan = FaultPlan.from_file(str(path))
+    assert len(plan) == 9
+    assert plan.label == str(path)
+
+
+def test_from_alias_for_at():
+    plan = FaultPlan.from_dict(
+        {"events": [{"kind": "node_crash", "from": 5.0, "node": "a"}]}
+    )
+    assert plan.events[0].at == 5.0
+
+
+def test_defaults():
+    plan = FaultPlan.from_dict({"events": []})
+    assert plan.seed == DEFAULT_SEED
+    assert len(plan) == 0
+    event = FaultEvent(kind="packet_loss", rate=0.1)
+    assert event.rto_us == DEFAULT_RTO_US
+
+
+def test_window_activity():
+    event = FaultEvent(kind="packet_loss", at=10.0, until=20.0, rate=1.0)
+    assert not event.active(9.9)
+    assert event.active(10.0)
+    assert event.active(19.9)
+    assert not event.active(20.0)
+    open_ended = FaultEvent(kind="packet_loss", at=10.0, rate=1.0)
+    assert open_ended.active(1e12)
+
+
+@pytest.mark.parametrize(
+    "payload, match",
+    [
+        ({"kind": "meteor_strike", "at": 0}, "unknown kind"),
+        ({"kind": "node_crash", "at": -1, "node": "a"}, "'at' must be >= 0"),
+        ({"kind": "node_crash", "at": 0}, "requires a 'node'"),
+        ({"kind": "packet_loss", "at": 5, "until": 5, "rate": 0.1}, "'until'"),
+        ({"kind": "packet_loss", "at": 0, "rate": 1.5}, "'rate'"),
+        ({"kind": "partition", "at": 0}, "partition requires 'between'"),
+        (
+            {"kind": "partition", "at": 0, "between": [["a", "b"], ["b"]]},
+            "sides overlap",
+        ),
+        ({"kind": "partition", "at": 0, "between": [["a"]]}, "between"),
+        ({"kind": "slow_nic", "at": 0, "node": "a", "factor": 0.5}, "'factor'"),
+        ({"kind": "packet_loss", "at": 0, "rate": 0.1, "rto_us": -1}, "'rto_us'"),
+    ],
+)
+def test_rejections(payload, match):
+    with pytest.raises(ValueError, match=match):
+        FaultPlan.from_dict({"events": [payload]})
+
+
+def test_rejects_non_dict_plan_and_non_list_events():
+    with pytest.raises(ValueError, match="must be an object"):
+        FaultPlan.from_dict(["nope"])
+    with pytest.raises(ValueError, match="must be a list"):
+        FaultPlan.from_dict({"events": {"kind": "node_crash"}})

@@ -1,0 +1,13 @@
+"""SIM007 fixture: a fault injector drawing from a private RNG.
+
+A seeded ``random.Random`` passes SIM002, but inside ``repro/faults/``
+SIM007 still rejects it: fault draws must come from named
+``repro.simcore.rng`` streams so each rule's outcomes are isolated.
+"""
+
+import random
+
+
+def loss_roll():
+    rng = random.Random(42)
+    return rng.random() < 0.05

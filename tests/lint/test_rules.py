@@ -264,3 +264,47 @@ def test_sim006_model_derived_charge_ok():
 def test_sim006_not_applied_outside_src():
     src = "def f(ledger):\n    ledger.charge('x', 3.0)\n"
     assert lint_source(src, "mod.py", in_src=False) == []
+
+
+# -- SIM007 variants -------------------------------------------------------
+
+
+def test_sim007_fixture_fires_once():
+    findings = lint_file(FIXTURES / "repro" / "faults" / "sim007_ambient.py")
+    assert rules_of(findings) == ["SIM007"]
+    assert "named streams" in findings[0].message
+
+
+def test_sim007_flags_volatile_registry_seed():
+    src = (
+        "from repro.simcore.rng import RngRegistry\n"
+        "\n"
+        "def arm(env):\n"
+        "    return RngRegistry(hash(env))\n"
+    )
+    findings = lint_source(src, "/x/src/repro/faults/injector.py", in_src=True)
+    assert rules_of(findings) == ["SIM007"]
+    assert "hash()" in findings[0].message
+
+
+def test_sim007_flags_stream_seeded_from_clock():
+    src = (
+        "def roll(self, env):\n"
+        "    return self.rng.stream(env.now).random()\n"
+    )
+    findings = lint_source(src, "/x/src/repro/faults/injector.py", in_src=True)
+    assert rules_of(findings) == ["SIM007"]
+    assert "env.now" in findings[0].message
+
+
+def test_sim007_allows_named_streams():
+    src = (
+        "def roll(self, index):\n"
+        "    return self.rng.stream(f'loss.{index}').random() < 0.5\n"
+    )
+    assert lint_source(src, "/x/src/repro/faults/injector.py", in_src=True) == []
+
+
+def test_sim007_not_applied_outside_faults():
+    src = "import random\n\ndef f():\n    return random.Random(7).random()\n"
+    assert lint_source(src, "repro_other.py", in_src=False) == []

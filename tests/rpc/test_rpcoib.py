@@ -96,7 +96,10 @@ def test_server_pool_reused_across_responses(ib_harness):
     assert server_pool.hit_rate > 0.5
 
 
-def test_bootstrap_against_plain_socket_server_fails():
+def test_bootstrap_against_plain_socket_server_falls_back_to_sockets():
+    """Graceful degradation: when the server is not RPCoIB-enabled the
+    endpoint exchange fails and the client transparently reverts to the
+    sockets engine instead of surfacing an error."""
     harness = RpcHarness(ib=False)  # server without the flag still
     # exposes ib_service (mixed clusters); simulate a truly non-IB
     # service by removing the hook.
@@ -104,10 +107,16 @@ def test_bootstrap_against_plain_socket_server_fails():
     harness.conf.set("rpc.ib.enabled", True)
 
     def caller(env):
-        yield harness.proxy.echo(Text("x"))
+        return (yield harness.proxy.echo(Text("x")))
 
-    with pytest.raises(ConnectionError, match="not RPCoIB-enabled"):
-        harness.run(caller)
+    assert harness.run(caller) == Text("x")
+    (conn,) = harness.client._connections.values()
+    assert not hasattr(conn, "qp")  # a SocketConnection, not IB
+    assert harness.server.address in harness.client._ib_fallback
+    fallbacks = sum(
+        c.value for c in harness.fabric.metrics.find("rpc.ib.fallbacks").values()
+    )
+    assert fallbacks == 1
 
 
 def test_socket_client_can_talk_to_ib_capable_server(ib_harness):
