@@ -76,6 +76,9 @@ class Configuration:
         self._values: Dict[str, Any] = dict(self.DEFAULTS)
         if values:
             self._values.update(values)
+        #: Mutation stamp: bumped by every write so hot paths may cache
+        #: parsed values and revalidate with a single int comparison.
+        self.version = 0
 
     # -- typed getters -----------------------------------------------------
     def get(self, key: str, default: Any = None) -> Any:
@@ -111,10 +114,12 @@ class Configuration:
     # -- mutation ----------------------------------------------------------
     def set(self, key: str, value: Any) -> "Configuration":
         self._values[key] = value
+        self.version += 1
         return self
 
     def update(self, values: Mapping[str, Any]) -> "Configuration":
         self._values.update(values)
+        self.version += 1
         return self
 
     def copy(self) -> "Configuration":
@@ -129,6 +134,7 @@ class Configuration:
 
     def __setitem__(self, key: str, value: Any) -> None:
         self._values[key] = value
+        self.version += 1
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._values)

@@ -1,0 +1,238 @@
+"""Wall-clock benchmark plane: ``python -m repro.experiments bench``.
+
+The performance contract of this repo is two-sided:
+
+* **Simulated outputs are bit-identical** across refactors — the
+  experiments measure the modeled Hadoop stack, never the host.
+* **Wall-clock is gated** — the same experiment harnesses are timed
+  against a committed baseline, so a host-side regression (an
+  accidental whole-message copy, a de-optimized scheduler loop) fails
+  CI even though every simulated number still matches.
+
+``bench`` runs the selected harnesses (default: fig5, fig1, table1) at
+their regular experiment parameters and writes one ``BENCH_<name>.json``
+per harness recording:
+
+* ``wall_seconds`` — host seconds for the run,
+* ``events`` / ``events_per_sec`` — DES events the scheduler processed,
+* ``headline`` — the run's simulated headline metrics, exact values.
+
+``--check`` compares each result against
+``benchmarks/baseline/BENCH_<name>.json``: the headline metrics must be
+*exactly* equal (the bit-identity half of the contract), and
+``wall_seconds`` must not exceed the baseline by more than
+``--tolerance`` (default 20%, or the ``REPRO_BENCH_TOL`` environment
+variable).  ``--update-baseline`` rewrites the baseline files from the
+measured run.  Wall-clock baselines are machine-specific: regenerate
+them with ``--update-baseline`` when the reference hardware changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.simcore.environment import events_total
+
+#: default regression tolerance on wall_seconds vs the baseline.
+DEFAULT_TOLERANCE = 0.20
+
+#: absolute slack added on top of the relative tolerance: sub-second
+#: harnesses are dominated by interpreter warm-up noise, and 20% of
+#: 0.5s is not a signal.  For the multi-second harnesses the relative
+#: tolerance dominates.
+WALL_SLACK_SECONDS = 1.0
+
+#: headline keys lifted out of each experiment's ``run()`` result.
+_FIG5_HEADLINE_KEYS = (
+    "latency_1b_us",
+    "latency_4kb_us",
+    "peaks_kops",
+    "reduction_vs_10gige",
+    "reduction_vs_ipoib",
+    "peak_gain_vs_10gige",
+    "peak_gain_vs_ipoib",
+)
+
+
+def _bench_fig5() -> Tuple[Dict, Dict]:
+    from repro.experiments import fig5_micro
+
+    result = fig5_micro.run()
+    headline = {key: result[key] for key in _FIG5_HEADLINE_KEYS}
+    params = {
+        "payload_sizes": fig5_micro.PAYLOAD_SIZES,
+        "client_counts": fig5_micro.CLIENT_COUNTS,
+        "iterations": 30,
+        "ops_per_client": 40,
+    }
+    return headline, params
+
+
+def _bench_fig1() -> Tuple[Dict, Dict]:
+    from repro.experiments import fig1_alloc_ratio
+
+    result = fig1_alloc_ratio.run()
+    headline = {
+        "ipoib_ratio_2mb": result["ipoib_ratio_2mb"],
+        "gige_ratio_2mb": result["gige_ratio_2mb"],
+        "ratio": result["ratio"],
+    }
+    params = {
+        "payload_sizes": fig1_alloc_ratio.PAYLOAD_SIZES,
+        "iterations": 15,
+    }
+    return headline, params
+
+
+def _bench_table1() -> Tuple[Dict, Dict]:
+    from repro.experiments import table1
+
+    result = table1.run()
+    headline = {"rows": result["rows"]}
+    params = {"slaves": 8, "data_gb": 1.0, "seed": 3}
+    return headline, params
+
+
+#: benchmark name -> harness returning (headline metrics, parameters).
+HARNESSES: Dict[str, Callable[[], Tuple[Dict, Dict]]] = {
+    "fig5": _bench_fig5,
+    "fig1": _bench_fig1,
+    "table1": _bench_table1,
+}
+
+
+def measure(name: str) -> Dict:
+    """Run one harness and record wall-clock, events, and headline."""
+    harness = HARNESSES[name]
+    events_before = events_total()
+    started = time.perf_counter()
+    headline, params = harness()
+    wall = time.perf_counter() - started
+    events = events_total() - events_before
+    result = {
+        "benchmark": name,
+        "wall_seconds": round(wall, 3),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+        "headline": headline,
+        "params": params,
+    }
+    # Round-trip through JSON so in-memory results compare exactly
+    # against baselines loaded from disk (tuples -> lists, int keys ->
+    # string keys).
+    return json.loads(json.dumps(result))
+
+
+def check(result: Dict, baseline: Dict, tolerance: float) -> list:
+    """List of human-readable regression messages (empty = pass)."""
+    problems = []
+    name = result["benchmark"]
+    if result["headline"] != baseline["headline"]:
+        problems.append(
+            f"{name}: simulated headline metrics differ from the baseline — "
+            "the simulation is no longer bit-identical"
+        )
+    allowed = baseline["wall_seconds"] * (1.0 + tolerance) + WALL_SLACK_SECONDS
+    if result["wall_seconds"] > allowed:
+        problems.append(
+            f"{name}: wall-clock regressed {result['wall_seconds']:.3f}s vs "
+            f"baseline {baseline['wall_seconds']:.3f}s "
+            f"(> {tolerance:.0%} tolerance, limit {allowed:.3f}s)"
+        )
+    return problems
+
+
+def _result_path(directory: str, name: str) -> str:
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments bench",
+        description="Time the experiment harnesses and gate wall-clock "
+        "regressions against a committed baseline.",
+    )
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="harnesses to run (default: all of fig5, fig1, table1)",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", default=".",
+        help="directory receiving BENCH_<name>.json (default: .)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="DIR", default="benchmarks/baseline",
+        help="committed baseline directory (default: benchmarks/baseline)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on headline drift or wall-clock regression "
+        "vs the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline files from this run",
+    )
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOL", DEFAULT_TOLERANCE)),
+        help="allowed fractional wall-clock regression for --check "
+        "(default 0.20, or env REPRO_BENCH_TOL)",
+    )
+    args = parser.parse_args(argv)
+    for name in args.benchmarks:
+        if name not in HARNESSES:
+            parser.error(
+                f"unknown benchmark {name!r} (choose from {sorted(HARNESSES)})"
+            )
+    names = args.benchmarks or sorted(HARNESSES)
+
+    os.makedirs(args.out, exist_ok=True)
+    failures = []
+    for name in names:
+        result = measure(name)
+        path = _result_path(args.out, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"bench {name}: {result['wall_seconds']:.3f}s wall, "
+            f"{result['events']} events "
+            f"({result['events_per_sec']:,} events/s) -> {path}"
+        )
+        baseline_path = _result_path(args.baseline, name)
+        if args.update_baseline:
+            os.makedirs(args.baseline, exist_ok=True)
+            with open(baseline_path, "w", encoding="utf-8") as fh:
+                json.dump(result, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"bench {name}: baseline updated -> {baseline_path}")
+        elif args.check:
+            try:
+                with open(baseline_path, encoding="utf-8") as fh:
+                    baseline = json.load(fh)
+            except OSError:
+                failures.append(
+                    f"{name}: no committed baseline at {baseline_path} "
+                    "(run with --update-baseline first)"
+                )
+                continue
+            problems = check(result, baseline, args.tolerance)
+            for problem in problems:
+                print(f"FAIL {problem}")
+            if not problems:
+                speed = baseline["wall_seconds"] / max(result["wall_seconds"], 1e-9)
+                print(
+                    f"bench {name}: OK (headline exact, "
+                    f"{speed:.2f}x baseline wall-clock)"
+                )
+            failures.extend(problems)
+    if failures:
+        print(f"bench: {len(failures)} regression(s)")
+        return 1
+    return 0

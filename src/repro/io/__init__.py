@@ -14,7 +14,7 @@ The streams run eagerly on real bytes; their mechanical costs
 
 from repro.io.data_output import DataOutput, DataOutputBuffer, DataOutputStream
 from repro.io.data_input import DataInput, DataInputBuffer, EndOfStream
-from repro.io.buffered import BufferedOutputStream, BytesSink
+from repro.io.buffered import BufferedOutputStream, BytesSink, VectorSink
 from repro.io.writable import (
     ObjectWritable,
     Writable,
@@ -61,6 +61,7 @@ __all__ = [
     "Text",
     "VIntWritable",
     "VLongWritable",
+    "VectorSink",
     "Writable",
     "WritableRegistry",
     "writable_factory",

@@ -3,11 +3,17 @@
 Listing 1 line 10: ``new DataOutputStream(new BufferedOutputStream(
 socketStream))`` — the extra copy through the BufferedOutputStream's
 internal heap buffer is one of the Section II bottlenecks.
+
+Host-side the buffering is *vectored*: chunks accumulate in a list and
+reach the sink either through its optional ``write_vec(chunks)`` method
+(gather write — no host copy at all) or joined exactly once into a
+single ``write_bytes`` call.  The ledger is unaffected: buffering
+charges model the JVM copy per buffered write, exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.mem.cost import CostLedger
 
@@ -19,8 +25,37 @@ class BytesSink:
         self.chunks: List[bytes] = []
         self.flushes = 0
 
-    def write_bytes(self, data: bytes) -> None:
-        self.chunks.append(bytes(data))
+    def write_bytes(self, data) -> None:
+        # Snapshot: callers may recycle the buffer behind a memoryview.
+        self.chunks.append(bytes(data))  # sim-lint: disable=SIM008
+
+    def flush(self) -> None:
+        self.flushes += 1
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class VectorSink:
+    """Terminal sink that collects chunk *references* without copying.
+
+    The RPC framing paths terminate in one of these: the chunk list
+    travels as-is to the transport, which materializes the wire image
+    exactly once.  Callers must not mutate a chunk's backing buffer
+    until the transport has consumed it.
+    """
+
+    __slots__ = ("chunks", "flushes")
+
+    def __init__(self) -> None:
+        self.chunks: list = []
+        self.flushes = 0
+
+    def write_bytes(self, data) -> None:
+        self.chunks.append(data)
+
+    def write_vec(self, chunks: list) -> None:
+        self.chunks.extend(chunks)
 
     def flush(self) -> None:
         self.flushes += 1
@@ -36,6 +71,11 @@ class BufferedOutputStream:
     internal heap buffer (charged); larger writes flush and pass
     through.  The internal buffer allocation is charged at
     construction, as the JVM does.
+
+    Host-side, "copied into the internal buffer" is modeled without a
+    real copy: chunks are appended to a list and handed onward at flush
+    time — vectored (``write_vec``) when the sink supports it, joined
+    once otherwise.
     """
 
     def __init__(self, sink, ledger: CostLedger, buffer_size: int = 8192):
@@ -44,24 +84,34 @@ class BufferedOutputStream:
         self.sink = sink
         self.ledger = ledger
         self.buffer_size = buffer_size
-        self._buffer = bytearray()
+        self._buffer: list = []
+        self._buffered = 0
+        self._sink_write_vec = getattr(sink, "write_vec", None)
         ledger.charge_heap_alloc(buffer_size)
 
-    def write_bytes(self, data: bytes) -> None:
-        if len(data) >= self.buffer_size:
+    def write_bytes(self, data) -> None:
+        length = len(data)
+        if length >= self.buffer_size:
             # Too big to buffer: flush what we have, write through.
             self._flush_buffer()
             self.sink.write_bytes(data)
             return
-        if len(self._buffer) + len(data) > self.buffer_size:
+        if self._buffered + length > self.buffer_size:
             self._flush_buffer()
-        self._buffer.extend(data)
-        self.ledger.charge_copy(len(data))
+        self._buffer.append(data)
+        self._buffered += length
+        self.ledger.charge_copy(length)
 
     def _flush_buffer(self) -> None:
-        if self._buffer:
-            self.sink.write_bytes(bytes(self._buffer))
-            self._buffer.clear()
+        buffer = self._buffer
+        if buffer:
+            if self._sink_write_vec is not None:
+                self._sink_write_vec(buffer)
+                self._buffer = []
+            else:
+                self.sink.write_bytes(b"".join(buffer))
+                buffer.clear()
+            self._buffered = 0
 
     def flush(self) -> None:
         self._flush_buffer()
@@ -69,4 +119,5 @@ class BufferedOutputStream:
 
     @property
     def buffered(self) -> int:
-        return len(self._buffer)
+        """Bytes currently held in the internal buffer."""
+        return self._buffered

@@ -105,7 +105,12 @@ class DataInputBuffer(DataInput):
     """DataInput over an in-memory byte string (Listing 2's reader)."""
 
     def __init__(self, data: Union[bytes, bytearray, memoryview], ledger: CostLedger):
-        self._data = bytes(data)
+        if type(data) is bytes:
+            self._data = data
+        else:
+            # Snapshot mutable inputs once so reads stay stable even if
+            # the caller recycles the underlying buffer.
+            self._data = bytes(data)  # sim-lint: disable=SIM008
         self.ledger = ledger
         self.position = 0
 
@@ -120,6 +125,76 @@ class DataInputBuffer(DataInput):
         chunk = self._data[self.position : end]
         self.position = end
         return chunk
+
+    # -- zero-allocation primitive fast paths ----------------------------------
+    # Decode with unpack_from/indexing at the current position instead of
+    # slicing a per-primitive bytes object out of the buffer.  Ledger
+    # charges are identical to the generic DataInput implementations.
+
+    def read_byte(self) -> int:
+        self.ledger.charge_read_op(1)
+        pos = self.position
+        if pos + 1 > len(self._data):
+            self.read(1)  # raises EndOfStream with the canonical message
+        self.position = pos + 1
+        value = self._data[pos]
+        return value - 256 if value > 127 else value
+
+    def read_unsigned_byte(self) -> int:
+        self.ledger.charge_read_op(1)
+        pos = self.position
+        if pos + 1 > len(self._data):
+            self.read(1)
+        self.position = pos + 1
+        return self._data[pos]
+
+    def read_boolean(self) -> bool:
+        self.ledger.charge_read_op(1)
+        pos = self.position
+        if pos + 1 > len(self._data):
+            self.read(1)
+        self.position = pos + 1
+        return self._data[pos] != 0
+
+    def read_short(self) -> int:
+        self.ledger.charge_read_op(2)
+        pos = self.position
+        if pos + 2 > len(self._data):
+            self.read(2)
+        self.position = pos + 2
+        return _SHORT.unpack_from(self._data, pos)[0]
+
+    def read_int(self) -> int:
+        self.ledger.charge_read_op(4)
+        pos = self.position
+        if pos + 4 > len(self._data):
+            self.read(4)
+        self.position = pos + 4
+        return _INT.unpack_from(self._data, pos)[0]
+
+    def read_long(self) -> int:
+        self.ledger.charge_read_op(8)
+        pos = self.position
+        if pos + 8 > len(self._data):
+            self.read(8)
+        self.position = pos + 8
+        return _LONG.unpack_from(self._data, pos)[0]
+
+    def read_float(self) -> float:
+        self.ledger.charge_read_op(4)
+        pos = self.position
+        if pos + 4 > len(self._data):
+            self.read(4)
+        self.position = pos + 4
+        return _FLOAT.unpack_from(self._data, pos)[0]
+
+    def read_double(self) -> float:
+        self.ledger.charge_read_op(8)
+        pos = self.position
+        if pos + 8 > len(self._data):
+            self.read(8)
+        self.position = pos + 8
+        return _DOUBLE.unpack_from(self._data, pos)[0]
 
     @property
     def remaining(self) -> int:

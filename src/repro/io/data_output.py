@@ -19,6 +19,9 @@ _SHORT = struct.Struct(">h")
 _FLOAT = struct.Struct(">f")
 _DOUBLE = struct.Struct(">d")
 
+#: Interned single-byte strings so byte-sized writes allocate nothing.
+_BYTES = tuple(bytes((i,)) for i in range(256))  # sim-lint: disable=SIM008
+
 
 def _jwrap(value: int, bits: int) -> int:
     """Java two's-complement wrap: keep the low ``bits`` of ``value``.
@@ -61,7 +64,7 @@ class DataOutput:
     # -- primitives -------------------------------------------------------
     def write_byte(self, value: int) -> None:
         self.ledger.charge_write_op(1)
-        self.write(bytes(((value + 256) % 256,)))
+        self.write(_BYTES[(value + 256) % 256])
 
     def write_boolean(self, value: bool) -> None:
         self.ledger.charge_write_op(1)
@@ -109,7 +112,7 @@ class DataOutput:
         """Hadoop ``WritableUtils.writeVLong`` encoding (1-9 bytes)."""
         self.ledger.charge_write_op(1)
         if -112 <= value <= 127:
-            self.write(bytes(((value + 256) % 256,)))
+            self.write(_BYTES[(value + 256) % 256])
             return
         length = -112
         if value < 0:
@@ -125,7 +128,7 @@ class DataOutput:
         for idx in range(length, 0, -1):
             shift = (idx - 1) * 8
             out.append((value >> shift) & 0xFF)
-        self.write(bytes(out))
+        self.write(out)
 
     def write_vint(self, value: int) -> None:
         self.write_vlong(value)
@@ -154,25 +157,124 @@ class DataOutputBuffer(DataOutput):
         length = len(data)
         new_count = self.count + length
         if new_count > self.capacity:
-            # reallocate buffer: max(double, needed)
-            new_capacity = max(self.capacity * 2, new_count)
-            self.ledger.charge_heap_alloc(new_capacity)
-            grown = bytearray(new_capacity)
-            # copy old data
-            grown[: self.count] = self._data[: self.count]
-            self.ledger.charge_copy(self.count)
-            self._data = grown
-            self.capacity = new_capacity
-            self.adjustments += 1
-            self.ledger.charge_adjustment()
+            self._grow(new_count)
         # copy new data
         self._data[self.count : new_count] = data
         self.ledger.charge_copy(length)
         self.count = new_count
 
+    def _grow(self, new_count: int) -> None:
+        """Algorithm-1 reallocation: ``max(double, needed)``, copy old data.
+
+        A *new* backing bytearray is allocated every time (never an
+        in-place resize): outstanding :meth:`get_view` exports keep the
+        old buffer alive and valid, and resizing an exported bytearray
+        would raise ``BufferError``.
+        """
+        new_capacity = max(self.capacity * 2, new_count)
+        self.ledger.charge_heap_alloc(new_capacity)
+        grown = bytearray(new_capacity)
+        count = self.count
+        with memoryview(self._data) as old:
+            grown[:count] = old[:count]
+        self.ledger.charge_copy(count)
+        self._data = grown
+        self.capacity = new_capacity
+        self.adjustments += 1
+        self.ledger.charge_adjustment()
+
+    # -- zero-copy primitive fast paths ---------------------------------------
+    # Each override packs directly into the backing bytearray instead of
+    # materializing a per-primitive bytes object.  Ledger charges mirror
+    # the generic path exactly (write-op, growth charges if any, then the
+    # data copy) — the ledger models the Java behaviour, not ours.
+
+    def write_byte(self, value: int) -> None:
+        self.ledger.charge_write_op(1)
+        count = self.count
+        new_count = count + 1
+        if new_count > self.capacity:
+            self._grow(new_count)
+        self._data[count] = (value + 256) % 256
+        self.ledger.charge_copy(1)
+        self.count = new_count
+
+    def write_boolean(self, value: bool) -> None:
+        self.ledger.charge_write_op(1)
+        count = self.count
+        new_count = count + 1
+        if new_count > self.capacity:
+            self._grow(new_count)
+        self._data[count] = 1 if value else 0
+        self.ledger.charge_copy(1)
+        self.count = new_count
+
+    def write_short(self, value: int) -> None:
+        self.ledger.charge_write_op(2)
+        count = self.count
+        new_count = count + 2
+        if new_count > self.capacity:
+            self._grow(new_count)
+        _SHORT.pack_into(self._data, count, _jwrap(value, 16))
+        self.ledger.charge_copy(2)
+        self.count = new_count
+
+    def write_int(self, value: int) -> None:
+        self.ledger.charge_write_op(4)
+        count = self.count
+        new_count = count + 4
+        if new_count > self.capacity:
+            self._grow(new_count)
+        _INT.pack_into(self._data, count, _jwrap(value, 32))
+        self.ledger.charge_copy(4)
+        self.count = new_count
+
+    def write_long(self, value: int) -> None:
+        self.ledger.charge_write_op(8)
+        count = self.count
+        new_count = count + 8
+        if new_count > self.capacity:
+            self._grow(new_count)
+        _LONG.pack_into(self._data, count, _jwrap(value, 64))
+        self.ledger.charge_copy(8)
+        self.count = new_count
+
+    def write_float(self, value: float) -> None:
+        self.ledger.charge_write_op(4)
+        count = self.count
+        new_count = count + 4
+        if new_count > self.capacity:
+            self._grow(new_count)
+        _FLOAT.pack_into(self._data, count, value)
+        self.ledger.charge_copy(4)
+        self.count = new_count
+
+    def write_double(self, value: float) -> None:
+        self.ledger.charge_write_op(8)
+        count = self.count
+        new_count = count + 8
+        if new_count > self.capacity:
+            self._grow(new_count)
+        _DOUBLE.pack_into(self._data, count, value)
+        self.ledger.charge_copy(8)
+        self.count = new_count
+
     def get_data(self) -> bytes:
         """The serialized bytes written so far (Listing 1's ``getData``)."""
-        return bytes(self._data[: self.count])
+        with memoryview(self._data) as view:
+            # A copy is this method's contract; hot paths use get_view().
+            return bytes(view[: self.count])  # sim-lint: disable=SIM008
+
+    def get_view(self) -> memoryview:
+        """Zero-copy, length-bounded view of the serialized bytes.
+
+        The view stays valid across later writes: growth allocates a new
+        backing array (see :meth:`_grow`), so an exported view keeps
+        observing the bytes it was taken over.  Charges nothing, exactly
+        like :meth:`get_data` (Java's ``getData`` returns the backing
+        array without copying).
+        """
+        return memoryview(self._data)[: self.count]
 
     def get_length(self) -> int:
         return self.count
@@ -191,7 +293,9 @@ class DataOutputStream(DataOutput):
         self.written = 0
 
     def write(self, data: Union[bytes, bytearray, memoryview]) -> None:
-        self.sink.write_bytes(bytes(data))
+        # Forward the chunk unchanged (bytes, bytearray, or memoryview):
+        # coercing through bytes() here copied every chunk once more.
+        self.sink.write_bytes(data)
         self.written += len(data)
 
     def flush(self) -> None:

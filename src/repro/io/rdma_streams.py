@@ -14,13 +14,20 @@ Writable materializes its own fields.
 
 from __future__ import annotations
 
+import struct
 from typing import Optional, Tuple, Union
 
 from repro.io.data_input import DataInput, EndOfStream
-from repro.io.data_output import DataOutput
+from repro.io.data_output import DataOutput, _jwrap
 from repro.mem.cost import CostLedger
 from repro.mem.native_pool import NativeBuffer
 from repro.mem.shadow_pool import HistoryShadowPool
+
+_INT = struct.Struct(">i")
+_LONG = struct.Struct(">q")
+_SHORT = struct.Struct(">h")
+_FLOAT = struct.Struct(">f")
+_DOUBLE = struct.Struct(">d")
 
 
 class RDMAOutputStream(DataOutput):
@@ -73,6 +80,72 @@ class RDMAOutputStream(DataOutput):
         self.ledger.charge_copy(length)
         self.count = end
 
+    def _reserve(self, length: int) -> int:
+        """Growth/validity checks shared by the pack_into fast paths;
+        returns the write offset."""
+        if self.buffer is None:
+            raise RuntimeError("stream is closed")
+        if self._detached:
+            raise RuntimeError("stream already detached")
+        while self.count + length > self.buffer.capacity:
+            self.buffer = self.pool.grow(self.buffer, self.count, self.ledger)
+            self.grown = True
+            self.grow_count += 1
+        return self.count
+
+    # -- zero-copy primitive fast paths ---------------------------------------
+    # Pack straight into the registered native buffer; ledger charges
+    # mirror the generic DataOutput path (write-op, then the data copy).
+
+    def write_byte(self, value: int) -> None:
+        self.ledger.charge_write_op(1)
+        count = self._reserve(1)
+        self.buffer.data[count] = (value + 256) % 256
+        self.ledger.charge_copy(1)
+        self.count = count + 1
+
+    def write_boolean(self, value: bool) -> None:
+        self.ledger.charge_write_op(1)
+        count = self._reserve(1)
+        self.buffer.data[count] = 1 if value else 0
+        self.ledger.charge_copy(1)
+        self.count = count + 1
+
+    def write_short(self, value: int) -> None:
+        self.ledger.charge_write_op(2)
+        count = self._reserve(2)
+        _SHORT.pack_into(self.buffer.data, count, _jwrap(value, 16))
+        self.ledger.charge_copy(2)
+        self.count = count + 2
+
+    def write_int(self, value: int) -> None:
+        self.ledger.charge_write_op(4)
+        count = self._reserve(4)
+        _INT.pack_into(self.buffer.data, count, _jwrap(value, 32))
+        self.ledger.charge_copy(4)
+        self.count = count + 4
+
+    def write_long(self, value: int) -> None:
+        self.ledger.charge_write_op(8)
+        count = self._reserve(8)
+        _LONG.pack_into(self.buffer.data, count, _jwrap(value, 64))
+        self.ledger.charge_copy(8)
+        self.count = count + 8
+
+    def write_float(self, value: float) -> None:
+        self.ledger.charge_write_op(4)
+        count = self._reserve(4)
+        _FLOAT.pack_into(self.buffer.data, count, value)
+        self.ledger.charge_copy(4)
+        self.count = count + 4
+
+    def write_double(self, value: float) -> None:
+        self.ledger.charge_write_op(8)
+        count = self._reserve(8)
+        _DOUBLE.pack_into(self.buffer.data, count, value)
+        self.ledger.charge_copy(8)
+        self.count = count + 8
+
     def get_length(self) -> int:
         return self.count
 
@@ -122,9 +195,78 @@ class RDMAInputStream(DataInput):
             raise EndOfStream(
                 f"read past end: want {n} at {self.position}, have {self.length}"
             )
-        chunk = bytes(self._view[self.position : end])
+        chunk = bytes(self._view[self.position : end])  # sim-lint: disable=SIM008
         self.position = end
         return chunk
+
+    # -- zero-allocation primitive fast paths ----------------------------------
+    # Decode in place from the registered buffer with unpack_from —
+    # ledger charges identical to the generic DataInput implementations.
+
+    def read_byte(self) -> int:
+        self.ledger.charge_read_op(1)
+        pos = self.position
+        if pos + 1 > self.length:
+            self.read(1)  # raises EndOfStream with the canonical message
+        self.position = pos + 1
+        value = self._view[pos]
+        return value - 256 if value > 127 else value
+
+    def read_unsigned_byte(self) -> int:
+        self.ledger.charge_read_op(1)
+        pos = self.position
+        if pos + 1 > self.length:
+            self.read(1)
+        self.position = pos + 1
+        return self._view[pos]
+
+    def read_boolean(self) -> bool:
+        self.ledger.charge_read_op(1)
+        pos = self.position
+        if pos + 1 > self.length:
+            self.read(1)
+        self.position = pos + 1
+        return self._view[pos] != 0
+
+    def read_short(self) -> int:
+        self.ledger.charge_read_op(2)
+        pos = self.position
+        if pos + 2 > self.length:
+            self.read(2)
+        self.position = pos + 2
+        return _SHORT.unpack_from(self._view, pos)[0]
+
+    def read_int(self) -> int:
+        self.ledger.charge_read_op(4)
+        pos = self.position
+        if pos + 4 > self.length:
+            self.read(4)
+        self.position = pos + 4
+        return _INT.unpack_from(self._view, pos)[0]
+
+    def read_long(self) -> int:
+        self.ledger.charge_read_op(8)
+        pos = self.position
+        if pos + 8 > self.length:
+            self.read(8)
+        self.position = pos + 8
+        return _LONG.unpack_from(self._view, pos)[0]
+
+    def read_float(self) -> float:
+        self.ledger.charge_read_op(4)
+        pos = self.position
+        if pos + 4 > self.length:
+            self.read(4)
+        self.position = pos + 4
+        return _FLOAT.unpack_from(self._view, pos)[0]
+
+    def read_double(self) -> float:
+        self.ledger.charge_read_op(8)
+        pos = self.position
+        if pos + 8 > self.length:
+            self.read(8)
+        self.position = pos + 8
+        return _DOUBLE.unpack_from(self._view, pos)[0]
 
     @property
     def remaining(self) -> int:

@@ -148,7 +148,8 @@ class BytesWritable(Writable):
     """
 
     def __init__(self, value: bytes = b""):
-        self.value = bytes(value)
+        # Constructor snapshot, as Java's BytesWritable copies.
+        self.value = bytes(value)  # sim-lint: disable=SIM008
 
     def write(self, out: DataOutput) -> None:
         out.write_int(len(self.value))

@@ -66,8 +66,12 @@ WALL_CLOCK_CALLS = {
 }
 
 #: The experiments harness is the one place allowed to measure wall
-#: clock (it reports how long a *run of the simulator* took).
-WALL_CLOCK_ALLOWED_SUFFIXES = ("repro/experiments/runner.py",)
+#: clock (it reports how long a *run of the simulator* took).  The
+#: bench plane exists to measure wall-clock, so it is allowed too.
+WALL_CLOCK_ALLOWED_SUFFIXES = (
+    "repro/experiments/runner.py",
+    "repro/experiments/bench.py",
+)
 
 
 def check_sim001(ctx: LintContext) -> Iterator[Finding]:
@@ -540,6 +544,46 @@ def check_sim007(ctx: LintContext) -> Iterator[Finding]:
                     break
 
 
+# --------------------------------------------------------------------------
+# SIM008 — byte-copy coercion on the zero-copy path
+# --------------------------------------------------------------------------
+
+#: The serialization/transport layers hold the zero-copy invariant: a
+#: message travels as bytearray/memoryview views until the transport
+#: boundary.  A ``bytes(...)`` coercion inside them silently
+#: materializes a full copy of the buffer.
+ZERO_COPY_PATH_FRAGMENTS = ("repro/io/", "repro/net/")
+
+
+def check_sim008(ctx: LintContext) -> Iterator[Finding]:
+    if not ctx.in_src:
+        return
+    if not any(frag in ctx.posix for frag in ZERO_COPY_PATH_FRAGMENTS):
+        return
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "bytes"
+            and len(node.args) == 1
+            and not node.keywords
+        ):
+            continue
+        arg = node.args[0]
+        # bytes(4) preallocates, bytes(b"..") / bytes("s", ..) are
+        # literal conversions — neither copies a live message buffer.
+        if isinstance(arg, ast.Constant):
+            continue
+        yield ctx.finding(
+            node,
+            "SIM008",
+            "bytes(...) on the zero-copy serialization path materializes "
+            "a full copy — forward the bytearray/memoryview unchanged, or "
+            "mark an intentional transport-boundary snapshot with "
+            "`# sim-lint: disable=SIM008`",
+        )
+
+
 #: rule code -> checker, in report order.
 CHECKERS = {
     "SIM001": check_sim001,
@@ -549,4 +593,5 @@ CHECKERS = {
     "SIM005": check_sim005,
     "SIM006": check_sim006,
     "SIM007": check_sim007,
+    "SIM008": check_sim008,
 }

@@ -17,7 +17,7 @@ from typing import Dict
 from repro.calibration import CostModel
 
 
-@dataclass
+@dataclass(slots=True)
 class OpCounts:
     """Counters of mechanical operations, independent of their cost."""
 
@@ -49,12 +49,37 @@ class CostLedger:
     heap allocation, to be drained into the owning node's GC account.
     """
 
+    __slots__ = (
+        "model", "total_us", "gc_debt_us", "counts", "by_category",
+        "_alloc_base_us", "_zero_per_byte_us",
+        "_gc_per_alloc_us", "_gc_per_byte_us",
+        "_copy_base_us", "_copy_per_byte_us",
+        "_write_op_us", "_ser_per_byte_us",
+        "_read_op_us", "_deser_per_byte_us",
+    )
+
     def __init__(self, model: CostModel):
         self.model = model
         self.total_us = 0.0
         self.gc_debt_us = 0.0
         self.counts = OpCounts()
         self.by_category: Dict[str, float] = defaultdict(float)
+        # Model coefficients prebound as instance attributes: the
+        # charge_* fast paths below run several times per RPC call and
+        # the model objects are frozen, so the chained
+        # ``self.model.memory.<coef>`` lookups are pure overhead.
+        mem = model.memory
+        self._alloc_base_us = mem.heap_alloc_base_us
+        self._zero_per_byte_us = mem.heap_zero_per_byte_us
+        self._gc_per_alloc_us = mem.gc_per_alloc_us
+        self._gc_per_byte_us = mem.gc_per_byte_us
+        self._copy_base_us = mem.memcpy_base_us
+        self._copy_per_byte_us = mem.memcpy_per_byte_us
+        sw = model.software
+        self._write_op_us = sw.writable_write_op_us
+        self._ser_per_byte_us = sw.serialize_per_byte_us
+        self._read_op_us = sw.writable_read_op_us
+        self._deser_per_byte_us = sw.deserialize_per_byte_us
 
     # -- generic -----------------------------------------------------------
     def charge(self, category: str, us: float) -> None:
@@ -65,19 +90,32 @@ class CostLedger:
         self.by_category[category] += us
 
     # -- memory operations ---------------------------------------------------
+    # The specialized charge_* methods below bypass :meth:`charge` (these
+    # run once per primitive on the serialization hot path).  They MUST
+    # apply the same float operations in the same order — ``us`` computed
+    # by the identical model expression, then ``total_us += us``, then
+    # ``by_category[...] += us`` — so totals stay bit-identical with the
+    # pre-flattening implementation.  The model never produces negative
+    # costs, so :meth:`charge`'s validation is vacuous here.
+
     def charge_heap_alloc(self, nbytes: int) -> None:
         """``new byte[nbytes]`` on the JVM heap: allocate + zero + GC debt."""
-        mem = self.model.memory
-        self.charge("alloc", mem.alloc_us(nbytes))
-        self.gc_debt_us += mem.gc_debt_us(nbytes)
-        self.counts.allocations += 1
-        self.counts.alloc_bytes += nbytes
+        us = self._alloc_base_us + nbytes * self._zero_per_byte_us
+        self.total_us += us
+        self.by_category["alloc"] += us
+        self.gc_debt_us += self._gc_per_alloc_us + nbytes * self._gc_per_byte_us
+        counts = self.counts
+        counts.allocations += 1
+        counts.alloc_bytes += nbytes
 
     def charge_copy(self, nbytes: int) -> None:
         """One memcpy of ``nbytes`` (heap<->heap or heap<->native)."""
-        self.charge("copy", self.model.memory.copy_us(nbytes))
-        self.counts.copies += 1
-        self.counts.copy_bytes += nbytes
+        us = self._copy_base_us + nbytes * self._copy_per_byte_us
+        self.total_us += us
+        self.by_category["copy"] += us
+        counts = self.counts
+        counts.copies += 1
+        counts.copy_bytes += nbytes
 
     def charge_adjustment(self) -> None:
         """Record one Algorithm-1 buffer-growth event (costs are charged
@@ -87,18 +125,16 @@ class CostLedger:
     # -- serialization primitives -----------------------------------------------
     def charge_write_op(self, nbytes: int) -> None:
         """One Writable primitive write of ``nbytes`` payload."""
-        sw = self.model.software
-        self.charge(
-            "serialize", sw.writable_write_op_us + nbytes * sw.serialize_per_byte_us
-        )
+        us = self._write_op_us + nbytes * self._ser_per_byte_us
+        self.total_us += us
+        self.by_category["serialize"] += us
         self.counts.write_ops += 1
 
     def charge_read_op(self, nbytes: int) -> None:
         """One Writable primitive read of ``nbytes`` payload."""
-        sw = self.model.software
-        self.charge(
-            "deserialize", sw.writable_read_op_us + nbytes * sw.deserialize_per_byte_us
-        )
+        us = self._read_op_us + nbytes * self._deser_per_byte_us
+        self.total_us += us
+        self.by_category["deserialize"] += us
         self.counts.read_ops += 1
 
     # -- pool operations --------------------------------------------------------

@@ -76,6 +76,9 @@ class Fabric:
         self.faults = (
             fault_session.attach(self) if fault_session is not None else None
         )
+        # Transfer-process names, cached per (src, dst) pair: transfers
+        # spawn per wire chunk and the f-string shows up in profiles.
+        self._xfer_names: Dict[tuple, str] = {}
 
     def add_node(self, name: str, cores: Optional[int] = None) -> Node:
         if name in self.nodes:
@@ -105,10 +108,21 @@ class Fabric:
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
-        return self.env.process(
-            self._transfer_proc(src, dst, nbytes, spec),
-            name=f"xfer:{src.name}->{dst.name}",
-        )
+        key = (src.name, dst.name)
+        name = self._xfer_names.get(key)
+        if name is None:
+            name = f"xfer:{src.name}->{dst.name}"
+            self._xfer_names[key] = name
+        return self.env.process(self._transfer_proc(src, dst, nbytes, spec), name=name)
+
+    def _hold(self, resource, delay_before: float, serialization_us: float):
+        """Occupy a NIC engine for the serialization time (one pipeline
+        side of a transfer), optionally trailing by ``delay_before``."""
+        if delay_before:
+            yield self.env.timeout(delay_before)
+        with resource.request() as req:
+            yield req
+            yield self.env.timeout(serialization_us)
 
     def _transfer_proc(self, src: Node, dst: Node, nbytes: int, spec: NetworkSpec):
         """Returns True when the bytes arrived, False when a fault
@@ -131,19 +145,16 @@ class Fabric:
             if factor != 1.0:
                 serialization_us *= factor
 
-        def hold(resource, delay_before):
-            if delay_before:
-                yield self.env.timeout(delay_before)
-            with resource.request() as req:
-                yield req
-                yield self.env.timeout(serialization_us)
-
         # Cut-through pipeline: the receive side trails the transmit
         # side by the wire latency and both occupy their engines for the
         # serialization time; end-to-end = latency + nbytes/bw when
         # uncontended, and endpoint contention queues naturally.
-        tx_side = self.env.process(hold(src.nic_tx, 0.0))
-        rx_side = self.env.process(hold(dst.nic_rx, spec.latency_us))
+        tx_side = self.env.process(
+            self._hold(src.nic_tx, 0.0, serialization_us), name="hold"
+        )
+        rx_side = self.env.process(
+            self._hold(dst.nic_rx, spec.latency_us, serialization_us), name="hold"
+        )
         yield tx_side & rx_side
         if self.faults is not None and not self.faults.deliverable(src, dst):
             return False

@@ -10,7 +10,6 @@ them.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from typing import Callable, NamedTuple, Optional
 
@@ -96,6 +95,19 @@ class SimSocket:
         self.on_data: Optional[Callable[["SimSocket"], None]] = None
         self.bytes_sent = 0
         self.bytes_received = 0
+        # Process names precomputed once (send/recv spawn per message).
+        self._send_name = f"send:{name}"
+        self._recv_name = f"recv:{name}"
+        # Cost-model coefficients prebound once per socket: the
+        # send/recv cost formulas run per message and the chained
+        # ``self.model.software.<coef>`` lookups dominate them.
+        sw = fabric.model.software
+        self._syscall_us = sw.socket_syscall_us
+        self._host_overhead_us = spec.host_overhead_us
+        self._cpu_per_byte_us = spec.cpu_per_byte_us
+        mem = fabric.model.memory
+        self._copy_base_us = mem.memcpy_base_us
+        self._copy_per_byte_us = mem.memcpy_per_byte_us
         if fabric.faults is not None:
             fabric.faults.register_socket(self)
         #: out-of-band trace refs travelling with frames (repro.obs):
@@ -105,8 +117,13 @@ class SimSocket:
         self._trace_refs: deque = deque()
 
     # -- sending ----------------------------------------------------------
-    def send(self, data: bytes, trace=None) -> Process:
+    def send(self, data, trace=None) -> Process:
         """Write ``data`` to the peer; returns the completion Process.
+
+        ``data`` is bytes or a gather list of chunks (bytes / bytearray
+        / memoryview): a list is joined into the wire image exactly once
+        here, at the transport boundary — the zero-copy framing paths
+        upstream never materialize the message themselves.
 
         The Process completes when the *local* write is done (TCP
         semantics: the kernel accepted the bytes) — charged with
@@ -119,22 +136,31 @@ class SimSocket:
         """
         if self.closed:
             raise SocketClosed(f"{self.name}: send on closed socket")
-        return self.env.process(
-            self._send_proc(bytes(data), trace), name=f"send:{self.name}"
-        )
+        kind = type(data)
+        if kind is list:
+            data = b"".join(data)
+        elif kind is not bytes:
+            # Snapshot mutable buffers at the send boundary.
+            data = bytes(data)  # sim-lint: disable=SIM008
+        return self.env.process(self._send_proc(data, trace), name=self._send_name)
 
     def pop_trace(self):
         """Next out-of-band trace ref (FIFO, one per traced frame)."""
         return self._trace_refs.popleft() if self._trace_refs else None
 
     def _send_proc(self, data: bytes, trace=None):
-        sw = self.model.software
-        syscalls = max(1, math.ceil(len(data) / SYSCALL_CHUNK))
+        nbytes = len(data)
+        # ``-(-n // chunk)`` is exact integer ceil; SYSCALL_CHUNK is a
+        # power of two so it matches the float-division form bit-for-bit.
+        syscalls = -(-nbytes // SYSCALL_CHUNK) or 1
+        # Grouping matters: the copy term is parenthesized exactly as the
+        # unfolded ``memory.copy_us(nbytes)`` call computed it, keeping
+        # float addition order — and thus the clock — bit-identical.
         cost = (
-            syscalls * sw.socket_syscall_us
-            + self.spec.host_overhead_us
-            + len(data) * self.spec.cpu_per_byte_us
-            + self.model.memory.copy_us(len(data))
+            syscalls * self._syscall_us
+            + self._host_overhead_us
+            + nbytes * self._cpu_per_byte_us
+            + (self._copy_base_us + nbytes * self._copy_per_byte_us)
         )
         yield self.env.timeout(cost)
         self.bytes_sent += len(data)
@@ -213,7 +239,7 @@ class SimSocket:
         """
         if nbytes < 0:
             raise ValueError(f"negative recv size {nbytes}")
-        return self.env.process(self._recv_proc(nbytes), name=f"recv:{self.name}")
+        return self.env.process(self._recv_proc(nbytes), name=self._recv_name)
 
     def _recv_proc(self, nbytes: int):
         while len(self._rx) < nbytes:
@@ -226,14 +252,17 @@ class SimSocket:
             event = self.env.event()
             self._waiter = (nbytes, event)
             yield event
-        data = bytes(self._rx[:nbytes])
+        # Single-copy extraction: slicing the bytearray first would copy
+        # twice.  Both views are released before the del (a bytearray
+        # with live exports cannot shrink).
+        with memoryview(self._rx) as rx_view:
+            data = bytes(rx_view[:nbytes])  # sim-lint: disable=SIM008
         del self._rx[:nbytes]
-        sw = self.model.software
-        syscalls = max(1, math.ceil(nbytes / SYSCALL_CHUNK))
+        syscalls = -(-nbytes // SYSCALL_CHUNK) or 1
         cost = (
-            syscalls * sw.socket_syscall_us
-            + self.spec.host_overhead_us
-            + nbytes * self.spec.cpu_per_byte_us
+            syscalls * self._syscall_us
+            + self._host_overhead_us
+            + nbytes * self._cpu_per_byte_us
         )
         yield self.env.timeout(cost)
         self.bytes_received += nbytes

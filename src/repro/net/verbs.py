@@ -90,6 +90,9 @@ class QueuePair:
             self.fabric.faults.register_qp(self)
         self._tx_queue: Optional[Store] = None
         self._tx_worker = None
+        # Process names precomputed once (send/recv spawn per message).
+        self._send_name = f"ibsend:{local.name}"
+        self._recv_name = f"ibrecv:{local.name}"
         self.sends = 0
         self.eager_sends = 0
         self.rdma_sends = 0
@@ -136,11 +139,17 @@ class QueuePair:
             length = len(view)
         if length > len(view):
             raise ValueError(f"length {length} exceeds buffer {len(view)}")
-        payload = bytes(view[:length])
+        if type(view) is bytes and length == len(view):
+            payload = view  # immutable and exact: no snapshot needed
+        else:
+            # Single-copy DMA snapshot (slicing a bytearray first would
+            # copy twice); the sender may recycle its buffer immediately.
+            with memoryview(view) as dma:
+                payload = bytes(dma[:length])  # sim-lint: disable=SIM008
         eager = length <= rdma_threshold
         return self.env.process(
             self._send_proc(payload, eager, context, trace),
-            name=f"ibsend:{self.local.name}",
+            name=self._send_name,
         )
 
     def pop_trace(self):
@@ -192,7 +201,7 @@ class QueuePair:
         """
         if self.closed:
             raise RuntimeError("recv on closed QP")
-        return self.env.process(self._recv_proc(), name=f"ibrecv:{self.local.name}")
+        return self.env.process(self._recv_proc(), name=self._recv_name)
 
     def _recv_proc(self):
         message = yield self.inbound.get()

@@ -109,6 +109,11 @@ class Call:
     :class:`RemoteException`).
     """
 
+    __slots__ = (
+        "id", "protocol", "method", "params", "done", "started_at",
+        "deadline", "span",
+    )
+
     def __init__(
         self, call_id: int, protocol: str, method: str, params, env,
         deadline: Optional[float] = None,

@@ -35,7 +35,7 @@ from repro.calibration import CostModel, NetworkSpec
 from repro.config import Configuration
 from repro.io.data_input import DataInputBuffer
 from repro.io.data_output import DataOutputBuffer, DataOutputStream
-from repro.io.buffered import BufferedOutputStream, BytesSink
+from repro.io.buffered import BufferedOutputStream, VectorSink
 from repro.io.rdma_streams import RDMAInputStream, RDMAOutputStream
 from repro.io.writable import ObjectWritable, Writable
 from repro.mem.cost import CostLedger
@@ -104,6 +104,33 @@ class Client:
         # RPCoIB client-side pool, shared across connections (the
         # library-wide native pool of Section III-C).
         self._pool: Optional[HistoryShadowPool] = None
+        # Registry instruments are get-or-create by (name, labels) — cache
+        # them so the per-call hot path skips the label-key construction.
+        # Created lazily on first use (not here) so the set of exported
+        # instruments — and thus the metrics JSON — is unchanged.
+        self._completed_counter = None
+        self._failed_counter = None
+        self._latency_tallies: Dict[Tuple[str, str], object] = {}
+        # Per-call conf values parsed once per Configuration version
+        # (the stamp check makes ``conf.set`` after client creation
+        # still take effect on the next call), and call-process names
+        # built once per (protocol, method).
+        self._conf_stamp = -1
+        self._conf_parsed: Tuple[float, int, float, int] = (0.0, 0, 0.0, 0)
+        self._call_names: Dict[Tuple[str, str], str] = {}
+
+    def _call_conf(self) -> Tuple[float, int, float, int]:
+        """(call timeout, max retries, retry interval, buffer initial)."""
+        conf = self.conf
+        if conf.version != self._conf_stamp:
+            self._conf_parsed = (
+                conf.get_float("ipc.client.call.timeout"),
+                conf.get_int("ipc.client.call.max.retries"),
+                conf.get_float("ipc.client.call.retry.interval"),
+                conf.get_int("io.buffer.initial.size"),
+            )
+            self._conf_stamp = conf.version
+        return self._conf_parsed
 
     @property
     def ib_enabled(self) -> bool:
@@ -135,9 +162,12 @@ class Client:
         :class:`ConnectionError` subclasses (:class:`RpcTimeoutError`,
         :class:`RetriesExhaustedError`, ...) on transport failures.
         """
+        key = (protocol.protocol_name(), method)
+        name = self._call_names.get(key)
+        if name is None:
+            name = self._call_names[key] = f"call:{key[0]}.{method}"
         return self.env.process(
-            self._call_proc(address, protocol, method, params),
-            name=f"call:{protocol.protocol_name()}.{method}",
+            self._call_proc(address, protocol, method, params), name=name
         )
 
     def _call_proc(self, address, protocol, method, params):
@@ -150,10 +180,7 @@ class Client:
             method=method,
             engine="rpcoib" if self.ib_enabled else "socket",
         )
-        conf = self.conf
-        call_timeout_us = conf.get_float("ipc.client.call.timeout")
-        max_retries = conf.get_int("ipc.client.call.max.retries")
-        retry_interval_us = conf.get_float("ipc.client.call.retry.interval")
+        call_timeout_us, max_retries, retry_interval_us, _ = self._call_conf()
         attempts = 0
         while True:
             try:
@@ -247,11 +274,20 @@ class Client:
                     message_bytes=profile_info["message_bytes"],
                 )
             )
-        reg = self.fabric.metrics
-        reg.counter("rpc.client.calls_completed", node=self.node.name).add()
-        reg.tally(
-            "rpc.client.latency_us", protocol=call.protocol, method=call.method
-        ).observe(latency_us)
+        counter = self._completed_counter
+        if counter is None:
+            counter = self._completed_counter = self.fabric.metrics.counter(
+                "rpc.client.calls_completed", node=self.node.name
+            )
+        counter.add()
+        tally_key = (call.protocol, call.method)
+        tally = self._latency_tallies.get(tally_key)
+        if tally is None:
+            tally = self.fabric.metrics.tally(
+                "rpc.client.latency_us", protocol=call.protocol, method=call.method
+            )
+            self._latency_tallies[tally_key] = tally
+        tally.observe(latency_us)
         span.annotate("latency_us", latency_us)
         if profile_info is not None:
             span.annotate("message_bytes", profile_info["message_bytes"])
@@ -262,9 +298,12 @@ class Client:
 
     def _fail_call_metrics(self, span, label: str) -> None:
         self.metrics.record_failure()
-        self.fabric.metrics.counter(
-            "rpc.client.calls_failed", node=self.node.name
-        ).add()
+        counter = self._failed_counter
+        if counter is None:
+            counter = self._failed_counter = self.fabric.metrics.counter(
+                "rpc.client.calls_failed", node=self.node.name
+            )
+        counter.add()
         span.annotate("error", label).end()
 
     def close(self) -> None:
@@ -419,6 +458,10 @@ class BaseConnection:
         self.last_activity = self.env.now
         self._kick = None
         self._keeper = None
+        # The client-daemon heap every call's ledger folds into —
+        # resolved once (dict lookup + on-demand creation per absorb
+        # otherwise).
+        self._heap = client.node.heap("rpc-client")
 
     # subclasses: setup() generator, send_call(call) generator,
     # _send_ping() generator, close()
@@ -442,7 +485,7 @@ class BaseConnection:
 
     def _absorb(self, ledger: CostLedger) -> None:
         """Fold an activity's allocation churn into the node's heap."""
-        self.client.node.heap("rpc-client").absorb(ledger)
+        self._heap.absorb(ledger)
 
     # -- keeper: timeouts, pings, idle teardown ---------------------------
     def _start_keeper(self) -> None:
@@ -559,17 +602,21 @@ class SocketConnection(BaseConnection):
         self._start_keeper()
 
     @staticmethod
-    def _frame(buf: DataOutputBuffer, ledger: CostLedger) -> bytes:
+    def _frame(buf: DataOutputBuffer, ledger: CostLedger) -> list:
         """Length-prefix ``buf`` through the buffered stream path
-        (Listing 1 lines 10-13), charging its copies."""
-        sink = BytesSink()
+        (Listing 1 lines 10-13), charging its copies.
+
+        Returns the frame as a list of chunks (gather write): the
+        serialized message travels as a zero-copy ``get_view`` and the
+        transport materializes the wire image exactly once.
+        """
+        sink = VectorSink()
         buffered = BufferedOutputStream(sink, ledger)
         out = DataOutputStream(buffered, ledger)
         out.write_int(buf.get_length())
-        data = buf.get_data()
-        buffered.write_bytes(data)
+        buffered.write_bytes(buf.get_view())
         out.flush()
-        return sink.getvalue()
+        return sink.chunks
 
     def send_call(self, call: Call):
         """Listing 1: serialize into a DataOutputBuffer, then send."""
@@ -580,7 +627,7 @@ class SocketConnection(BaseConnection):
             category="rpc.client",
         )
         ledger = CostLedger(self.model)
-        initial = self.client.conf.get_int("io.buffer.initial.size")
+        initial = self.client._call_conf()[3]
         buf = DataOutputBuffer(ledger, initial_size=initial)
         buf.write_int(call.id)
         Invocation(call.method, call.params).write(buf)
@@ -604,7 +651,8 @@ class SocketConnection(BaseConnection):
             ref.sent_at = self.env.now
         yield self.sock.send(frame, trace=ref)  # completes at local write
         send_us = self.env.now - send_start
-        dspan.annotate("frame_bytes", len(frame))
+        # frame = 4-byte length prefix + serialized message.
+        dspan.annotate("frame_bytes", 4 + message_bytes)
         dspan.end()
         self._absorb(ledger)
         self._note_activity()

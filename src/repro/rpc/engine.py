@@ -47,6 +47,9 @@ class RpcProxy:
             return self._client.call(self._address, self._protocol, method, list(params))
 
         invoke.__name__ = method
+        # Cache the stub on the instance: subsequent ``proxy.method``
+        # accesses hit the instance dict and skip __getattr__ entirely.
+        self.__dict__[method] = invoke
         return invoke
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 CallKind = Tuple[str, str]
 
 
-@dataclass
+@dataclass(slots=True)
 class CallProfile:
     """Client-side record of one RPC invocation."""
 
@@ -33,7 +33,7 @@ class CallProfile:
     message_bytes: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ReceiveProfile:
     """Server-side record of receiving one call (Listing 2 path)."""
 

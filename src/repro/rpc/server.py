@@ -20,7 +20,7 @@ from repro.calibration import CostModel, NetworkSpec
 from repro.config import Configuration
 from repro.io.data_input import DataInputBuffer
 from repro.io.data_output import DataOutputBuffer, DataOutputStream
-from repro.io.buffered import BufferedOutputStream, BytesSink
+from repro.io.buffered import BufferedOutputStream, VectorSink
 from repro.io.rdma_streams import RDMAInputStream, RDMAOutputStream
 from repro.io.writable import ObjectWritable, Writable
 from repro.io.writables import NullWritable
@@ -71,7 +71,7 @@ class IBServerConnection:
         self.protocol_name = protocol_name
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerCall:
     """One decoded call waiting in the call queue."""
 
@@ -163,6 +163,15 @@ class Server:
         self.ib_connections: List[IBServerConnection] = []
         self._pool: Optional[HistoryShadowPool] = None
         self.listener_socket.ib_service = self  # discoverable at bootstrap
+
+        # Per-call hot-path caches: the server-daemon heap (dict lookup
+        # per frame otherwise), handler methods resolved by name, and
+        # the response-buffer initial size revalidated against the
+        # Configuration's mutation stamp.
+        self._heap = node.heap("rpc-server")
+        self._method_cache: Dict[str, object] = {}
+        self._conf_stamp = -1
+        self._resp_buf_initial = 0
 
         self._listener = self.env.process(self._listener_loop(), name=f"{self.name}:listener")
         self._readers = [
@@ -311,7 +320,7 @@ class Server:
                     else:
                         yield self.call_queue.put(scall)
                         self.queue_depth.inc()
-            self.node.heap("rpc-server").absorb(ledger)
+            self._heap.absorb(ledger)
             conn.scheduled = False
             if conn.sock.available > 0 and not conn.scheduled:
                 conn.scheduled = True
@@ -406,25 +415,35 @@ class Server:
             ) if scall.trace is not None else None
             yield self.env.timeout(sw.thread_handoff_us + sw.reflection_invoke_us)
             status, result, error = RpcStatus.SUCCESS, None, None
-            method = getattr(self.instance, scall.invocation.method, None)
+            method_name = scall.invocation.method
+            try:
+                method = self._method_cache[method_name]
+            except KeyError:
+                method = getattr(self.instance, method_name, None)
+                self._method_cache[method_name] = method
             if method is None:
                 status = RpcStatus.ERROR
                 error = (
                     "java.lang.NoSuchMethodException",
-                    f"{scall.invocation.method} not found",
+                    f"{method_name} not found",
                 )
             else:
                 try:
                     outcome = method(*scall.invocation.params)
-                    if hasattr(outcome, "send") and hasattr(outcome, "throw"):
-                        # Simulated method body: run it on the clock.
-                        outcome = yield self.env.process(outcome)
-                    result = outcome if outcome is not None else NullWritable()
-                    if not isinstance(result, Writable):
-                        raise TypeError(
-                            f"{scall.invocation.method} returned non-Writable "
-                            f"{type(result).__name__}"
-                        )
+                    if isinstance(outcome, Writable):
+                        # Fast path: echo-style handlers return a
+                        # Writable directly (never a generator).
+                        result = outcome
+                    else:
+                        if hasattr(outcome, "send") and hasattr(outcome, "throw"):
+                            # Simulated method body: run it on the clock.
+                            outcome = yield self.env.process(outcome)
+                        result = outcome if outcome is not None else NullWritable()
+                        if not isinstance(result, Writable):
+                            raise TypeError(
+                                f"{method_name} returned non-Writable "
+                                f"{type(result).__name__}"
+                            )
                 except ENGINE_EXCEPTIONS:
                     # Simulator bug or sanitizer violation — crash the
                     # run rather than serializing it to the client.
@@ -464,8 +483,11 @@ class Server:
                 out.write_utf(error[1])
             yield self.env.timeout(ledger.drain())
             return ("ib", scall.conn, out, scall.trace)
-        initial = self.conf.get_int("io.server.buffer.initial.size")
-        buf = DataOutputBuffer(ledger, initial_size=initial)
+        conf = self.conf
+        if conf.version != self._conf_stamp:
+            self._resp_buf_initial = conf.get_int("io.server.buffer.initial.size")
+            self._conf_stamp = conf.version
+        buf = DataOutputBuffer(ledger, initial_size=self._resp_buf_initial)
         buf.write_int(scall.call_id)
         buf.write_byte(int(status))
         if status == RpcStatus.SUCCESS:
@@ -473,15 +495,16 @@ class Server:
         else:
             buf.write_utf(error[0])
             buf.write_utf(error[1])
-        sink = BytesSink()
+        sink = VectorSink()
         buffered = BufferedOutputStream(sink, ledger)
         out_stream = DataOutputStream(buffered, ledger)
         out_stream.write_int(buf.get_length())
-        buffered.write_bytes(buf.get_data())
+        buffered.write_bytes(buf.get_view())
         out_stream.flush()
         yield self.env.timeout(ledger.drain())
-        self.node.heap("rpc-server").absorb(ledger)
-        return ("socket", scall.conn, sink.getvalue(), scall.trace)
+        self._heap.absorb(ledger)
+        # Chunk list (gather write): the socket joins it exactly once.
+        return ("socket", scall.conn, sink.chunks, scall.trace)
 
     # -- Responder -------------------------------------------------------------------
     def _responder_loop(self):
@@ -518,5 +541,7 @@ class Server:
                         rspan.annotate("error", "SocketClosed").end()
                     continue
                 if rspan is not None:
-                    rspan.annotate("response_bytes", len(payload))
+                    rspan.annotate(
+                        "response_bytes", sum(len(chunk) for chunk in payload)
+                    )
                     rspan.end()

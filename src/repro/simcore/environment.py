@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Generator, Iterable, Optional
 
 from repro.simcore import sanitizer as _sanitizer
-from repro.simcore.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.simcore.events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout
 from repro.simcore.process import Process
 
 
@@ -16,6 +17,18 @@ class EmptySchedule(Exception):
 
 class StopSimulation(Exception):
     """Raised to end :meth:`Environment.run` when its ``until`` fires."""
+
+
+#: Cumulative number of events scheduled across all :meth:`Environment.run`
+#: calls in this interpreter.  Read by the benchmark harness
+#: (``python -m repro.experiments bench``) to report events/sec; updated
+#: once per ``run()`` call, never in the hot loop.
+_events_total = 0
+
+
+def events_total() -> int:
+    """Events scheduled during all completed ``Environment.run`` calls."""
+    return _events_total
 
 
 class Environment:
@@ -32,6 +45,12 @@ class Environment:
         self._queue: list = []  # heap of (time, priority, eid, event)
         self._eid = 0
         self._active_process: Optional[Process] = None
+        # Free-lists of recycled Timeout/Event objects.  The fast run loop
+        # returns an object here only when it can prove (via refcount) that
+        # no simulation code still references it, so a pooled object is
+        # indistinguishable from a fresh one.
+        self._free_timeouts: list = []
+        self._free_events: list = []
         # Bound at construction so per-event checks are a single branch.
         self._sanitizer = _sanitizer.current()
         if self._sanitizer is not None:
@@ -49,9 +68,25 @@ class Environment:
 
     # -- event factories -------------------------------------------------
     def event(self) -> Event:
+        free = self._free_events
+        if free:
+            # Recycled events come back fully reset (pending, empty
+            # callback list) — see the fast loop in :meth:`run`.
+            return free.pop()
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        free = self._free_timeouts
+        if free:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            t = free.pop()
+            t.delay = delay
+            t._ok = True
+            t._value = value
+            self._eid += 1
+            heapq.heappush(self._queue, (self._now + delay, NORMAL, self._eid, t))
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -124,9 +159,13 @@ class Environment:
                 heapq.heappush(self._queue, (at, NORMAL, self._eid, stop))
             stop.add_callback(self._stop_callback)
 
+        eid_start = self._eid
         try:
-            while True:
-                self.step()
+            if self._sanitizer is None:
+                self._run_fast()
+            else:
+                while True:
+                    self.step()
         except StopSimulation as signal:
             event = signal.args[0]
             if event._ok:
@@ -138,6 +177,59 @@ class Environment:
                     f"no scheduled events left but until={stop!r} has not fired"
                 ) from None
             return None
+        finally:
+            global _events_total
+            _events_total += self._eid - eid_start
+
+    def _run_fast(self) -> None:
+        """Sanitizer-off hot loop: :meth:`step` inlined with all lookups
+        bound to locals, plus free-list recycling of dead Timeout/Event
+        objects.
+
+        Recycling rule: after an event's callbacks have run, the only
+        remaining references are this frame's ``event`` local and
+        ``getrefcount``'s argument — a refcount of exactly 2 therefore
+        proves no process, condition, or user code can ever observe the
+        object again.  Only exact ``Timeout``/``Event`` instances are
+        pooled (never subclasses such as Process/Condition).
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        free_timeouts = self._free_timeouts
+        free_events = self._free_events
+        getrc = getrefcount
+        pending = PENDING
+        timeout_cls = Timeout
+        event_cls = Event
+        while queue:
+            when, _, _, event = pop(queue)
+            self._now = when
+
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+
+            if event._ok is False and not event._defused:
+                # An unhandled failure: crash the simulation loudly.
+                raise event._value
+
+            cls = event.__class__
+            if cls is timeout_cls:
+                if getrc(event) == 2:
+                    event.callbacks = []
+                    event._value = pending
+                    event._ok = None
+                    event._defused = False
+                    free_timeouts.append(event)
+            elif cls is event_cls:
+                if getrc(event) == 2:
+                    event.callbacks = []
+                    event._value = pending
+                    event._ok = None
+                    event._defused = False
+                    free_events.append(event)
+        raise EmptySchedule()
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

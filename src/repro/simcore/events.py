@@ -9,6 +9,7 @@ scheduled simulation time.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -84,7 +85,11 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=priority)
+        # Inlined env.schedule(self, priority): delay is always 0 here so
+        # the sanitizer's negative-delay check can never fire.
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, priority, env._eid, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -100,7 +105,9 @@ class Event:
             raise TypeError(f"fail() needs an exception, got {exception!r}")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, priority=priority)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, priority, env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -146,11 +153,18 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Field init + scheduling inlined (no super().__init__ / env.schedule
+        # calls): this constructor runs once per simulated event and
+        # dominates the scheduler's allocation profile.  ``delay >= 0`` is
+        # already established, so the sanitizer check cannot fire.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, priority=NORMAL, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -202,21 +216,28 @@ class Condition(Event):
         evaluate: Callable[[list, int], bool],
         events: Iterable[Event],
     ):
-        super().__init__(env)
+        # Event.__init__ inlined: one Condition per transfer join /
+        # keeper wakeup makes this constructor hot on the RPC path.
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self._evaluate = evaluate
         self._events = list(events)
         self._count = 0
-        for event in self._events:
-            if event.env is not env:
-                raise ValueError("events of a Condition must share one Environment")
         if not self._events:
             self.succeed(ConditionValue())
             return
+        check = self._check
         for event in self._events:
-            if event.callbacks is None:  # already processed
-                self._check(event)
+            if event.env is not env:
+                raise ValueError("events of a Condition must share one Environment")
+            callbacks = event.callbacks
+            if callbacks is None:  # already processed
+                check(event)
             else:
-                event.add_callback(self._check)
+                callbacks.append(check)
 
     def _populate_value(self, value: ConditionValue) -> None:
         for event in self._events:
@@ -226,7 +247,7 @@ class Condition(Event):
                 value.events.append(event)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         self._count += 1
         if not event._ok:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from heapq import heappush
+from types import GeneratorType
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.simcore.events import Event, NORMAL, PENDING, URGENT
@@ -34,23 +36,39 @@ class Process(Event):
     returns, the Process event succeeds with the return value.
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "_send", "_throw", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        if type(generator) is not GeneratorType and (
+            not hasattr(generator, "send") or not hasattr(generator, "throw")
+        ):
             raise TypeError(f"process() requires a generator, got {generator!r}")
-        super().__init__(env)
+        # Event.__init__ inlined: one Process per socket send/recv makes
+        # this constructor hot on the RPC path.
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.generator = generator
+        # Bound methods cached once: the resume trampoline runs per event
+        # and re-binding send/throw/_resume there shows up in profiles.
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
-        # Kick the generator off via an immediately-scheduled init event.
-        init = Event(env)
-        init.callbacks.append(self._resume)
+        # Kick the generator off via an immediately-scheduled init event
+        # (drawn from the environment's free-list when one is available).
+        free = env._free_events
+        init = free.pop() if free else Event(env)
+        init.callbacks.append(self._resume_cb)
         init._ok = True
         init._value = None
-        env.schedule(init, priority=URGENT)
+        env._eid += 1
+        heappush(env._queue, (env._now, URGENT, env._eid, init))
         self._target = init
-        san = getattr(env, "_sanitizer", None)
+        san = env._sanitizer
         if san is not None:
             san.note_process(self)
 
@@ -75,35 +93,45 @@ class Process(Event):
         interrupt_ev._value = Interrupt(cause)
         interrupt_ev._defused = True
         if self._target.callbacks is not None:
-            self._target.remove_callback(self._resume)
-        interrupt_ev.callbacks.append(self._resume)
+            self._target.remove_callback(self._resume_cb)
+        interrupt_ev.callbacks.append(self._resume_cb)
         self.env.schedule(interrupt_ev, priority=URGENT)
         self._target = interrupt_ev
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        send = self._send
+        throw = self._throw
         while True:
             try:
                 if event._ok:
-                    next_event = self.generator.send(event._value)
+                    next_event = send(event._value)
                 else:
-                    event.defuse()
-                    next_event = self.generator.throw(event._value)
+                    event._defused = True
+                    next_event = throw(event._value)
             except StopIteration as stop:
+                # Inlined self.succeed(stop.value, priority=URGENT): a
+                # live Process is PENDING by construction.
                 self._target = None
-                self.succeed(stop.value, priority=URGENT)
+                self._ok = True
+                self._value = stop.value
+                env._eid += 1
+                heappush(env._queue, (env._now, URGENT, env._eid, self))
                 break
             except BaseException as exc:
                 self._target = None
                 self.fail(exc, priority=URGENT)
                 break
 
-            if not isinstance(next_event, Event):
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 exc = TypeError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
                 try:
-                    self.generator.throw(exc)
+                    throw(exc)
                 except StopIteration as stop:  # pragma: no cover - unusual
                     self._target = None
                     self.succeed(stop.value, priority=URGENT)
@@ -113,16 +141,16 @@ class Process(Event):
                     self.fail(exc2, priority=URGENT)
                     break
                 continue
-
-            if next_event.callbacks is not None:
-                # Event still pending or scheduled: wait for it.
-                next_event.add_callback(self._resume)
+            if callbacks is not None:
+                # Event still pending or scheduled: wait for it
+                # (inlined next_event.add_callback(self._resume)).
+                callbacks.append(self._resume_cb)
                 self._target = next_event
                 break
             # Event already processed: loop and feed its value straight in.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
 
     def __repr__(self) -> str:
         state = "alive" if self.is_alive else "dead"

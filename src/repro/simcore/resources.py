@@ -12,9 +12,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.simcore.events import Event
+from repro.simcore.events import Event, NORMAL, PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
@@ -26,7 +27,13 @@ class Request(Event):
     __slots__ = ("resource", "key")
 
     def __init__(self, resource: "Resource", key: tuple = ()):
-        super().__init__(resource.env)
+        # Event.__init__ inlined: one Request per resource claim makes
+        # this constructor hot on the RPC path.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
         self.key = key
         resource._do_request(self)
@@ -76,7 +83,13 @@ class Resource:
     def _do_request(self, request: Request) -> None:
         if len(self.users) < self.capacity:
             self.users.append(request)
-            request.succeed(request)
+            # Inlined request.succeed(request): the Request was created
+            # this instant, so it is provably still PENDING.
+            request._ok = True
+            request._value = request
+            env = self.env
+            env._eid += 1
+            heappush(env._queue, (env._now, NORMAL, env._eid, request))
         else:
             self._enqueue(request)
 
@@ -139,7 +152,12 @@ class StorePut(Event):
     __slots__ = ("item", "_store_queue")
 
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.env)
+        # Event.__init__ inlined: one StorePut per queued message.
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.item = item
         self._store_queue: Optional[deque] = None
         store._do_put(self)
@@ -157,7 +175,12 @@ class StoreGet(Event):
     __slots__ = ("filter", "_store_queue")
 
     def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None):
-        super().__init__(store.env)
+        # Event.__init__ inlined: one StoreGet per consumed message.
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.filter = filter
         self._store_queue: Optional[deque] = None
         store._do_get(self)
@@ -205,17 +228,37 @@ class Store:
     def _do_put(self, event: StorePut) -> None:
         if len(self.items) < self.capacity:
             self.items.append(event.item)
-            event.succeed()
-            self._serve_getters()
+            # Inlined event.succeed(): a StorePut is triggered at most
+            # once, in the same instant it is created.
+            event._ok = True
+            event._value = None
+            env = self.env
+            env._eid += 1
+            heappush(env._queue, (env._now, NORMAL, env._eid, event))
+            if self._getters:
+                self._serve_getters()
         else:
             event._store_queue = self._putters
             self._putters.append(event)
 
     def _do_get(self, event: StoreGet) -> None:
+        items = self.items
+        if items and event.filter is None:
+            # Fast path: plain FIFO get with stock on hand (every RPC
+            # queue).  Inlined ``_match`` + ``event.succeed(item)``.
+            event._ok = True
+            event._value = items.popleft()
+            env = self.env
+            env._eid += 1
+            heappush(env._queue, (env._now, NORMAL, env._eid, event))
+            if self._putters:
+                self._serve_putters()
+            return
         item = self._match(event)
         if item is not _NO_ITEM:
             event.succeed(item)
-            self._serve_putters()
+            if self._putters:
+                self._serve_putters()
         else:
             event._store_queue = self._getters
             self._getters.append(event)
@@ -232,15 +275,43 @@ class Store:
         return _NO_ITEM
 
     def _serve_getters(self) -> None:
+        getters = self._getters
+        items = self.items
+        # Fast path: FIFO getters with no filter (every RPC queue is
+        # one).  Serving the head getter here is exactly what the
+        # general scan below would do on its first hit; dropping
+        # already-triggered heads instead of skipping them is
+        # observationally identical (they can never be served).
+        while getters:
+            getter = getters[0]
+            if getter._value is not PENDING:
+                getters.popleft()
+                continue
+            if getter.filter is None:
+                if not items:
+                    return
+                getters.popleft()
+                # Inlined getter.succeed(items.popleft()).
+                getter._ok = True
+                getter._value = items.popleft()
+                env = self.env
+                env._eid += 1
+                heappush(env._queue, (env._now, NORMAL, env._eid, getter))
+                continue
+            break
+        else:
+            return
+        # Slow path: a filtered getter heads the queue — full scan with
+        # restart after every successful serve, as FilterStore requires.
         served = True
-        while served and self._getters:
+        while served and getters:
             served = False
-            for i, getter in enumerate(self._getters):
+            for i, getter in enumerate(getters):
                 if getter.triggered:
                     continue
                 item = self._match(getter)
                 if item is not _NO_ITEM:
-                    del self._getters[i]
+                    del getters[i]
                     getter.succeed(item)
                     served = True
                     break

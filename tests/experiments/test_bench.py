@@ -1,0 +1,76 @@
+"""The wall-clock bench harness: measurement, baseline, and the gate."""
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+
+
+@pytest.fixture
+def tiny_harness(monkeypatch):
+    """Register a fast fake harness so the CLI flows run in milliseconds."""
+
+    def tiny():
+        return {"answer": 42.0, "series": {"1": 2.5}}, {"n": 1}
+
+    monkeypatch.setitem(bench.HARNESSES, "tiny", tiny)
+    return tiny
+
+
+def test_measure_records_shape(tiny_harness):
+    result = bench.measure("tiny")
+    assert result["benchmark"] == "tiny"
+    assert result["wall_seconds"] >= 0.0
+    assert result["headline"] == {"answer": 42.0, "series": {"1": 2.5}}
+    assert result["params"] == {"n": 1}
+    assert isinstance(result["events"], int)
+
+
+def test_update_baseline_then_check_passes(tiny_harness, tmp_path):
+    out = str(tmp_path / "out")
+    base = str(tmp_path / "base")
+    assert bench.main(["tiny", "--out", out, "--baseline", base,
+                       "--update-baseline"]) == 0
+    stored = json.loads((tmp_path / "base" / "BENCH_tiny.json").read_text())
+    assert stored["headline"] == {"answer": 42.0, "series": {"1": 2.5}}
+    assert bench.main(["tiny", "--out", out, "--baseline", base,
+                       "--check"]) == 0
+
+
+def test_check_fails_on_headline_drift(tiny_harness, tmp_path):
+    out = str(tmp_path / "out")
+    base = tmp_path / "base"
+    base.mkdir()
+    drifted = bench.measure("tiny")
+    drifted["headline"]["answer"] = 43.0
+    (base / "BENCH_tiny.json").write_text(json.dumps(drifted))
+    assert bench.main(["tiny", "--out", out, "--baseline", str(base),
+                       "--check"]) == 1
+
+
+def test_check_fails_without_baseline(tiny_harness, tmp_path):
+    assert bench.main(["tiny", "--out", str(tmp_path / "out"),
+                       "--baseline", str(tmp_path / "missing"),
+                       "--check"]) == 1
+
+
+def test_check_flags_wall_regression_only_beyond_tolerance():
+    baseline = {"benchmark": "x", "wall_seconds": 10.0, "headline": {"a": 1}}
+    fast = {"benchmark": "x", "wall_seconds": 11.9, "headline": {"a": 1}}
+    slow = {"benchmark": "x", "wall_seconds": 13.5, "headline": {"a": 1}}
+    assert bench.check(fast, baseline, 0.20) == []
+    problems = bench.check(slow, baseline, 0.20)
+    assert len(problems) == 1
+    assert "wall-clock regressed" in problems[0]
+
+
+def test_check_small_baselines_get_absolute_slack():
+    baseline = {"benchmark": "x", "wall_seconds": 0.05, "headline": {}}
+    noisy = {"benchmark": "x", "wall_seconds": 0.5, "headline": {}}
+    assert bench.check(noisy, baseline, 0.20) == []
+
+
+def test_unknown_benchmark_is_rejected(capsys):
+    with pytest.raises(SystemExit):
+        bench.main(["nope"])

@@ -1,0 +1,45 @@
+"""Golden determinism gate for the Fig. 5 harness.
+
+A scaled-down Fig. 5 run must reproduce the committed fixture
+bit-for-bit — every float compared exactly, no tolerances.  This is
+the regression tripwire for the performance work on the simulator and
+IO layers: any host-side "optimization" that perturbs the event
+schedule or a cost formula shows up here as a diff, not as a silently
+shifted headline number.
+
+Regenerating the fixture is a deliberate act (the simulation's
+behavior changed): run the ``run()`` call below, dump the result with
+``json.dump(..., indent=2, sort_keys=True)``, and explain the change
+in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments import fig5_micro
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_fig5_small.json"
+
+#: scaled-down but structure-preserving Fig. 5 parameters: both panels,
+#: all three engines, multiple client counts — small enough for CI.
+GOLDEN_PARAMS = dict(
+    payload_sizes=[1, 256, 4096],
+    client_counts=[8, 16],
+    iterations=5,
+    ops_per_client=10,
+)
+
+
+def test_fig5_small_is_bit_identical_to_fixture():
+    result = fig5_micro.run(**GOLDEN_PARAMS)
+    # JSON round-trip normalizes tuples to lists and int keys to
+    # strings, matching how the fixture was stored.
+    normalized = json.loads(json.dumps(result))
+    golden = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    assert normalized == golden
+
+
+def test_fig5_small_is_deterministic_across_runs():
+    first = json.loads(json.dumps(fig5_micro.run(**GOLDEN_PARAMS)))
+    second = json.loads(json.dumps(fig5_micro.run(**GOLDEN_PARAMS)))
+    assert first == second

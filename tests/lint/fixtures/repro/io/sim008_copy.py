@@ -1,0 +1,6 @@
+"""SIM008 fixture: bytes() coercion of a live buffer on the io path."""
+
+
+def frame(header: bytearray, payload: memoryview) -> bytes:
+    body = bytes(payload)
+    return bytes(header) + body

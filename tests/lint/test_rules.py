@@ -308,3 +308,48 @@ def test_sim007_allows_named_streams():
 def test_sim007_not_applied_outside_faults():
     src = "import random\n\ndef f():\n    return random.Random(7).random()\n"
     assert lint_source(src, "repro_other.py", in_src=False) == []
+
+
+# -- SIM008 ----------------------------------------------------------------
+
+
+def test_sim008_fixture_fires():
+    findings = lint_file(
+        FIXTURES / "repro" / "io" / "sim008_copy.py", in_src=True
+    )
+    assert rules_of(findings) == ["SIM008", "SIM008"]
+    assert "zero-copy" in findings[0].message
+
+
+def test_sim008_flags_buffer_coercion_in_net():
+    src = "def send(self, data):\n    return self.sock.push(bytes(data))\n"
+    findings = lint_source(src, "/x/src/repro/net/sockets.py", in_src=True)
+    assert rules_of(findings) == ["SIM008"]
+
+
+def test_sim008_allows_constant_arguments():
+    src = (
+        "def make():\n"
+        "    zeros = bytes(64)\n"
+        "    magic = bytes(b'hrpc')\n"
+        "    return zeros, magic\n"
+    )
+    assert lint_source(src, "/x/src/repro/io/framing.py", in_src=True) == []
+
+
+def test_sim008_not_applied_outside_io_net():
+    src = "def snap(self, data):\n    return bytes(data)\n"
+    assert lint_source(src, "/x/src/repro/rpc/server.py", in_src=True) == []
+
+
+def test_sim008_not_applied_to_tests():
+    src = "def check(buf):\n    return bytes(buf)\n"
+    assert lint_source(src, "/x/tests/io/test_output.py", in_src=False) == []
+
+
+def test_sim008_suppression_comment():
+    src = (
+        "def send(self, data):\n"
+        "    return bytes(data)  # sim-lint: disable=SIM008\n"
+    )
+    assert lint_source(src, "/x/src/repro/io/buffered.py", in_src=True) == []

@@ -1,0 +1,67 @@
+"""Ledger-equivalence gate for the zero-copy serialization fast path.
+
+The fast path changes *how* bytes move on the host (pack_into into the
+backing array, views instead of copies) but must charge the simulated
+ledger exactly as the original code did — the ledger models Java's
+behavior (Table I), not ours.  This probe drives every primitive write
+plus the buffered framing path and compares totals, per-category
+breakdown, and op counts against a fixture captured before the fast
+path landed.
+"""
+
+import json
+from pathlib import Path
+
+from repro.calibration import CostModel
+from repro.io.buffered import BufferedOutputStream, BytesSink
+from repro.io.data_output import DataOutputBuffer, DataOutputStream
+from repro.mem.cost import CostLedger
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_ledger_probe.json"
+
+
+def probe():
+    ledger = CostLedger(CostModel())
+    buf = DataOutputBuffer(ledger)
+    buf.write_int(0x12345678)
+    buf.write_long(-1)
+    buf.write_short(300)
+    buf.write_byte(7)
+    buf.write_boolean(True)
+    buf.write_float(1.5)
+    buf.write_double(2.75)
+    buf.write_utf("hello world")
+    buf.write_vlong(123456789)
+    buf.write(b"x" * 1000)
+    sink = BytesSink()
+    buffered = BufferedOutputStream(sink, ledger, buffer_size=256)
+    out = DataOutputStream(buffered, ledger)
+    out.write_int(buf.get_length())
+    buffered.write_bytes(buf.get_data())
+    out.flush()
+    counts = ledger.counts
+    return {
+        "total_us": ledger.total_us,
+        "gc_debt_us": ledger.gc_debt_us,
+        "by_category": dict(ledger.by_category),
+        "counts": {
+            "allocations": counts.allocations,
+            "alloc_bytes": counts.alloc_bytes,
+            "copies": counts.copies,
+            "copy_bytes": counts.copy_bytes,
+            "adjustments": counts.adjustments,
+            "write_ops": counts.write_ops,
+            "read_ops": counts.read_ops,
+        },
+        "payload_len": buf.get_length(),
+        "framed": len(sink.getvalue()),
+    }
+
+
+def test_ledger_charges_match_pre_fast_path_fixture():
+    golden = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    assert probe() == golden
+
+
+def test_ledger_probe_is_deterministic():
+    assert probe() == probe()

@@ -1,0 +1,122 @@
+"""Free-list recycling of dead Timeout/Event objects.
+
+The fast run loop (sanitizer off) pools an exhausted Timeout/Event only
+when its refcount proves no simulation code can still observe it, so
+recycling must be invisible: same clocks, same values, and objects a
+process retains are never touched.
+"""
+
+from repro.simcore import Environment
+from repro.simcore.events import Event, Timeout
+
+
+def test_dead_timeouts_are_recycled():
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(200):
+            yield env.timeout(1.0)
+
+    env.run(env.process(ticker(env)))
+    assert env.now == 200.0
+    # The loop dropped every timeout after its wait: the pool caught
+    # some of them (exact count depends on transient references).
+    assert env._free_timeouts
+    assert all(type(t) is Timeout for t in env._free_timeouts)
+
+
+def test_recycled_objects_come_back_reset():
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(50):
+            yield env.timeout(2.0)
+
+    env.run(env.process(ticker(env)))
+    for pooled in env._free_timeouts:
+        assert pooled.callbacks == []
+        assert not pooled.triggered
+        assert pooled._defused is False
+
+
+def test_retained_timeouts_are_not_recycled():
+    env = Environment()
+    kept = []
+
+    def ticker(env):
+        for _ in range(20):
+            t = env.timeout(1.0)
+            kept.append(t)
+            yield t
+
+    env.run(env.process(ticker(env)))
+    # Every timeout is still referenced by `kept`: none may be pooled,
+    # and each keeps its processed, triggered state.
+    assert env._free_timeouts == []
+    assert len(kept) == 20
+    assert all(t.triggered and t.callbacks is None for t in kept)
+
+
+def test_plain_events_are_recycled_and_reused():
+    env = Environment()
+    seen = []
+
+    def waiter(env):
+        for _ in range(100):
+            ev = env.event()
+            seen.append(id(ev))
+            env.process(firer(env, ev))
+            value = yield ev
+            assert value == "ping"
+
+    def firer(env, ev):
+        yield env.timeout(0.5)
+        ev.succeed("ping")
+
+    env.run(env.process(waiter(env)))
+    assert env.now == 50.0
+    # The pool round-trips objects, so ids repeat once warm.
+    assert len(set(seen)) < len(seen)
+
+
+def test_recycling_does_not_change_the_schedule():
+    def run_once():
+        env = Environment()
+        log = []
+
+        def producer(env, ev):
+            yield env.timeout(1.5)
+            ev.succeed(env.now)
+
+        def consumer(env):
+            for i in range(30):
+                ev = env.event()
+                env.process(producer(env, ev))
+                fired_at = yield ev
+                yield env.timeout(0.25)
+                log.append((i, fired_at, env.now))
+
+        env.run(env.process(consumer(env)))
+        return log
+
+    assert run_once() == run_once()
+
+
+def test_only_exact_types_are_pooled():
+    env = Environment()
+
+    class Marker(Event):
+        pass
+
+    def waiter(env):
+        ev = Marker(env)
+        env.process(firer(env, ev))
+        yield ev
+
+    def firer(env, ev):
+        yield env.timeout(1.0)
+        ev.succeed()
+
+    env.run(env.process(waiter(env)))
+    assert all(type(e) is Event for e in env._free_events)
+    assert not any(isinstance(e, Marker) for e in env._free_events)
