@@ -40,6 +40,17 @@ class Configuration:
         "ipc.client.call.retry.interval": 200_000.0,  # usec (exponential)
         "ipc.client.ping": True,
         "ipc.ping.interval": 60_000_000.0,  # usec
+        # -- RPC QoS: call queue + scheduler (HADOOP-9640/10282) -----------
+        "ipc.callqueue.impl": "fifo",  # or "fair" (FairCallQueue)
+        # Comma-separated WRR drain weights, one per priority level;
+        # empty = Hadoop's 2^(levels-1-i) defaults (8,4,2,1 for 4).
+        "ipc.callqueue.fair.weights": "",
+        "scheduler.priority.levels": 4,
+        "decay-scheduler.period": 1_000_000.0,  # usec between decay sweeps
+        "decay-scheduler.decay-factor": 0.5,
+        # Reject over-limit tenants with RetriableException (+ suggested
+        # backoff) instead of ServerOverloadedException.
+        "ipc.backoff.enable": False,
         # -- buffer management --------------------------------------------
         "io.buffer.initial.size": 32,  # DataOutputBuffer initial (Java)
         "io.server.buffer.initial.size": 10 * 1024,  # server-side initial

@@ -1,0 +1,201 @@
+"""Line-coverage measurement with nothing but the standard library.
+
+The CI coverage job runs ``pytest --cov=repro`` (coverage.py's C
+tracer) against the committed floor in ``coverage-floor.txt``; this
+package is the *local* counterpart for environments without
+``pytest-cov`` installed: a ``sys.settrace`` line tracer plus an
+AST-based executable-line analysis, sharing the same ``.coveragerc``
+omit list and floor file, so the floor can be measured and checked
+anywhere the test suite runs.
+
+Methodology note: line classification is AST-based (statement header
+lines, docstrings excluded, ``pragma: no cover`` blocks dropped) and
+agrees with coverage.py to within a point or two — which is why
+``--update-floor`` subtracts a small safety margin before committing
+the number.
+"""
+
+from __future__ import annotations
+
+import ast
+import configparser
+import fnmatch
+import os
+import sys
+import threading
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: the single source of truth for the fail-under gate, shared with CI.
+FLOOR_FILE = "coverage-floor.txt"
+PRAGMA = "pragma: no cover"
+
+
+# ------------------------------------------------------------- line analysis
+def _docstring_lines(node: ast.AST) -> Set[int]:
+    """Line span of ``node``'s docstring expression, if it has one."""
+    body = getattr(node, "body", None)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        stmt = body[0]
+        return set(range(stmt.lineno, (stmt.end_lineno or stmt.lineno) + 1))
+    return set()
+
+
+def executable_lines(source: str) -> Set[int]:
+    """Lines coverage should expect to execute, coverage.py-style:
+
+    every statement's header line, minus docstrings, minus any
+    statement whose header line carries a ``pragma: no cover`` comment
+    (the whole statement body is excluded with it).
+    """
+    tree = ast.parse(source)
+    raw_lines = source.splitlines()
+    skipped: Set[int] = set()
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            skipped |= _docstring_lines(node)
+        if not isinstance(node, ast.stmt):
+            continue
+        header = raw_lines[node.lineno - 1] if node.lineno <= len(raw_lines) else ""
+        if PRAGMA in header:
+            skipped |= set(range(node.lineno, (node.end_lineno or node.lineno) + 1))
+            continue
+        lines.add(node.lineno)
+        for deco in getattr(node, "decorator_list", []):
+            lines.add(deco.lineno)
+    return lines - skipped
+
+
+# ------------------------------------------------------------------- tracer
+class CoverageTracer:
+    """Records executed (file, line) pairs for files under ``root``."""
+
+    def __init__(self, root: str, omit: Iterable[str] = ()):
+        self.root = os.path.abspath(root) + os.sep
+        self.omit = list(omit)
+        self.executed: Dict[str, Set[int]] = {}
+        # per-code-object admission cache: the global trace function
+        # runs on every call event, so the filter must be cheap.
+        self._admitted: Dict[str, bool] = {}
+
+    def _admit(self, filename: str) -> bool:
+        cached = self._admitted.get(filename)
+        if cached is None:
+            cached = filename.startswith(self.root) and not any(
+                fnmatch.fnmatch(filename, pattern) for pattern in self.omit
+            )
+            self._admitted[filename] = cached
+        return cached
+
+    def _trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if not self._admit(filename):
+            return None
+        lines = self.executed.setdefault(filename, set())
+
+        def local(frame, event, arg):
+            if event == "line":
+                lines.add(frame.f_lineno)
+            return local
+
+        return local
+
+    def __enter__(self):
+        # Save whatever hooks are already installed so nested tracers
+        # (tests/cov exercises this class *under* the suite-wide run)
+        # hand tracing back instead of silencing the outer measurement.
+        self._prev_sys = sys.gettrace()
+        self._prev_threading = getattr(threading, "_trace_hook", None)
+        threading.settrace(self._trace)
+        sys.settrace(self._trace)
+        return self
+
+    def __exit__(self, *exc):
+        sys.settrace(self._prev_sys)
+        threading.settrace(self._prev_threading)  # type: ignore[arg-type]
+        return False
+
+
+# ------------------------------------------------------------------- report
+class FileCoverage:
+    def __init__(self, path: str, executable: Set[int], executed: Set[int]):
+        self.path = path
+        self.executable = executable
+        self.executed = executed & executable
+
+    @property
+    def missing(self) -> List[int]:
+        return sorted(self.executable - self.executed)
+
+    @property
+    def percent(self) -> float:
+        if not self.executable:
+            return 100.0
+        return 100.0 * len(self.executed) / len(self.executable)
+
+
+def read_omit_patterns(coveragerc: str = ".coveragerc") -> List[str]:
+    """The [run] omit globs of ``.coveragerc`` (absolute-path form)."""
+    parser = configparser.ConfigParser()
+    if not parser.read(coveragerc):
+        return []
+    raw = parser.get("run", "omit", fallback="")
+    patterns = [part.strip() for part in raw.splitlines() if part.strip()]
+    return [os.path.abspath(pattern) for pattern in patterns]
+
+
+def measure(
+    tracer: CoverageTracer, root: Optional[str] = None
+) -> Tuple[List[FileCoverage], float]:
+    """Compare executed lines against every source file under ``root``
+    (including files never imported, which count fully missing)."""
+    root = os.path.abspath(root or tracer.root)
+    reports = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            if not tracer._admit(path):
+                continue
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            reports.append(FileCoverage(
+                path, executable_lines(source), tracer.executed.get(path, set())
+            ))
+    total_executable = sum(len(r.executable) for r in reports)
+    total_executed = sum(len(r.executed) for r in reports)
+    total = (
+        100.0 * total_executed / total_executable if total_executable else 100.0
+    )
+    return reports, total
+
+
+def read_floor(path: str = FLOOR_FILE) -> float:
+    with open(path, "r", encoding="utf-8") as fh:
+        return float(fh.read().strip())
+
+
+def format_report(reports: List[FileCoverage], total: float, base: str) -> str:
+    width = max(
+        (len(os.path.relpath(r.path, base)) for r in reports), default=10
+    )
+    lines = [f"{'file':<{width}s} {'stmts':>6s} {'miss':>6s} {'cover':>7s}"]
+    for report in sorted(reports, key=lambda r: r.path):
+        lines.append(
+            f"{os.path.relpath(report.path, base):<{width}s} "
+            f"{len(report.executable):>6d} "
+            f"{len(report.executable) - len(report.executed):>6d} "
+            f"{report.percent:>6.1f}%"
+        )
+    lines.append(f"{'TOTAL':<{width}s} {'':>6s} {'':>6s} {total:>6.1f}%")
+    return "\n".join(lines)

@@ -15,6 +15,7 @@ from repro.experiments import (
     fig6_mapreduce,
     fig7_hdfs,
     fig8_hbase,
+    qos,
     table1,
 )
 
@@ -27,6 +28,7 @@ ALL_EXPERIMENTS = {
     "fig7": fig7_hdfs,
     "fig8": fig8_hbase,
     "chaos": chaos,
+    "qos": qos,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

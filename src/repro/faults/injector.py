@@ -52,6 +52,10 @@ class FabricFaults:
         #: node name -> active degradation factor.
         self.nic_factors: Dict[str, float] = {}
         self.disk_factors: Dict[str, float] = {}
+        #: tenant node -> load-amplification factor (abusive_tenant):
+        #: consulted by multi-tenant workloads (e.g. the qos experiment)
+        #: to scale a hostile client's issue rate.
+        self.abusive_factors: Dict[str, float] = {}
         #: (event index, FaultEvent) for the stochastic rules; the index
         #: names each rule's RNG stream so rules draw independently.
         self.loss_rules: List[Tuple[int, FaultEvent]] = []
@@ -98,6 +102,12 @@ class FabricFaults:
             if event.until is not None:
                 self._at(event.until, lambda e=event: self._clear_factor(
                     self.disk_factors, e.node, "slow_disk"))
+        elif kind == "abusive_tenant":
+            self._at(event.at, lambda e=event: self._set_factor(
+                self.abusive_factors, e.node, e.factor, "abusive_tenant"))
+            if event.until is not None:
+                self._at(event.until, lambda e=event: self._clear_factor(
+                    self.abusive_factors, e.node, "abusive_tenant"))
         elif kind == "packet_loss":
             self.loss_rules.append((index, event))
         elif kind == "corruption":
@@ -259,3 +269,6 @@ class FabricFaults:
 
     def disk_factor(self, node: str) -> float:
         return self.disk_factors.get(node, 1.0)
+
+    def abusive_factor(self, node: str) -> float:
+        return self.abusive_factors.get(node, 1.0)

@@ -16,7 +16,9 @@ A plan is JSON of the shape::
         {"kind": "ib_bootstrap_failure", "at": 0, "until": 200000, "rate": 1.0},
         {"kind": "slow_nic",     "at": 1000000, "until": 1200000,
          "node": "server", "factor": 8.0},
-        {"kind": "slow_disk",    "at": 0, "node": "dn3", "factor": 4.0}
+        {"kind": "slow_disk",    "at": 0, "node": "dn3", "factor": 4.0},
+        {"kind": "abusive_tenant", "at": 0, "until": 2000000,
+         "node": "t0", "factor": 50.0}
       ]
     }
 
@@ -45,11 +47,17 @@ KINDS = frozenset(
         "ib_bootstrap_failure",
         "slow_nic",
         "slow_disk",
+        "abusive_tenant",
     }
 )
 
 #: Kinds that name a single node.
-_NODE_KINDS = frozenset({"node_crash", "node_restart", "slow_nic", "slow_disk"})
+_NODE_KINDS = frozenset(
+    {"node_crash", "node_restart", "slow_nic", "slow_disk", "abusive_tenant"}
+)
+
+#: Kinds whose 'factor' is a >= 1 intensity multiplier.
+_FACTOR_KINDS = frozenset({"slow_nic", "slow_disk", "abusive_tenant"})
 
 #: Kinds with a stochastic per-event rate in [0, 1].
 _RATE_KINDS = frozenset({"packet_loss", "corruption", "ib_bootstrap_failure"})
@@ -91,7 +99,7 @@ class FaultEvent:
             out["rate"] = self.rate
         if self.kind == "packet_loss":
             out["rto_us"] = self.rto_us
-        if self.kind in ("slow_nic", "slow_disk"):
+        if self.kind in _FACTOR_KINDS:
             out["factor"] = self.factor
         return out
 
@@ -136,7 +144,7 @@ def _parse_event(index: int, payload: Dict[str, Any]) -> FaultEvent:
     if kind in _RATE_KINDS and not 0.0 <= rate <= 1.0:
         raise ValueError(f"{where}: 'rate' must be in [0, 1], got {rate}")
     factor = float(payload.get("factor", 1.0))
-    if kind in ("slow_nic", "slow_disk") and factor < 1.0:
+    if kind in _FACTOR_KINDS and factor < 1.0:
         raise ValueError(f"{where}: 'factor' must be >= 1, got {factor}")
     rto_us = float(payload.get("rto_us", DEFAULT_RTO_US))
     if rto_us < 0:

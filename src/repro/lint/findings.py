@@ -14,7 +14,8 @@ RULES = {
     "SIM004": "simulated-time hazard (float == on times, negative delay)",
     "SIM005": "discarded process handle / bare generator call",
     "SIM006": "cost charged with a literal instead of calibration constants",
-    "SIM007": "fault injector drawing outside repro.simcore.rng named streams",
+    "SIM007": "fault injector or RPC scheduler drawing outside "
+              "repro.simcore.rng named streams",
 }
 
 

@@ -486,10 +486,11 @@ def check_sim006(ctx: LintContext) -> Iterator[Finding]:
 # SIM007 — fault-injection determinism
 # --------------------------------------------------------------------------
 
-#: SIM007 applies to the fault-injection plane only: fault draws decide
-#: *which* failures happen, so any nondeterminism there silently changes
-#: the injected schedule between runs.
-FAULTS_PATH_FRAGMENT = "repro/faults/"
+#: SIM007 applies to the seeded-schedule planes: fault draws decide
+#: *which* failures happen, and the decay scheduler's sweep jitter
+#: decides *when* priorities shift — any nondeterminism in either
+#: silently changes the simulated schedule between runs.
+SIM007_PATH_FRAGMENTS = ("repro/faults/", "repro/rpc/scheduler.py")
 
 #: Approved draw/seed entry points of repro.simcore.rng.
 _RNG_ENTRY_POINTS = ("stream", "np_stream", "named_stream", "RngRegistry",
@@ -512,7 +513,7 @@ def _volatile_seed_source(node: ast.AST) -> Optional[str]:
 
 
 def check_sim007(ctx: LintContext) -> Iterator[Finding]:
-    if FAULTS_PATH_FRAGMENT not in ctx.posix:
+    if not any(frag in ctx.posix for frag in SIM007_PATH_FRAGMENTS):
         return
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
@@ -526,9 +527,9 @@ def check_sim007(ctx: LintContext) -> Iterator[Finding]:
             yield ctx.finding(
                 node,
                 "SIM007",
-                f"{resolved}() in fault-injection code — injectors must draw "
-                "only from repro.simcore.rng named streams "
-                "(RngRegistry.stream(name))",
+                f"{resolved}() in seeded-schedule code — fault injectors and "
+                "RPC schedulers must draw only from repro.simcore.rng named "
+                "streams (RngRegistry.stream(name))",
             )
         elif last in _RNG_ENTRY_POINTS:
             for arg in list(node.args) + [kw.value for kw in node.keywords]:
@@ -538,8 +539,8 @@ def check_sim007(ctx: LintContext) -> Iterator[Finding]:
                         node,
                         "SIM007",
                         f"{last}(...) fed from {source}: varies between runs "
-                        "— fault schedules must derive from the plan seed "
-                        "via stable_seed(...)",
+                        "— injected and sweep schedules must derive from a "
+                        "fixed seed via stable_seed(...)",
                     )
                     break
 

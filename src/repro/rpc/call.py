@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import re
 from typing import List, Optional
 
 from repro.io.data_input import DataInput
@@ -38,6 +39,38 @@ class ServerOverloadedException(RemoteException):
 
     def __init__(self, message: str = "call queue full"):
         super().__init__(self.CLASS_NAME, message)
+
+
+class RetriableException(RemoteException):
+    """Priority-aware backoff rejection (Hadoop's ``RetriableException``).
+
+    Thrown by the :class:`~repro.rpc.callqueue.FairCallQueue` with
+    ``ipc.backoff.enable`` when an over-limit tenant's sub-queue is
+    full.  Errors cross the wire as ``(class_name, message)`` strings
+    only, so the server-suggested backoff rides inside the message text
+    and :meth:`from_wire` parses it back out at the client.
+    """
+
+    CLASS_NAME = "RetriableException"
+
+    _BACKOFF_RE = re.compile(r"retry after (\d+)us")
+
+    def __init__(self, message: str, backoff_us: float = 0.0):
+        super().__init__(self.CLASS_NAME, message)
+        self.backoff_us = backoff_us
+
+    @staticmethod
+    def wire_message(priority: int, backoff_us: float) -> str:
+        return (
+            f"priority {priority} call queue full; "
+            f"retry after {backoff_us:.0f}us"
+        )
+
+    @classmethod
+    def from_wire(cls, message: str) -> "RetriableException":
+        match = cls._BACKOFF_RE.search(message)
+        backoff_us = float(match.group(1)) if match else 0.0
+        return cls(message, backoff_us)
 
 
 class RpcTimeoutError(ConnectionError):

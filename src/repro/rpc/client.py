@@ -52,6 +52,7 @@ from repro.rpc.call import (
     Invocation,
     PING_CALL_ID,
     RemoteException,
+    RetriableException,
     RetriesExhaustedError,
     RpcStatus,
     RpcTimeoutError,
@@ -227,7 +228,7 @@ class Client:
                 continue
             try:
                 value = yield call.done
-            except ServerOverloadedException as exc:
+            except (ServerOverloadedException, RetriableException) as exc:
                 attempts += 1
                 if attempts > max_retries:
                     self._fail_call_metrics(span, exc.CLASS_NAME)
@@ -235,8 +236,12 @@ class Client:
                         f"{method}: server overloaded after {attempts} attempt(s)",
                         attempts=attempts, cause=exc,
                     ) from exc
+                # A RetriableException carries the server's suggested
+                # backoff (priority-aware); otherwise exponential.
+                suggested_us = getattr(exc, "backoff_us", 0.0)
                 yield self.env.timeout(
-                    _backoff_us(retry_interval_us, attempts, "exponential")
+                    suggested_us if suggested_us > 0
+                    else _backoff_us(retry_interval_us, attempts, "exponential")
                 )
                 continue
             except RpcTimeoutError:
@@ -474,6 +479,8 @@ class BaseConnection:
             call.complete(value)
         elif error_cls == ServerOverloadedException.CLASS_NAME:
             call.error(ServerOverloadedException(error_msg))
+        elif error_cls == RetriableException.CLASS_NAME:
+            call.error(RetriableException.from_wire(error_msg))
         else:
             call.error(RemoteException(error_cls, error_msg))
 

@@ -35,8 +35,8 @@ from repro.rpc.call import (
     Invocation,
     PING_CALL_ID,
     RpcStatus,
-    ServerOverloadedException,
 )
+from repro.rpc.callqueue import CallQueue, build_call_queue
 from repro.rpc.metrics import ReceiveProfile, RpcMetrics
 from repro.rpc.protocol import RpcProtocol
 from repro.simcore import Store
@@ -81,6 +81,10 @@ class ServerCall:
     received_at: float
     #: propagated client trace identity (repro.obs), None untraced.
     trace: object = None
+    #: caller identity + priority level, assigned by the FairCallQueue's
+    #: scheduler at admission (FIFO leaves the defaults untouched).
+    caller: str = ""
+    priority: int = 0
 
 
 class Server:
@@ -119,7 +123,6 @@ class Server:
 
         handler_count = self.conf.get_int("ipc.server.handler.count")
         queue_size = self.conf.get_int("ipc.server.callqueue.size") * handler_count
-        self.call_queue: Store = Store(self.env, capacity=queue_size)
         self.response_queue: Store = Store(self.env)
         self.readable: Store = Store(self.env)
 
@@ -154,6 +157,16 @@ class Server:
         self.overload_counter = reg.counter(
             "rpc.server.calls_rejected_overload", server=self.name,
             fabric=engine_label,
+        )
+
+        # Pluggable call queue (ipc.callqueue.impl): the default FIFO
+        # wraps one Store exactly as before — no extra instruments, no
+        # processes — so the default event schedule is unchanged; the
+        # FairCallQueue brings a DecayRpcScheduler and per-priority
+        # gauges with it.
+        self.call_queue: CallQueue = build_call_queue(
+            self.env, self.conf, queue_size,
+            registry=reg, server_name=self.name, fabric_label=engine_label,
         )
 
         # RPCoIB state (live regardless of the flag so that mixed
@@ -207,6 +220,7 @@ class Server:
 
     def stop(self) -> None:
         self.running = False
+        self.call_queue.stop()
         self.listener_socket.close()
 
     # -- RPCoIB bootstrap ---------------------------------------------------
@@ -306,20 +320,12 @@ class Server:
                     scall = ServerCall(
                         conn, call_id, invocation, self.env.now, trace=ref
                     )
-                    if len(self.call_queue.items) >= self.call_queue.capacity:
-                        # Backpressure: reject instead of queueing, so
-                        # clients back off and retry (Hadoop's
-                        # RetriableException on call-queue overflow).
-                        self.overload_counter.add()
-                        response = yield from self._serialize_response(
-                            scall, RpcStatus.ERROR, None,
-                            (ServerOverloadedException.CLASS_NAME,
-                             f"call queue full ({self.call_queue.capacity})"),
-                        )
-                        yield self.response_queue.put(response)
-                    else:
+                    rejection = self.call_queue.try_reserve(scall)
+                    if rejection is None:
                         yield self.call_queue.put(scall)
                         self.queue_depth.inc()
+                    else:
+                        yield from self._reject_call(scall, rejection)
             self._heap.absorb(ledger)
             conn.scheduled = False
             if conn.sock.available > 0 and not conn.scheduled:
@@ -381,23 +387,41 @@ class Server:
                     alloc_us=0.0, payload_bytes=message.length,
                 )
             scall = ServerCall(conn, call_id, invocation, self.env.now, trace=ref)
-            if len(self.call_queue.items) >= self.call_queue.capacity:
-                self.overload_counter.add()
-                response = yield from self._serialize_response(
-                    scall, RpcStatus.ERROR, None,
-                    (ServerOverloadedException.CLASS_NAME,
-                     f"call queue full ({self.call_queue.capacity})"),
-                )
-                yield self.response_queue.put(response)
-            else:
+            rejection = self.call_queue.try_reserve(scall)
+            if rejection is None:
                 yield self.call_queue.put(scall)
                 self.queue_depth.inc()
+            else:
+                yield from self._reject_call(scall, rejection)
+
+    def _reject_call(self, scall: ServerCall, rejection):
+        """Serialize a call-queue rejection back to the caller.
+
+        Backpressure: a full queue rejects instead of queueing, so
+        clients back off and retry (Hadoop's RetriableException on
+        call-queue overflow).
+        """
+        self.overload_counter.add()
+        response = yield from self._serialize_response(
+            scall, RpcStatus.ERROR, None, rejection
+        )
+        yield self.response_queue.put(response)
 
     # -- Handlers -----------------------------------------------------------------
     def _handler_loop(self, index: int):
         sw = self.model.software
+        # FIFO fast path: the queue exposes the Store's own bound
+        # ``get`` and handlers yield its event directly — the identical
+        # hot loop the server ran before the queue was pluggable.  The
+        # FairCallQueue has no ``get``; its ``take`` generator consumes
+        # a signal token and lets the WRR mux pick the sub-queue.
+        queue_get = getattr(self.call_queue, "get", None)
+        queue_take = self.call_queue.take
         while self.running:
-            scall = yield self.call_queue.get()
+            if queue_get is not None:
+                scall = yield queue_get()
+            else:
+                scall = yield from queue_take()
             self.queue_depth.dec()
             self.handlers_busy.inc()
             queue_wait_us = self.env.now - scall.received_at
@@ -407,6 +431,7 @@ class Server:
                     "rpc.server.queue", scall.received_at, self.env.now,
                     parent=scall.trace, node=self.node.name,
                     category="rpc.server", depth_after=self.queue_depth.value,
+                    **self.call_queue.span_tags(scall),
                 )
             hspan = self.tracer.start(
                 "rpc.server.handler", parent=scall.trace, node=self.node.name,

@@ -1,0 +1,189 @@
+"""Unit tests for the stdlib coverage tracer (repro.cov).
+
+The tool gates CI through coverage-floor.txt, so its own accounting —
+which lines count as executable, which executions are recorded, how
+the floor file round-trips — needs pinning down too.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.cov import (
+    CoverageTracer,
+    FileCoverage,
+    executable_lines,
+    format_report,
+    measure,
+    read_floor,
+    read_omit_patterns,
+)
+
+
+# --------------------------------------------------------- executable_lines
+def test_docstrings_are_not_executable():
+    source = textwrap.dedent('''
+        """Module docstring."""
+
+        def f():
+            """Function docstring,
+            two lines long."""
+            return 1
+    ''')
+    lines = executable_lines(source)
+    assert 2 not in lines  # module docstring
+    assert 5 not in lines and 6 not in lines  # function docstring
+    assert 4 in lines  # def header
+    assert 7 in lines  # return
+
+
+def test_pragma_no_cover_excludes_the_whole_statement():
+    source = textwrap.dedent('''
+        def kept():
+            return 1
+
+        def dropped():  # pragma: no cover - debug aid
+            x = 1
+            return x
+    ''')
+    lines = executable_lines(source)
+    assert {2, 3} <= lines
+    assert lines & {5, 6, 7} == set()
+
+
+def test_decorator_lines_are_executable():
+    source = "@property\ndef f(self):\n    return 1\n"
+    assert {1, 2, 3} <= executable_lines(source)
+
+
+def test_compound_statements_count_header_lines():
+    source = textwrap.dedent('''
+        for i in range(3):
+            if i:
+                pass
+            else:
+                i += 1
+    ''')
+    lines = executable_lines(source)
+    assert {2, 3, 4, 6} <= lines
+    assert 5 not in lines  # "else:" has no line of its own
+
+
+# ----------------------------------------------------------- tracer + measure
+def write_module(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(path)
+
+
+def run_under_tracer(tmp_path, path, call):
+    tracer = CoverageTracer(str(tmp_path))
+    namespace = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        code = compile(fh.read(), path, "exec")
+    with tracer:
+        exec(code, namespace)
+        call(namespace)
+    return tracer
+
+
+def test_tracer_records_executed_branch_only(tmp_path):
+    path = write_module(tmp_path, "mod.py", '''
+        def pick(flag):
+            if flag:
+                return "yes"
+            return "no"
+    ''')
+    tracer = run_under_tracer(tmp_path, path, lambda ns: ns["pick"](True))
+    reports, total = measure(tracer)
+    (report,) = reports
+    # The untaken `return "no"` is the single missing line.
+    assert report.missing == [5]
+    assert report.percent == pytest.approx(100.0 * 3 / 4)
+    assert total == report.percent
+
+
+def test_files_never_imported_count_fully_missing(tmp_path):
+    imported = write_module(tmp_path, "used.py", "x = 1\n")
+    write_module(tmp_path, "unused.py", "y = 1\nz = 2\n")
+    tracer = run_under_tracer(tmp_path, imported, lambda ns: None)
+    reports, total = measure(tracer)
+    by_name = {r.path.rsplit("/", 1)[-1]: r for r in reports}
+    assert by_name["used.py"].percent == 100.0
+    assert by_name["unused.py"].percent == 0.0
+    assert total == pytest.approx(100.0 / 3)
+
+
+def test_omitted_files_are_invisible(tmp_path):
+    path = write_module(tmp_path, "mod.py", "x = 1\n")
+    write_module(tmp_path, "glue.py", "y = 1\n")
+    tracer = CoverageTracer(str(tmp_path), omit=[str(tmp_path / "glue*")])
+    namespace = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        code = compile(fh.read(), path, "exec")
+    with tracer:
+        exec(code, namespace)
+    reports, total = measure(tracer)
+    assert [r.path.rsplit("/", 1)[-1] for r in reports] == ["mod.py"]
+    assert total == 100.0
+
+
+def test_tracer_ignores_files_outside_root(tmp_path):
+    outside = tmp_path / "outside"
+    inside = tmp_path / "inside"
+    outside.mkdir(), inside.mkdir()
+    path = write_module(outside, "other.py", "def f():\n    return 1\n")
+    tracer = run_under_tracer(inside, path, lambda ns: ns["f"]())
+    assert tracer.executed == {}
+
+
+def test_empty_file_is_fully_covered():
+    assert FileCoverage("empty.py", set(), set()).percent == 100.0
+
+
+def test_nested_tracer_restores_outer_tracer(tmp_path):
+    # These very tests run *inside* the suite-wide `python -m repro.cov`
+    # measurement: the inner tracer's exit must hand tracing back to the
+    # outer one, not silence the rest of the suite.
+    path = write_module(tmp_path, "mod.py", "def f():\n    return 1\n")
+    outer = CoverageTracer(str(tmp_path))
+    with open(path, "r", encoding="utf-8") as fh:
+        code = compile(fh.read(), path, "exec")
+    with outer:
+        with CoverageTracer(str(tmp_path)):
+            pass
+        namespace = {}
+        exec(code, namespace)
+        namespace["f"]()
+    assert outer.executed[path] == {1, 2}
+
+
+# ------------------------------------------------------------- config + floor
+def test_read_omit_patterns_parses_coveragerc(tmp_path, monkeypatch):
+    rc = tmp_path / ".coveragerc"
+    rc.write_text(
+        "[run]\nomit =\n    src/repro/experiments/*\n    src/x.py\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    patterns = read_omit_patterns(str(rc))
+    assert len(patterns) == 2
+    assert patterns[0].endswith("src/repro/experiments/*")
+    assert all(p.startswith(str(tmp_path)) for p in patterns)
+
+
+def test_read_omit_patterns_missing_file_is_empty(tmp_path):
+    assert read_omit_patterns(str(tmp_path / "nope")) == []
+
+
+def test_floor_round_trips(tmp_path):
+    floor_file = tmp_path / "floor.txt"
+    floor_file.write_text("83\n", encoding="utf-8")
+    assert read_floor(str(floor_file)) == 83.0
+
+
+def test_format_report_lists_files_and_total(tmp_path):
+    report = FileCoverage(str(tmp_path / "a.py"), {1, 2, 3, 4}, {1, 2, 3})
+    out = format_report([report], 75.0, str(tmp_path))
+    assert "a.py" in out
+    assert "75.0%" in out.splitlines()[-1]

@@ -1,0 +1,62 @@
+"""Golden determinism gates for the QoS experiment.
+
+Mirrors test_golden_fig5: the hostile-tenant sweep must reproduce the
+committed fixture bit-for-bit — every latency percentile, throughput,
+and rejection count compared exactly, no tolerances.  Regenerating the
+fixture is a deliberate act: rerun ``qos.run()``, dump with
+``json.dump(..., indent=2, sort_keys=True)``, and explain the change
+in the commit message.
+
+The second gate locks the other direction down: selecting the FIFO
+queue *explicitly* (``ipc.callqueue.impl=fifo``) must reproduce the
+Fig. 5 golden fixture produced by a configuration that never mentions
+the key — the pluggable-queue subsystem leaves the default path's
+event schedule untouched.
+"""
+
+import json
+from pathlib import Path
+
+from repro.config import Configuration
+from repro.experiments import fig5_micro, qos
+from repro.rpc import microbench
+
+from tests.experiments.test_golden_fig5 import (
+    FIXTURE as FIG5_FIXTURE,
+    GOLDEN_PARAMS as FIG5_GOLDEN_PARAMS,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_qos_small.json"
+
+
+def test_qos_is_bit_identical_to_fixture():
+    result = qos.run()
+    normalized = json.loads(json.dumps(result))
+    golden = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    assert normalized == golden
+
+
+def test_qos_holds_the_fairness_bar():
+    golden = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    # The committed headline itself satisfies the acceptance bar (the
+    # run asserts it too; this keeps the fixture honest if regenerated).
+    assert golden["victim_p99_ratio"] <= 0.5
+    assert golden["fair"]["victims"]["p99_us"] > 0
+
+
+def test_explicit_fifo_config_reproduces_fig5_golden(monkeypatch):
+    """Setting ``ipc.callqueue.impl=fifo`` by hand is bit-identical to
+    not setting it at all: same trace of engine configs, same fixture."""
+
+    def conf_with_explicit_fifo(self):
+        return Configuration(
+            {"rpc.ib.enabled": self.ib, "ipc.callqueue.impl": "fifo"}
+        )
+
+    monkeypatch.setattr(
+        microbench.EngineConfig, "conf", property(conf_with_explicit_fifo)
+    )
+    result = fig5_micro.run(**FIG5_GOLDEN_PARAMS)
+    normalized = json.loads(json.dumps(result))
+    golden = json.loads(FIG5_FIXTURE.read_text(encoding="utf-8"))
+    assert normalized == golden

@@ -24,13 +24,15 @@ VALID = {
         {"kind": "slow_nic", "at": 1_000_000, "until": 1_200_000,
          "node": "server", "factor": 8.0},
         {"kind": "slow_disk", "at": 0, "node": "dn3", "factor": 4.0},
+        {"kind": "abusive_tenant", "at": 0, "until": 2_000_000, "node": "t0",
+         "factor": 50.0},
     ],
 }
 
 
 def test_parse_valid_plan_covers_every_kind():
     plan = FaultPlan.from_dict(VALID)
-    assert len(plan) == 9
+    assert len(plan) == 10
     assert plan.seed == 42
     assert set(plan.kinds()) == KINDS
 
@@ -46,7 +48,7 @@ def test_from_file(tmp_path):
     path = tmp_path / "plan.json"
     path.write_text(json.dumps(VALID), encoding="utf-8")
     plan = FaultPlan.from_file(str(path))
-    assert len(plan) == 9
+    assert len(plan) == 10
     assert plan.label == str(path)
 
 
@@ -90,6 +92,9 @@ def test_window_activity():
         ),
         ({"kind": "partition", "at": 0, "between": [["a"]]}, "between"),
         ({"kind": "slow_nic", "at": 0, "node": "a", "factor": 0.5}, "'factor'"),
+        ({"kind": "abusive_tenant", "at": 0, "node": "t0", "factor": 0.9},
+         "'factor'"),
+        ({"kind": "abusive_tenant", "at": 0}, "requires a 'node'"),
         ({"kind": "packet_loss", "at": 0, "rate": 0.1, "rto_us": -1}, "'rto_us'"),
     ],
 )

@@ -1,0 +1,15 @@
+"""SIM007 fixture: a decay scheduler jittering from a private RNG.
+
+A seeded ``random.Random`` passes SIM002, but in
+``repro/rpc/scheduler.py`` SIM007 still rejects it: the decay sweep's
+jitter decides *when* priorities shift, so it must come from a named
+``repro.simcore.rng`` stream to keep the sweep schedule reproducible
+and isolated per server.
+"""
+
+import random
+
+
+def sweep_jitter():
+    rng = random.Random(42)
+    return 0.95 + 0.1 * rng.random()

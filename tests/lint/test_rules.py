@@ -310,6 +310,43 @@ def test_sim007_not_applied_outside_faults():
     assert lint_source(src, "repro_other.py", in_src=False) == []
 
 
+def test_sim007_scheduler_fixture_fires_once():
+    findings = lint_file(FIXTURES / "repro" / "rpc" / "scheduler.py")
+    assert rules_of(findings) == ["SIM007"]
+    assert "named streams" in findings[0].message
+
+
+def test_sim007_allows_named_stream_in_scheduler():
+    src = (
+        "from repro.simcore.rng import named_stream\n"
+        "\n"
+        "def jitter(name, seed):\n"
+        "    return named_stream(f'decay-scheduler:{name}', seed).random()\n"
+    )
+    assert lint_source(
+        src, "/x/src/repro/rpc/scheduler.py", in_src=True
+    ) == []
+
+
+def test_sim007_flags_volatile_stream_seed_in_scheduler():
+    src = (
+        "from repro.simcore.rng import named_stream\n"
+        "\n"
+        "def jitter(self, env):\n"
+        "    return named_stream('decay', hash(env)).random()\n"
+    )
+    findings = lint_source(
+        src, "/x/src/repro/rpc/scheduler.py", in_src=True
+    )
+    assert rules_of(findings) == ["SIM007"]
+    assert "hash()" in findings[0].message
+
+
+def test_sim007_not_applied_to_other_rpc_modules():
+    src = "import random\n\ndef f():\n    return random.Random(7).random()\n"
+    assert lint_source(src, "/x/src/repro/rpc/server.py", in_src=False) == []
+
+
 # -- SIM008 ----------------------------------------------------------------
 
 

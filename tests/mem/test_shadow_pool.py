@@ -1,0 +1,115 @@
+"""Backfill unit tests for the history shadow pool's prediction stats.
+
+tests/mem/test_pools.py covers acquire/grow/release mechanics; these
+pin down the prediction-accounting corners the Fig. 3 locality numbers
+are computed from — what counts as a hit, what counts as a miss, and
+that the whole accounting is deterministic for a fixed call sequence.
+"""
+
+import pytest
+
+from repro.calibration import CostModel
+from repro.mem import CostLedger, HistoryShadowPool, NativeBufferPool
+
+CLASSES = [128, 256, 512, 1024, 2048, 4096]
+
+
+@pytest.fixture
+def ledger():
+    return CostLedger(CostModel.default())
+
+
+@pytest.fixture
+def pool():
+    return NativeBufferPool(CostModel.default(), CLASSES, buffers_per_class=4)
+
+
+@pytest.fixture
+def shadow(pool):
+    return HistoryShadowPool(pool, default_size=128)
+
+
+def test_hit_rate_is_zero_before_any_prediction(shadow):
+    assert shadow.hit_rate == 0.0
+
+
+def test_exact_class_fill_counts_as_hit(shadow, ledger):
+    buf = shadow.acquire("P", "m", ledger)  # 128-class from default
+    shadow.release(buf, "P", "m", used=128, ledger=ledger)
+    assert (shadow.predictions, shadow.prediction_hits) == (1, 1)
+    assert shadow.hit_rate == 1.0
+
+
+def test_undershoot_within_the_same_class_counts_as_hit(shadow, ledger):
+    buf = shadow.acquire("P", "m", ledger)
+    # 100 bytes still maps to the 128 class: no capacity was wasted at
+    # size-class granularity, so the prediction paid off.
+    shadow.release(buf, "P", "m", used=100, ledger=ledger)
+    assert shadow.prediction_hits == 1
+
+
+def test_overshoot_by_a_whole_class_counts_as_miss(shadow, ledger):
+    buf = shadow.acquire("P", "m", ledger)
+    shadow.release(buf, "P", "m", used=2000, ledger=ledger, grown=True)
+    big = shadow.acquire("P", "m", ledger)  # 2048-class from history
+    # Only 60 bytes used: a 128-class buffer would have sufficed, the
+    # 2048 prediction overshot by whole classes.
+    shadow.release(big, "P", "m", used=60, ledger=ledger)
+    assert shadow.predictions == 2
+    assert shadow.prediction_hits == 0  # grown release + overshoot: both miss
+    assert shadow.predicted_size("P", "m") == 60  # history shrank
+
+
+def test_grown_release_counts_as_miss(shadow, ledger):
+    buf = shadow.acquire("P", "m", ledger)
+    bigger = shadow.grow(buf, used=0, ledger=ledger)
+    shadow.release(bigger, "P", "m", used=200, ledger=ledger, grown=True)
+    assert shadow.prediction_hits == 0
+    assert shadow.hit_rate == 0.0
+
+
+def test_used_beyond_every_class_counts_as_miss(shadow, ledger):
+    buf = shadow.acquire("P", "m", ledger)
+    # ``used`` beyond the largest size class has no class at all: the
+    # release still records history but cannot count a hit.
+    shadow.release(buf, "P", "m", used=10_000, ledger=ledger)
+    assert shadow.prediction_hits == 0
+    assert shadow.predicted_size("P", "m") == 10_000
+
+
+def test_release_returns_buffer_to_native_pool(shadow, pool, ledger):
+    buf = shadow.acquire("P", "m", ledger)
+    assert pool.outstanding == 1
+    shadow.release(buf, "P", "m", used=64, ledger=ledger)
+    assert pool.outstanding == 0
+
+
+def test_locality_accounting_is_deterministic(ledger):
+    """The same call-size sequence yields identical stats every time —
+    the Fig. 3 hit-rate numbers are a pure function of the trace."""
+
+    def run_trace():
+        pool = NativeBufferPool(
+            CostModel.default(), CLASSES, buffers_per_class=4
+        )
+        shadow = HistoryShadowPool(pool, default_size=128)
+        trace = [("A", "get", 300), ("A", "get", 310), ("B", "put", 90),
+                 ("A", "get", 305), ("B", "put", 95), ("A", "get", 2500)]
+        for protocol, method, size in trace:
+            buf = shadow.acquire(protocol, method, ledger)
+            grown = False
+            while buf.capacity < size:
+                buf = shadow.grow(buf, used=0, ledger=ledger)
+                grown = True
+            shadow.release(buf, protocol, method, size, ledger, grown=grown)
+        return (shadow.acquires, shadow.grows, shadow.predictions,
+                shadow.prediction_hits, dict(shadow.history))
+
+    first, second = run_trace(), run_trace()
+    assert first == second
+    acquires, grows, predictions, hits, history = first
+    assert (acquires, predictions) == (6, 6)
+    assert grows >= 2  # first A call (128 -> 512) and the 2500-byte jump
+    # Steady-state calls after the first observation all hit.
+    assert hits == 4
+    assert history == {("A", "get"): 2500, ("B", "put"): 95}

@@ -1,0 +1,459 @@
+"""Unit tests for the pluggable call queue and its decay scheduler.
+
+End-to-end behaviour (admission through a live server, backoff on the
+client) is covered by tests/rpc/test_client_server.py and the qos
+experiment; these tests pin down the queue and scheduler mechanics in
+isolation — validation, priority math, decay, WRR credit accounting,
+and the FIFO hot-path aliases that keep the default config
+bit-identical to the pre-subsystem server.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import Configuration
+from repro.obs.registry import MetricsRegistry
+from repro.rpc.call import RetriableException, ServerOverloadedException
+from repro.rpc.callqueue import (
+    FairCallQueue,
+    FifoCallQueue,
+    WeightedRoundRobinMux,
+    build_call_queue,
+    caller_of,
+    default_weights,
+)
+from repro.rpc.scheduler import DecayRpcScheduler, default_thresholds
+from repro.simcore import Environment
+
+
+def socket_conn(name):
+    return SimpleNamespace(sock=SimpleNamespace(remote=SimpleNamespace(name=name)))
+
+
+def ib_conn(name):
+    return SimpleNamespace(
+        qp=SimpleNamespace(remote=SimpleNamespace(node=SimpleNamespace(name=name)))
+    )
+
+
+def call_from(name, ib=False):
+    """A minimal stand-in for ServerCall: conn + assignable caller/priority."""
+    return SimpleNamespace(
+        conn=ib_conn(name) if ib else socket_conn(name), caller="", priority=0
+    )
+
+
+def drive(env, gen):
+    """Run a generator to completion on the sim clock, return its value."""
+    return env.run(env.process(gen))
+
+
+# ---------------------------------------------------------------- caller_of
+def test_caller_of_socket_connection():
+    assert caller_of(socket_conn("cn3")) == "cn3"
+
+
+def test_caller_of_ib_connection():
+    assert caller_of(ib_conn("cn7")) == "cn7"
+
+
+# ----------------------------------------------------------- threshold math
+def test_default_thresholds_four_levels_match_hadoop():
+    assert default_thresholds(4) == [0.125, 0.25, 0.5]
+
+
+def test_default_thresholds_single_level_is_empty():
+    assert default_thresholds(1) == []
+
+
+def test_default_thresholds_rejects_zero_levels():
+    with pytest.raises(ValueError, match="levels"):
+        default_thresholds(0)
+
+
+def test_default_weights_halve_per_level():
+    assert default_weights(4) == [8, 4, 2, 1]
+    assert default_weights(1) == [1]
+    with pytest.raises(ValueError, match="levels"):
+        default_weights(0)
+
+
+# -------------------------------------------------------- DecayRpcScheduler
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        (dict(levels=0), "levels"),
+        (dict(period_us=0.0), "period"),
+        (dict(decay_factor=0.0), "decay factor"),
+        (dict(decay_factor=1.0), "decay factor"),
+        (dict(thresholds=[0.5]), "thresholds"),
+        (dict(thresholds=[0.5, 0.25, 0.125]), "increasing"),
+        (dict(thresholds=[0.0, 0.25, 0.5]), "increasing"),
+        (dict(thresholds=[0.125, 0.25, 1.5]), "increasing"),
+    ],
+)
+def test_scheduler_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        DecayRpcScheduler(Environment(), **kwargs)
+
+
+def test_priority_is_highest_with_no_history():
+    sched = DecayRpcScheduler(Environment())
+    assert sched.priority_of("anyone") == 0
+
+
+def test_monopolist_sinks_to_lowest_priority():
+    sched = DecayRpcScheduler(Environment(), levels=4)
+    for _ in range(20):
+        priority = sched.charge("hog")
+    assert priority == 3  # share 1.0 >= 0.5 threshold
+    assert sched.priority_of("hog") == 3
+    # A light caller against that backdrop stays at the top level.
+    assert sched.charge("mouse") == 0
+    assert sched.priority_of("mouse") == 0
+
+
+def test_share_ladder_maps_through_thresholds():
+    sched = DecayRpcScheduler(Environment(), levels=4)
+    # 100 total calls: a, b, c, d at 5/15/30/50 -> shares .05/.15/.30/.50.
+    for caller, calls in (("a", 5), ("b", 15), ("c", 30), ("d", 50)):
+        for _ in range(calls):
+            sched.charge(caller)
+    assert sched.priority_of("a") == 0  # < 0.125
+    assert sched.priority_of("b") == 1  # < 0.25
+    assert sched.priority_of("c") == 2  # < 0.5
+    assert sched.priority_of("d") == 3  # >= 0.5
+
+
+def test_decay_halves_counts_and_forgets_negligible_callers():
+    sched = DecayRpcScheduler(Environment(), decay_factor=0.5)
+    for _ in range(4):
+        sched.charge("hog")
+    sched.charge("mouse")
+    sched.decay()  # hog 2.0, mouse 0.5 (exactly MIN_COUNT: kept)
+    assert sched.counts == {"hog": 2.0, "mouse": 0.5}
+    assert sched.total == 2.5
+    sched.decay()  # mouse 0.25 < MIN_COUNT: forgotten
+    assert sched.counts == {"hog": 1.0}
+    assert sched.total == 1.0
+    assert sched.decay_sweeps == 2
+
+
+def test_decay_restores_forgiven_caller_to_top_priority():
+    sched = DecayRpcScheduler(Environment(), levels=4)
+    for _ in range(10):
+        sched.charge("hog")
+    assert sched.priority_of("hog") == 3
+    for _ in range(5):
+        sched.decay()
+    # History fully decayed away: the former hog is a stranger again.
+    assert sched.counts == {}
+    assert sched.priority_of("hog") == 0
+
+
+def test_suggested_backoff_scales_with_priority():
+    sched = DecayRpcScheduler(Environment(), levels=4, period_us=1_000_000.0)
+    assert sched.suggested_backoff_us(0) == pytest.approx(250_000.0)
+    assert sched.suggested_backoff_us(3) == pytest.approx(1_000_000.0)
+
+
+def test_decay_loop_sweeps_on_the_sim_clock():
+    env = Environment()
+    sched = DecayRpcScheduler(env, period_us=1_000.0)
+    sched.charge("hog")
+    env.run(until=10_500.0)  # ten periods, jitter in [0.95, 1.05] each
+    assert 8 <= sched.decay_sweeps <= 11
+    assert sched.counts == {}  # one lone call decays away quickly
+
+
+def test_decay_loop_jitter_is_deterministic_per_server_name():
+    def sweeps(server_name):
+        env = Environment()
+        sched = DecayRpcScheduler(
+            env, period_us=1_000.0, server_name=server_name
+        )
+        env.run(until=20_000.0)
+        return sched.decay_sweeps, env.now
+
+    assert sweeps("srv") == sweeps("srv")  # same named stream, same schedule
+
+
+def test_stop_halts_the_decay_loop():
+    env = Environment()
+    sched = DecayRpcScheduler(env, period_us=1_000.0)
+    sched.charge("hog")
+    env.run(until=1_500.0)
+    swept = sched.decay_sweeps
+    assert swept >= 1
+    sched.stop()
+    env.run(until=50_000.0)
+    assert sched.decay_sweeps == swept
+
+
+def test_scheduler_registry_gauges_track_priority():
+    env = Environment()
+    registry = MetricsRegistry(env)
+    sched = DecayRpcScheduler(env, levels=4, registry=registry)
+    for _ in range(10):
+        sched.charge("hog")
+    sched.charge("mouse")
+    gauges = registry.find("rpc.scheduler.caller_priority")
+    by_caller = {key: gauge.value for key, gauge in gauges.items()}
+    assert any("hog" in key and value == 3 for key, value in by_caller.items())
+    assert any("mouse" in key and value == 0 for key, value in by_caller.items())
+    # Decay to empty: the forgotten hog's gauge resets to 0.
+    for _ in range(6):
+        sched.decay()
+    assert all(gauge.value == 0 for gauge in gauges.values())
+
+
+# ------------------------------------------------------------ FifoCallQueue
+def test_fifo_put_get_are_the_stores_own_bound_methods():
+    q = FifoCallQueue(Environment(), capacity=4)
+    assert q.put == q._store.put
+    assert q.get == q._store.get
+
+
+def test_fifo_span_tags_are_empty():
+    q = FifoCallQueue(Environment(), capacity=4)
+    assert q.span_tags(object()) == {}
+
+
+def test_fifo_preserves_order_and_rejects_when_full():
+    env = Environment()
+    q = FifoCallQueue(env, capacity=3)
+
+    def scenario():
+        for i in range(3):
+            assert q.try_reserve(f"call{i}") is None
+            yield q.put(f"call{i}")
+        assert len(q) == 3
+        rejection = q.try_reserve("call3")
+        assert rejection == (
+            ServerOverloadedException.CLASS_NAME, "call queue full (3)"
+        )
+        drained = []
+        for _ in range(3):
+            item = yield from q.take()
+            drained.append(item)
+        assert drained == ["call0", "call1", "call2"]
+        assert len(q) == 0
+        assert q.try_reserve("call4") is None  # slot freed
+
+    drive(env, scenario())
+
+
+def test_fifo_stop_is_a_noop():
+    FifoCallQueue(Environment(), capacity=1).stop()
+
+
+# ----------------------------------------------------- WeightedRoundRobinMux
+@pytest.mark.parametrize("weights", [[], [2, 0], [1, -1]])
+def test_mux_rejects_bad_weights(weights):
+    with pytest.raises(ValueError, match="weights"):
+        WeightedRoundRobinMux(weights)
+
+
+def test_mux_drains_by_weight_when_all_queues_are_busy():
+    mux = WeightedRoundRobinMux([2, 1])
+    always_busy = [5, 5]
+    picks = [mux.next_index(always_busy) for _ in range(6)]
+    assert picks == [0, 0, 1, 0, 0, 1]
+
+
+def test_mux_empty_queue_forfeits_its_remaining_credits():
+    mux = WeightedRoundRobinMux([4, 1])
+    assert mux.next_index([3, 3]) == 0
+    # Queue 0 empties mid-cycle: its 3 leftover credits are forfeited,
+    # not banked — the next pick serves queue 1 immediately.
+    assert mux.next_index([0, 3]) == 1
+    # And a fresh cycle starts for queue 0 with full credits.
+    assert mux.next_index([3, 3]) == 0
+
+
+def test_mux_raises_when_every_queue_is_empty():
+    with pytest.raises(LookupError):
+        WeightedRoundRobinMux([1, 1]).next_index([0, 0])
+
+
+# ------------------------------------------------------------ FairCallQueue
+def fair_queue(env, capacity=8, levels=4, registry=None, **kwargs):
+    sched = DecayRpcScheduler(env, levels=levels, registry=registry)
+    return FairCallQueue(env, capacity, sched, registry=registry, **kwargs)
+
+
+def test_fair_capacity_splits_across_subqueues():
+    q = fair_queue(Environment(), capacity=10, levels=4)
+    assert q.subqueue_capacity == 2
+    assert q.capacity == 8  # rounded to a whole number of sub-queues
+
+
+def test_fair_rejects_weights_of_wrong_length():
+    env = Environment()
+    with pytest.raises(ValueError, match="weights"):
+        fair_queue(env, levels=4, weights=[2, 1])
+
+
+def test_fair_reserve_assigns_caller_and_priority():
+    env = Environment()
+    q = fair_queue(env, capacity=40, levels=4)
+    hog_call = None
+    for _ in range(10):
+        hog_call = call_from("hog")
+        assert q.try_reserve(hog_call) is None
+    assert (hog_call.caller, hog_call.priority) == ("hog", 3)
+    mouse_call = call_from("mouse", ib=True)
+    assert q.try_reserve(mouse_call) is None
+    assert (mouse_call.caller, mouse_call.priority) == ("mouse", 0)
+    assert q.span_tags(mouse_call) == {"priority": 0, "caller": "mouse"}
+
+
+def test_fair_take_follows_the_mux_not_arrival_order():
+    env = Environment()
+    q = fair_queue(env, capacity=40, levels=4)
+
+    def scenario():
+        # Sink the hog to priority 3, then interleave: hog first in
+        # arrival order, mouse enqueued behind it.
+        hogs = []
+        for i in range(8):
+            scall = call_from("hog")
+            assert q.try_reserve(scall) is None
+            yield q.put(scall)
+            hogs.append(scall)
+        mouse = call_from("mouse")
+        assert q.try_reserve(mouse) is None
+        yield q.put(mouse)
+        assert len(q) == 9
+        # Weights [8,4,2,1]: priority 0 holds only the mouse — it cuts
+        # the line ahead of all 8 earlier hog calls.
+        first = yield from q.take()
+        assert first is mouse
+        rest = []
+        for _ in range(8):
+            rest.append((yield from q.take()))
+        assert rest == hogs
+        assert len(q) == 0
+
+    drive(env, scenario())
+
+
+def test_fair_full_subqueue_rejects_with_overload_by_default():
+    env = Environment()
+    q = fair_queue(env, capacity=4, levels=4)  # subqueue_capacity 1
+
+    def scenario():
+        first = call_from("solo")
+        assert q.try_reserve(first) is None
+        # A lone caller owns 100% of the traffic: lowest priority.
+        assert first.priority == 3
+        yield q.put(first)
+        rejection = q.try_reserve(call_from("solo"))
+        assert rejection == (
+            ServerOverloadedException.CLASS_NAME,
+            "priority 3 call queue full (1)",
+        )
+
+    drive(env, scenario())
+
+
+def test_fair_full_subqueue_backs_off_with_retriable_when_enabled():
+    env = Environment()
+    registry = MetricsRegistry(env)
+    q = fair_queue(
+        env, capacity=4, levels=4, backoff_enabled=True, registry=registry
+    )
+
+    def scenario():
+        first = call_from("solo")
+        assert q.try_reserve(first) is None
+        yield q.put(first)
+        cls, message = q.try_reserve(call_from("solo"))
+        assert cls == RetriableException.CLASS_NAME
+        exc = RetriableException.from_wire(message)
+        assert exc.backoff_us == q.scheduler.suggested_backoff_us(3)
+        (counter,) = registry.find("rpc.server.calls_backoff").values()
+        assert counter.value == 1
+
+    drive(env, scenario())
+
+
+def test_fair_depth_gauges_follow_put_and_take():
+    env = Environment()
+    registry = MetricsRegistry(env)
+    q = fair_queue(env, capacity=40, levels=4, registry=registry)
+
+    def gauge_for(priority):
+        return next(
+            gauge
+            for key, gauge in registry.find("rpc.server.fair_queue_depth").items()
+            if f"priority={priority}" in key
+        )
+
+    def scenario():
+        scall = call_from("mouse")
+        assert q.try_reserve(scall) is None
+        level = scall.priority
+        yield q.put(scall)
+        assert q.depth(level) == 1
+        assert gauge_for(level).value == 1
+        got = yield from q.take()
+        assert got is scall
+        assert q.depth(level) == 0
+        assert gauge_for(level).value == 0
+
+    drive(env, scenario())
+
+
+def test_fair_stop_stops_the_scheduler():
+    env = Environment()
+    q = fair_queue(env, capacity=8)
+    q.stop()
+    assert q.scheduler._stopped
+
+
+# -------------------------------------------------------- RetriableException
+def test_retriable_wire_message_round_trips():
+    message = RetriableException.wire_message(2, 37_500.4)
+    exc = RetriableException.from_wire(message)
+    assert exc.backoff_us == 37_500.0  # serialized at whole-us precision
+    assert "priority 2" in str(exc)
+
+
+def test_retriable_from_wire_without_hint_defaults_to_zero():
+    assert RetriableException.from_wire("server says no").backoff_us == 0.0
+
+
+# ----------------------------------------------------------- build factory
+def test_build_defaults_to_fifo():
+    q = build_call_queue(Environment(), Configuration({}), 32)
+    assert isinstance(q, FifoCallQueue)
+    assert q.capacity == 32
+    assert q.scheduler is None
+
+
+def test_build_fair_wires_scheduler_weights_and_backoff():
+    conf = Configuration({
+        "ipc.callqueue.impl": "fair",
+        "ipc.backoff.enable": True,
+        "scheduler.priority.levels": 3,
+        "ipc.callqueue.fair.weights": "5, 3, 1",
+        "decay-scheduler.period": 2_000.0,
+        "decay-scheduler.decay-factor": 0.25,
+    })
+    q = build_call_queue(Environment(), conf, 30, server_name="srv")
+    assert isinstance(q, FairCallQueue)
+    assert q.levels == 3
+    assert q.subqueue_capacity == 10
+    assert q.backoff_enabled
+    assert q.mux.weights == [5, 3, 1]
+    assert isinstance(q.scheduler, DecayRpcScheduler)
+    assert q.scheduler.period_us == 2_000.0
+    assert q.scheduler.decay_factor == 0.25
+
+
+def test_build_rejects_unknown_impl():
+    conf = Configuration({"ipc.callqueue.impl": "priority-lottery"})
+    with pytest.raises(ValueError, match="ipc.callqueue.impl"):
+        build_call_queue(Environment(), conf, 32)

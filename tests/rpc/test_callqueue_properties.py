@@ -1,0 +1,197 @@
+"""Property-based tests for the call-queue subsystem (hypothesis).
+
+The ISSUE's conservation bar, pinned as properties instead of
+examples: across randomized tenant mixes x queue implementations x
+handler counts,
+
+* every accepted call completes or raises exactly once (nothing hangs,
+  nothing double-settles) and the server handles exactly the completed
+  calls — rejected attempts never reach a handler;
+* per-priority sub-queue depths never exceed their capacity when
+  admission goes through ``try_reserve``;
+* the weighted round-robin mux drains saturated sub-queues in exact
+  proportion to its weights.
+
+Tenant mixes derive from seeded :mod:`repro.simcore.rng` streams —
+hypothesis shrinks over the seed, the mix itself is reproducible from
+it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import IPOIB_QDR
+from repro.config import Configuration
+from repro.io.writables import BytesWritable
+from repro.net import Fabric
+from repro.rpc import RPC
+from repro.rpc.call import RemoteException
+from repro.rpc.callqueue import FairCallQueue, WeightedRoundRobinMux
+from repro.rpc.scheduler import DecayRpcScheduler
+from repro.simcore import Environment
+from repro.simcore.rng import Random, stable_seed
+
+from tests.rpc.conftest import EchoProtocol, EchoService
+
+
+class CountingEchoService(EchoService):
+    """EchoService whose ``slow`` also counts handler invocations."""
+
+    def slow(self, payload):
+        self.calls += 1
+        yield self.env.timeout(self.delay_us)
+        return payload
+
+
+def run_tenant_mix(seed, impl, handlers, backoff):
+    """One randomized multi-tenant run; returns per-tenant tallies.
+
+    The mix (tenant count, ops, think times) comes from a stream seeded
+    by ``seed`` alone, so any failure reproduces from the seed.
+    """
+    mix = Random(stable_seed("callqueue-prop", seed))
+    num_tenants = mix.randrange(2, 6)
+    plan = [
+        {
+            "ops": mix.randrange(1, 7),
+            "think_us": mix.choice([0.0, 50.0, 500.0]),
+        }
+        for _ in range(num_tenants)
+    ]
+
+    env = Environment()
+    fabric = Fabric(env)
+    server_node = fabric.add_node("server")
+    conf = Configuration({
+        "ipc.callqueue.impl": impl,
+        "ipc.backoff.enable": backoff,
+        "ipc.server.handler.count": handlers,
+        # Tiny queue + few retries: rejections and exhausted retries
+        # are part of the explored state space, not rare corners.
+        "ipc.server.callqueue.size": 2,
+        "ipc.client.call.max.retries": 2,
+        "ipc.client.call.retry.interval": 200.0,
+    })
+    service = CountingEchoService(env, delay_us=300.0)
+    server = RPC.get_server(
+        fabric, server_node, 9000, service, EchoProtocol, IPOIB_QDR,
+        conf=conf,
+    )
+    payload = BytesWritable(b"\x5a" * 64)
+    tallies = []
+
+    def tenant_proc(env, proxy, tally, spec):
+        for _ in range(spec["ops"]):
+            tally["issued"] += 1
+            try:
+                yield proxy.slow(payload)
+            except (RemoteException, ConnectionError):
+                tally["raised"] += 1
+            else:
+                tally["completed"] += 1
+            yield env.timeout(spec["think_us"])
+
+    procs = []
+    for index, spec in enumerate(plan):
+        node = fabric.add_node(f"t{index}")
+        client = RPC.get_client(fabric, node, IPOIB_QDR, conf=conf)
+        proxy = RPC.get_proxy(EchoProtocol, server.address, client)
+        tally = {"issued": 0, "completed": 0, "raised": 0}
+        tallies.append(tally)
+        procs.append(env.process(
+            tenant_proc(env, proxy, tally, spec), name=f"tenant-{index}"
+        ))
+    env.run(env.all_of(procs))
+    server.stop()
+    return server, service, tallies
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    impl=st.sampled_from(["fifo", "fair"]),
+    handlers=st.integers(min_value=1, max_value=3),
+    backoff=st.booleans(),
+)
+@settings(max_examples=12, deadline=None)
+def test_accepted_calls_settle_exactly_once(seed, impl, handlers, backoff):
+    server, service, tallies = run_tenant_mix(seed, impl, handlers, backoff)
+    for tally in tallies:
+        # env.run returned, so nothing hangs; every issued call settled
+        # through exactly one of the two exits.
+        assert tally["completed"] + tally["raised"] == tally["issued"]
+    # Handlers served exactly the completed calls: a rejected attempt
+    # never reaches a handler, a served call never raises client-side.
+    assert service.calls == sum(t["completed"] for t in tallies)
+    # The queue drained completely ...
+    assert len(server.call_queue) == 0
+    if impl == "fair":
+        # ... and the fair queue's token invariant closed out: one
+        # signal token per queued call means both hit zero together.
+        assert len(server.call_queue._signal.items) == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    levels=st.integers(min_value=1, max_value=5),
+    capacity=st.integers(min_value=1, max_value=24),
+)
+@settings(max_examples=40, deadline=None)
+def test_subqueue_depths_never_exceed_capacity(seed, levels, capacity):
+    """Random admit/drain interleavings respect per-priority bounds."""
+    ops = Random(stable_seed("callqueue-depth", seed))
+    env = Environment()
+    queue = FairCallQueue(
+        env, capacity, DecayRpcScheduler(env, levels=levels)
+    )
+
+    class Call:
+        def __init__(self, conn):
+            self.conn = conn
+            self.caller = ""
+            self.priority = 0
+
+    class Conn:
+        def __init__(self, name):
+            self.sock = type("S", (), {"remote": type("N", (), {"name": name})()})()
+
+    callers = [Conn(f"t{i}") for i in range(4)]
+
+    def scenario():
+        queued = 0
+        for _ in range(60):
+            if ops.random() < 0.6 or queued == 0:
+                scall = Call(ops.choice(callers))
+                if queue.try_reserve(scall) is None:
+                    yield queue.put(scall)
+                    queued += 1
+            else:
+                yield from queue.take()
+                queued -= 1
+            for level in range(levels):
+                assert queue.depth(level) <= queue.subqueue_capacity
+            assert len(queue) == queued <= queue.capacity
+
+    env.run(env.process(scenario()))
+    queue.stop()
+
+
+@given(
+    weights=st.lists(
+        st.integers(min_value=1, max_value=8), min_size=1, max_size=4
+    ),
+    cycles=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=50, deadline=None)
+def test_mux_drain_order_matches_weights_under_saturation(weights, cycles):
+    """With every sub-queue busy, one mux cycle serves sub-queue ``i``
+    exactly ``weights[i]`` times, in ascending index order."""
+    mux = WeightedRoundRobinMux(weights)
+    always_busy = [1] * len(weights)
+    expected_cycle = [
+        index for index, weight in enumerate(weights) for _ in range(weight)
+    ]
+    picks = [
+        mux.next_index(always_busy)
+        for _ in range(len(expected_cycle) * cycles)
+    ]
+    assert picks == expected_cycle * cycles
