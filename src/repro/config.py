@@ -7,7 +7,9 @@ layer and daemons to share one mechanism, including the paper's
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Mapping, Optional
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
 
 class Configuration:
@@ -48,6 +50,9 @@ class Configuration:
         "scheduler.priority.levels": 4,
         "decay-scheduler.period": 1_000_000.0,  # usec between decay sweeps
         "decay-scheduler.decay-factor": 0.5,
+        # Comma-separated usage-share thresholds (levels-1 increasing
+        # floats in (0,1]); empty = Hadoop's 1/2**(levels-i) ladder.
+        "decay-scheduler.thresholds": "",
         # Reject over-limit tenants with RetriableException (+ suggested
         # backoff) instead of ServerOverloadedException.
         "ipc.backoff.enable": False,
@@ -90,6 +95,10 @@ class Configuration:
         #: Mutation stamp: bumped by every write so hot paths may cache
         #: parsed values and revalidate with a single int comparison.
         self.version = 0
+        #: Change listeners (``fn(conf, changed_keys)``), notified after
+        #: every mutation — the hot-reload hook servers subscribe to.
+        #: Deliberately not carried by :meth:`copy`.
+        self._listeners: List[Callable[["Configuration", tuple], None]] = []
 
     # -- typed getters -----------------------------------------------------
     def get(self, key: str, default: Any = None) -> Any:
@@ -122,19 +131,55 @@ class Configuration:
             return [int(v) for v in raw]
         return [int(part) for part in str(raw).split(",") if part.strip()]
 
+    def get_floats(self, key: str) -> list[float]:
+        """Parse a comma-separated float list (threshold ladders etc.)."""
+        raw = self._values.get(key, "")
+        if isinstance(raw, (list, tuple)):
+            return [float(v) for v in raw]
+        return [float(part) for part in str(raw).split(",") if part.strip()]
+
     # -- mutation ----------------------------------------------------------
     def set(self, key: str, value: Any) -> "Configuration":
         self._values[key] = value
         self.version += 1
+        self._notify((key,))
         return self
 
     def update(self, values: Mapping[str, Any]) -> "Configuration":
         self._values.update(values)
         self.version += 1
+        self._notify(tuple(values))
         return self
 
     def copy(self) -> "Configuration":
         return Configuration(self._values)
+
+    # -- change notification (hot reload) ----------------------------------
+    def subscribe(
+        self, listener: Callable[["Configuration", tuple], None]
+    ) -> Callable[["Configuration", tuple], None]:
+        """Register ``listener(conf, changed_keys)`` for every mutation.
+
+        Listeners run synchronously inside the mutating call, in
+        subscription order — deterministic, and never touching the
+        simulated event queue themselves.  Returns the listener so the
+        caller can hold it for :meth:`unsubscribe`.
+        """
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(
+        self, listener: Callable[["Configuration", tuple], None]
+    ) -> None:
+        """Remove a listener; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, changed: tuple) -> None:
+        for listener in list(self._listeners):
+            listener(self, changed)
 
     # -- mapping protocol -----------------------------------------------------
     def __contains__(self, key: str) -> bool:
@@ -146,6 +191,7 @@ class Configuration:
     def __setitem__(self, key: str, value: Any) -> None:
         self._values[key] = value
         self.version += 1
+        self._notify((key,))
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._values)
@@ -158,3 +204,88 @@ class Configuration:
             k: v for k, v in self._values.items() if self.DEFAULTS.get(k) != v
         }
         return f"<Configuration overrides={overrides!r}>"
+
+
+# -- scheduled hot reload ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduledUpdate:
+    """One reload step: apply ``values`` at simulated time ``at_us``."""
+
+    at_us: float
+    values: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ReloadPlan:
+    """An ordered list of scheduled configuration updates.
+
+    JSON schema (``ReloadPlan.from_dict`` / ``from_file``)::
+
+        {"updates": [{"at_us": 250000.0,
+                      "set": {"ipc.callqueue.fair.weights": "8,4,2,1"}}]}
+
+    The plan is pure data; :meth:`watch` arms it on a simulation by
+    spawning a :class:`ConfigWatcher`.
+    """
+
+    updates: List[ScheduledUpdate] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "ReloadPlan":
+        updates = []
+        for entry in doc.get("updates", []):
+            at_us = float(entry["at_us"])
+            values = dict(entry.get("set", {}))
+            if at_us < 0:
+                raise ValueError(f"at_us must be >= 0, got {at_us}")
+            if not values:
+                raise ValueError(f"update at t={at_us} sets nothing")
+            updates.append(ScheduledUpdate(at_us=at_us, values=values))
+        return cls(updates=updates)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ReloadPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "updates": [
+                {"at_us": u.at_us, "set": dict(u.values)} for u in self.updates
+            ]
+        }
+
+    def watch(self, env, conf: Configuration, name: str = "") -> "ConfigWatcher":
+        return ConfigWatcher(env, conf, self.updates, name=name)
+
+
+class ConfigWatcher:
+    """Applies scheduled updates to a live Configuration on the sim clock.
+
+    The watcher is one simulation process: it sleeps until each update's
+    ``at_us`` (stable-sorted, so same-time updates apply in plan order)
+    and calls ``conf.update(values)`` — the mutation notifies every
+    subscribed component (servers re-reading QoS weights/thresholds)
+    synchronously at that exact simulated instant.  ``applied`` records
+    ``{"t_us", "keys"}`` rows for the run artifacts.
+    """
+
+    def __init__(self, env, conf: Configuration, updates, name: str = ""):
+        self.env = env
+        self.conf = conf
+        self.updates = sorted(updates, key=lambda u: u.at_us)
+        self.applied: List[Dict[str, Any]] = []
+        self.process = env.process(
+            self._loop(), name=name or "config-watcher"
+        )
+
+    def _loop(self):
+        for update in self.updates:
+            delay = update.at_us - self.env.now
+            yield self.env.timeout(max(0.0, delay))
+            self.conf.update(update.values)
+            self.applied.append(
+                {"t_us": self.env.now, "keys": sorted(update.values)}
+            )

@@ -15,6 +15,7 @@ from repro.experiments import (
     fig6_mapreduce,
     fig7_hdfs,
     fig8_hbase,
+    operator_story,
     qos,
     table1,
 )
@@ -29,6 +30,7 @@ ALL_EXPERIMENTS = {
     "fig8": fig8_hbase,
     "chaos": chaos,
     "qos": qos,
+    "operator": operator_story,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

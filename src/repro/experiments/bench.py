@@ -9,8 +9,8 @@ The performance contract of this repo is two-sided:
   accidental whole-message copy, a de-optimized scheduler loop) fails
   CI even though every simulated number still matches.
 
-``bench`` runs the selected harnesses (default: fig5, fig1, table1) at
-their regular experiment parameters and writes one ``BENCH_<name>.json``
+``bench`` runs the selected harnesses (default: fig5, fig1, table1,
+qos) at their regular experiment parameters and writes one ``BENCH_<name>.json``
 per harness recording:
 
 * ``wall_seconds`` — host seconds for the run,
@@ -97,11 +97,34 @@ def _bench_table1() -> Tuple[Dict, Dict]:
     return headline, params
 
 
+def _bench_qos() -> Tuple[Dict, Dict]:
+    from repro.experiments import qos
+
+    result = qos.run()
+    headline = {
+        "victim_p99_ratio": result["victim_p99_ratio"],
+        "fifo_victim_p99_us": result["fifo"]["victims"]["p99_us"],
+        "fair_victim_p99_us": result["fair"]["victims"]["p99_us"],
+        "fifo_rejected_overload": result["fifo"]["rejected_overload"],
+        "fair_rejected_overload": result["fair"]["rejected_overload"],
+        "fifo_makespan_us": result["fifo"]["makespan_us"],
+        "fair_makespan_us": result["fair"]["makespan_us"],
+    }
+    params = {
+        "num_tenants": qos.NUM_TENANTS,
+        "hostile_streams": qos.HOSTILE_STREAMS,
+        "victim_ops": qos.VICTIM_OPS,
+        "payload_bytes": qos.PAYLOAD_BYTES,
+    }
+    return headline, params
+
+
 #: benchmark name -> harness returning (headline metrics, parameters).
 HARNESSES: Dict[str, Callable[[], Tuple[Dict, Dict]]] = {
     "fig5": _bench_fig5,
     "fig1": _bench_fig1,
     "table1": _bench_table1,
+    "qos": _bench_qos,
 }
 
 
@@ -159,7 +182,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "benchmarks",
         nargs="*",
-        help="harnesses to run (default: all of fig5, fig1, table1)",
+        help="harnesses to run (default: all of fig5, fig1, table1, qos)",
     )
     parser.add_argument(
         "--out", metavar="DIR", default=".",

@@ -1,0 +1,304 @@
+"""Operator experiment: detect an abusive tenant live, hot-reload QoS.
+
+The end-to-end story the live-observability plane exists for:
+
+1. A small RPC server starts with a **misconfigured** FairCallQueue —
+   flat WRR weights (``1,1,1,1``) and a threshold ladder so lenient
+   (``0.97,0.98,0.99``) that even a tenant owning ~90% of the decayed
+   traffic keeps top priority.  Tenant ``t0``, amplified to
+   ``HOSTILE_STREAMS`` concurrent streams by the fault plane's
+   ``abusive_tenant`` rule, therefore shares priority 0 — and its
+   8-deep sub-queue — with every victim, and the victims' tail
+   collapses exactly as under a plain FIFO.
+2. At ``DETECT_AT_US`` the "operator" reads the live metrics the server
+   exports — the decay scheduler's per-caller usage shares and priority
+   gauges, the per-priority queue depths — and identifies the abuser.
+3. A :class:`repro.config.ConfigWatcher` applies the fix at
+   ``RELOAD_AT_US`` *mid-run*: Hadoop's default weights (``8,4,2,1``)
+   and threshold ladder (``0.125,0.25,0.5``).  The subscription
+   machinery re-tunes the live queue synchronously; the scheduler's
+   retained decayed counts demote ``t0`` to the lowest priority at that
+   exact simulated instant.
+4. Victim calls are windowed by *start time*: ``pre`` = started before
+   the reload, ``post`` = started after reload + settle.  The headline
+   asserts the acceptance bar — post-reload victim p99 recovers by at
+   least ``RECOVERY_BAR``x.
+
+Fully deterministic: fixed think times, duration-bound streams, no
+ambient RNG (the fault plan and decay jitter use seeded named streams),
+so the result is golden-fixture testable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.calibration import FABRICS
+from repro.config import Configuration, ReloadPlan
+from repro.experiments.qos import (
+    HOSTILE,
+    HOSTILE_STREAMS,
+    NUM_TENANTS,
+    PAYLOAD_BYTES,
+    QosService,
+    _percentile,
+)
+from repro.faults import FaultPlan
+from repro.faults import runtime as faults_runtime
+from repro.io.writables import BytesWritable
+from repro.net.fabric import Fabric
+from repro.rpc.call import RemoteException
+from repro.rpc.engine import RPC
+from repro.rpc.microbench import PingPongProtocol
+from repro.simcore import Environment
+
+#: Simulated run length; streams are duration-bound (not op-bound) so
+#: hostile pressure persists through the whole post-reload window.
+END_US = 800_000.0
+#: The operator reads the live metrics here ...
+DETECT_AT_US = 300_000.0
+#: ... and the scheduled reload lands here.
+RELOAD_AT_US = 400_000.0
+#: Post-window guard: backlog queued under the bad config drains first.
+SETTLE_US = 50_000.0
+#: Acceptance bar: victim p99 must improve at least this much.
+RECOVERY_BAR = 2.0
+
+VICTIM_THINK_US = 2_000.0
+HOSTILE_THINK_US = 5_000.0  # divided by the abusive_tenant factor
+
+PLAN_DICT = {
+    "label": "operator-abusive-tenant",
+    "note": "tenant t0 floods the server for the whole run",
+    "events": [
+        {"kind": "abusive_tenant", "at": 0, "node": HOSTILE, "factor": 50.0},
+    ],
+}
+
+#: Mis-tuned launch config: fair queue in name only.
+INITIAL_CONF = {
+    "ipc.server.handler.count": 2,
+    "ipc.server.callqueue.size": 16,
+    "ipc.client.call.max.retries": 10,
+    "ipc.client.call.retry.interval": 10_000.0,
+    "ipc.callqueue.impl": "fair",
+    "ipc.backoff.enable": True,
+    "scheduler.priority.levels": 4,
+    "decay-scheduler.period": 50_000.0,
+    "decay-scheduler.decay-factor": 0.5,
+    "ipc.callqueue.fair.weights": "1,1,1,1",
+    "decay-scheduler.thresholds": "0.97,0.98,0.99",
+}
+
+#: The operator's fix, applied live at RELOAD_AT_US.
+RELOAD_SET = {
+    "ipc.callqueue.fair.weights": "8,4,2,1",
+    "decay-scheduler.thresholds": "0.125,0.25,0.5",
+}
+
+
+def _run_story() -> Dict:
+    env = Environment()
+    fabric = Fabric(env)
+    server_node = fabric.add_node("server")
+    tenants = [fabric.add_node(f"t{i}") for i in range(NUM_TENANTS)]
+    conf = Configuration(INITIAL_CONF)
+    network = FABRICS["ipoib"]
+    server = RPC.get_server(
+        fabric, server_node, 9000, QosService(env), PingPongProtocol,
+        network, conf=conf,
+    )
+    payload = BytesWritable(b"\x5a" * PAYLOAD_BYTES)
+    abusive_factor = (
+        fabric.faults.abusive_factor(HOSTILE)
+        if fabric.faults is not None else 1.0
+    )
+    per_tenant: Dict[str, Dict] = {
+        node.name: {"issued": 0, "completed": 0, "raised": 0, "latencies": []}
+        for node in tenants
+    }
+
+    watcher = ReloadPlan.from_dict(
+        {"updates": [{"at_us": RELOAD_AT_US, "set": dict(RELOAD_SET)}]}
+    ).watch(env, conf, name="operator-reload")
+
+    detection: Dict = {}
+
+    def detector_proc(env):
+        """The operator's look at the live metrics, before acting."""
+        yield env.timeout(DETECT_AT_US)
+        scheduler = server.call_queue.scheduler
+        shares = (
+            {c: n / scheduler.total for c, n in scheduler.counts.items()}
+            if scheduler.total > 0 else {}
+        )
+        top = max(sorted(shares), key=lambda c: shares[c]) if shares else ""
+        priorities = {
+            key.split("caller=", 1)[1].split(",", 1)[0].rstrip("}"): g.value
+            for key, g in fabric.metrics.find(
+                "rpc.scheduler.caller_priority"
+            ).items()
+        }
+        depths = {
+            str(level): server.call_queue.depth(level)
+            for level in range(server.call_queue.levels)
+        }
+        detection.update(
+            t_us=env.now,
+            top_caller=top,
+            top_share=shares.get(top, 0.0),
+            top_priority=priorities.get(top, 0.0),
+            queue_depths=depths,
+        )
+
+    def stream_proc(env, proxy, stats, think_us):
+        while env.now < END_US:
+            stats["issued"] += 1
+            start = env.now
+            try:
+                yield proxy.pingpong(payload)
+            except (RemoteException, ConnectionError):
+                stats["raised"] += 1
+            else:
+                stats["completed"] += 1
+                stats["latencies"].append((start, env.now - start))
+            yield env.timeout(think_us)
+
+    procs = [env.process(detector_proc(env), name="operator-detector")]
+    for node in tenants:
+        client = RPC.get_client(fabric, node, network, conf=conf)
+        proxy = RPC.get_proxy(PingPongProtocol, server.address, client)
+        stats = per_tenant[node.name]
+        if node.name == HOSTILE:
+            streams = HOSTILE_STREAMS
+            think_us = HOSTILE_THINK_US / abusive_factor
+        else:
+            streams = 1
+            think_us = VICTIM_THINK_US
+        for stream in range(streams):
+            procs.append(env.process(
+                stream_proc(env, proxy, stats, think_us),
+                name=f"operator-{node.name}.{stream}",
+            ))
+    env.run(env.all_of(procs))
+    server.stop()
+
+    def summarize(stats: Dict) -> Dict:
+        lats = [lat for _, lat in stats["latencies"]]
+        return {
+            "issued": stats["issued"],
+            "completed": stats["completed"],
+            "raised": stats["raised"],
+            "p50_us": _percentile(lats, 50.0),
+            "p99_us": _percentile(lats, 99.0),
+        }
+
+    def window(latencies: List, lo: float, hi: float) -> Dict:
+        lats = [lat for start, lat in latencies if lo <= start < hi]
+        return {
+            "completed": len(lats),
+            "p50_us": _percentile(lats, 50.0),
+            "p99_us": _percentile(lats, 99.0),
+        }
+
+    victim_latencies: List = []
+    for name, stats in per_tenant.items():
+        if name != HOSTILE:
+            victim_latencies.extend(stats["latencies"])
+    pre = window(victim_latencies, 0.0, RELOAD_AT_US)
+    post = window(victim_latencies, RELOAD_AT_US + SETTLE_US, float("inf"))
+    recovery = pre["p99_us"] / post["p99_us"] if post["p99_us"] > 0 else 0.0
+    backoff = sum(
+        c.value
+        for c in fabric.metrics.find("rpc.server.calls_backoff").values()
+    )
+    reconfigs = sum(
+        c.value
+        for c in fabric.metrics.find("rpc.server.qos_reconfigured").values()
+    )
+    return {
+        "conf": {
+            "initial": dict(INITIAL_CONF),
+            "reload_set": dict(RELOAD_SET),
+            "reload_at_us": RELOAD_AT_US,
+            "settle_us": SETTLE_US,
+        },
+        "detection": detection,
+        "reload_log": list(watcher.applied),
+        "tenants": {
+            name: summarize(stats) for name, stats in sorted(per_tenant.items())
+        },
+        "victims": {"pre": pre, "post": post, "recovery_ratio": recovery},
+        "backoff_rejections": int(backoff),
+        "qos_reconfigs": int(reconfigs),
+        "makespan_us": env.now,
+    }
+
+
+def run(plan: Optional[FaultPlan] = None) -> Dict:
+    """Misconfig -> detect -> hot reload -> recovery; asserts the bar."""
+    active = faults_runtime.current()
+    if active is not None:
+        used_plan = active.plan
+        story = _run_story()
+    else:
+        used_plan = plan or FaultPlan.from_dict(PLAN_DICT)
+        with faults_runtime.session(used_plan, label="operator"):
+            story = _run_story()
+
+    # The reload must actually have happened, exactly once per server.
+    assert story["qos_reconfigs"] == 1, story["reload_log"]
+    assert story["reload_log"] == [
+        {"t_us": RELOAD_AT_US, "keys": sorted(RELOAD_SET)}
+    ]
+    # Detection saw the abuser at top priority despite its share.
+    assert story["detection"]["top_caller"] == HOSTILE, story["detection"]
+    assert story["detection"]["top_priority"] == 0, story["detection"]
+    recovery = story["victims"]["recovery_ratio"]
+    assert recovery >= RECOVERY_BAR, (
+        f"victim p99 recovered only {recovery:.2f}x "
+        f"(pre {story['victims']['pre']['p99_us']:.0f} us, "
+        f"post {story['victims']['post']['p99_us']:.0f} us)"
+    )
+    story["plan"] = {
+        "label": used_plan.label,
+        "kinds": used_plan.kinds(),
+        "events": len(used_plan),
+    }
+    return story
+
+
+def format_result(result: Dict) -> str:
+    det = result["detection"]
+    pre = result["victims"]["pre"]
+    post = result["victims"]["post"]
+    lines = [
+        f"operator plan: {result['plan']['label']} — "
+        f"{result['plan']['events']} event(s) "
+        f"({', '.join(result['plan']['kinds'])})",
+        f"detected at t={det['t_us'] / 1e6:.2f} s: {det['top_caller']} holds "
+        f"{det['top_share'] * 100:.1f}% of decayed traffic at priority "
+        f"{det['top_priority']:.0f} (queue depths {det['queue_depths']})",
+        f"reload at t={result['conf']['reload_at_us'] / 1e6:.2f} s: "
+        + ", ".join(f"{k}={v}" for k, v in result["conf"]["reload_set"].items()),
+        f"{'tenant':<8s} {'done':>5s} {'raised':>6s} {'p50 us':>10s} {'p99 us':>12s}",
+    ]
+    for name, stats in result["tenants"].items():
+        tag = " (hostile)" if name == HOSTILE else ""
+        lines.append(
+            f"{name + tag:<8s} {stats['completed']:>5d} {stats['raised']:>6d} "
+            f"{stats['p50_us']:>10.1f} {stats['p99_us']:>12.1f}"
+        )
+    lines.append(
+        f"victims pre-reload:  p99 {pre['p99_us']:.1f} us over "
+        f"{pre['completed']} calls"
+    )
+    lines.append(
+        f"victims post-reload: p99 {post['p99_us']:.1f} us over "
+        f"{post['completed']} calls"
+    )
+    lines.append(
+        f"recovery: {result['victims']['recovery_ratio']:.2f}x "
+        f"(bar: >= {RECOVERY_BAR:.0f}x)"
+    )
+    return "\n".join(lines)

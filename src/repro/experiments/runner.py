@@ -11,6 +11,14 @@ Observability flags (see ``repro.obs``):
   https://ui.perfetto.dev).  Timestamps are simulated microseconds.
 * ``--metrics out.json`` — dump every run's metrics-registry snapshot
   (counters, queue-depth gauges, latency tallies) as JSON.
+* ``--run-dir DIR`` — write the full live-observability bundle the
+  dashboard renders (``python -m repro.obs.dashboard DIR``): meta.json,
+  metrics.json, snapshots.jsonl time series (sampled every
+  ``--snapshot-interval`` simulated microseconds), plus trace.json when
+  combined with ``--trace``.
+* ``--sketch-tallies`` — back every registry tally with the
+  deterministic t-digest PercentileSketch instead of full sample
+  retention (bounded memory; p50/p99 within 1% on the repo workloads).
 
 Tracing is off by default and, when off, adds no simulated-clock events
 — reported numbers are bit-identical with and without the flags.
@@ -78,6 +86,27 @@ def main(argv=None) -> int:
         help="write JSON snapshots of every run's metrics registry",
     )
     parser.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="write the dashboard bundle (metrics + snapshot time series; "
+        "add --trace for trace.json) under this directory",
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        metavar="USEC",
+        type=float,
+        default=5000.0,
+        help="simulated microseconds between registry snapshots for "
+        "--run-dir time series (default 5000)",
+    )
+    parser.add_argument(
+        "--sketch-tallies",
+        action="store_true",
+        help="bound metrics memory: registry tallies use the deterministic "
+        "t-digest sketch instead of retaining every sample",
+    )
+    parser.add_argument(
         "--faults",
         metavar="PATH",
         default=None,
@@ -111,9 +140,20 @@ def main(argv=None) -> int:
         except (OSError, ValueError) as exc:
             parser.error(f"cannot load fault plan {args.faults}: {exc}")
 
+    if args.snapshot_interval <= 0:
+        parser.error(
+            f"--snapshot-interval must be > 0, got {args.snapshot_interval}"
+        )
     session = None
-    if args.trace or args.metrics:
-        session = ObsSession(trace=args.trace is not None, label="+".join(names))
+    if args.trace or args.metrics or args.run_dir or args.sketch_tallies:
+        session = ObsSession(
+            trace=args.trace is not None,
+            label="+".join(names),
+            tally_backend="sketch" if args.sketch_tallies else "exact",
+            snapshot_interval_us=(
+                args.snapshot_interval if args.run_dir else None
+            ),
+        )
         obs_runtime.install(session)
     sanitizer_session = None
     if args.sanitize:
@@ -148,6 +188,13 @@ def main(argv=None) -> int:
         if args.metrics:
             runs = session.write_metrics(args.metrics)
             print(f"metrics: {runs} run snapshots -> {args.metrics}")
+        if args.run_dir:
+            meta = session.write_run_dir(args.run_dir)
+            print(
+                f"run dir: {meta['runs']} run(s), "
+                f"{meta['snapshot_rows']} snapshot rows -> {args.run_dir} "
+                f"(render: python -m repro.obs.dashboard {args.run_dir})"
+            )
     if fault_session is not None:
         print(
             f"faults: {fault_session.injected_total()} injected over "

@@ -20,12 +20,36 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.sketch import PercentileSketch
 from repro.simcore.monitor import Counter, Histogram, Tally, TimeWeighted
 
 LabelItems = Tuple[Tuple[str, str], ...]
 InstrumentKey = Tuple[str, LabelItems]
+
+#: Tally backends the registry can hand out: ``exact`` retains every
+#: sample (:class:`Tally`, exact percentiles), ``sketch`` bounds memory
+#: with a deterministic t-digest (:class:`PercentileSketch`).
+TALLY_BACKENDS = ("exact", "sketch")
+
+
+def json_safe(value):
+    """Recursively replace non-finite floats with ``None``.
+
+    ``json.dumps`` emits the bare literal ``NaN``/``Infinity`` for
+    non-finite floats — invalid JSON per RFC 8259 (the ``default`` hook
+    never sees floats, so it cannot catch them).  Every metrics export
+    path routes its payload through here first, so an empty tally's
+    ``nan`` statistics serialize as ``null``.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
 
 
 def _label_items(labels: Dict[str, object]) -> LabelItems:
@@ -75,11 +99,17 @@ class Gauge:
 class MetricsRegistry:
     """Registry of labeled instruments shared across one simulation."""
 
-    def __init__(self, env=None):
+    def __init__(self, env=None, tally_backend: str = "exact"):
+        if tally_backend not in TALLY_BACKENDS:
+            raise ValueError(
+                f"unknown tally backend {tally_backend!r} "
+                f"(choose from {TALLY_BACKENDS})"
+            )
         self.env = env
+        self.tally_backend = tally_backend
         self._counters: Dict[InstrumentKey, Counter] = {}
         self._gauges: Dict[InstrumentKey, Gauge] = {}
-        self._tallies: Dict[InstrumentKey, Tally] = {}
+        self._tallies: Dict[InstrumentKey, Union[Tally, PercentileSketch]] = {}
         self._histograms: Dict[InstrumentKey, Histogram] = {}
 
     # -- instrument factories (get-or-create) ------------------------------
@@ -99,11 +129,15 @@ class MetricsRegistry:
             )
         return inst
 
-    def tally(self, name: str, **labels) -> Tally:
+    def tally(self, name: str, **labels) -> Union[Tally, PercentileSketch]:
         key = (name, _label_items(labels))
         inst = self._tallies.get(key)
         if inst is None:
-            inst = self._tallies[key] = Tally(format_key(name, key[1]))
+            rendered = format_key(name, key[1])
+            if self.tally_backend == "sketch":
+                inst = self._tallies[key] = PercentileSketch(rendered)
+            else:
+                inst = self._tallies[key] = Tally(rendered)
         return inst
 
     def histogram(self, name: str, bounds: Sequence[float], **labels) -> Histogram:
@@ -148,15 +182,20 @@ class MetricsRegistry:
                 entry["mean"] = gauge.mean(now)
             out[format_key(name, labels)] = entry
         for (name, labels), tally in self._tallies.items():
-            entry = {"type": "tally", "count": tally.count}
-            if tally.count:
-                entry.update(
-                    mean=tally.mean,
-                    min=tally.minimum,
-                    max=tally.maximum,
-                    p50=tally.percentile(50),
-                    p99=tally.percentile(99),
-                )
+            # Empty tallies report the full stat schema with nan values;
+            # every JSON writer scrubs those to null via json_safe()
+            # (json.dumps alone would emit the invalid literal ``NaN``).
+            entry = {
+                "type": "tally",
+                "count": tally.count,
+                "mean": tally.mean,
+                "min": tally.minimum,
+                "max": tally.maximum,
+                "p50": tally.percentile(50),
+                "p99": tally.percentile(99),
+            }
+            if isinstance(tally, PercentileSketch):
+                entry["backend"] = "sketch"
             out[format_key(name, labels)] = entry
         for (name, labels), hist in self._histograms.items():
             out[format_key(name, labels)] = {
@@ -167,16 +206,7 @@ class MetricsRegistry:
         return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
-        # json.dumps would emit the invalid literal ``NaN`` for nan floats
-        # (the ``default`` hook never sees floats), so scrub them first.
-        def _safe(value):
-            if isinstance(value, float) and not math.isfinite(value):
-                return None
-            if isinstance(value, dict):
-                return {k: _safe(v) for k, v in value.items()}
-            return value
-
-        return json.dumps(_safe(self.snapshot()), indent=indent, sort_keys=True)
+        return json.dumps(json_safe(self.snapshot()), indent=indent, sort_keys=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         counts = (

@@ -1,0 +1,227 @@
+"""Deterministic, mergeable percentile sketches (t-digest style).
+
+The full-retention :class:`~repro.simcore.monitor.Tally` keeps every
+sample so its percentiles are exact — fine for a few hundred thousand
+observations, a memory wall for the 1M-events/sec / 1000-node ambitions
+of the roadmap.  :class:`PercentileSketch` bounds memory at
+``O(compression)`` centroids while keeping tail quantiles accurate to a
+fraction of a percent, using the *merging* t-digest algorithm (Dunning
+& Ertl): buffered samples are periodically sorted and folded into a
+centroid list whose per-centroid weight is limited by the scale
+function ``k1(q) = δ/2π · asin(2q−1)`` — tight centroids at the tails
+(where p99 lives), wide ones in the middle.
+
+Two properties matter here more than raw accuracy:
+
+* **Determinism** — no RNG anywhere (the classic t-digest shuffles
+  incoming batches; the merging variant sorts instead), ties broken by
+  value then weight, so two runs of the same simulation produce
+  bit-identical sketches.  Rule SIM002/SIM007 style discipline, upheld
+  structurally: there is simply nothing to seed.
+* **Mergeability** — ``merge()`` folds another sketch's centroids in as
+  weighted points, so per-node sketches can aggregate cluster-wide
+  without shipping samples.
+
+The sketch is a drop-in backend for the registry's ``tally()``
+instruments (``MetricsRegistry(tally_backend="sketch")``): it exposes
+the same ``observe`` / ``count`` / ``mean`` / ``minimum`` / ``maximum``
+/ ``percentile`` / ``merge`` surface, returning ``nan`` for the empty
+stats exactly like :class:`Tally` does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+#: Default compression δ: ~δ/2 centroids retained after a merge pass.
+#: t-digest's customary default is 100, but simulated workloads produce
+#: *staircase* CDFs — deterministic service times put 40%+ of the mass
+#: on single atoms — and midpoint interpolation across a too-wide
+#: centroid then lands on the wrong step.  δ=500 keeps mid-quantile
+#: centroids narrower than the observed plateaus: p50/p99 agree with
+#: exact tallies to <<1% on the qos workload (~270 centroids retained,
+#: still O(δ) versus the Tally's O(n) sample list).
+DEFAULT_COMPRESSION = 500
+
+
+class PercentileSketch:
+    """Merging t-digest with a fixed compression and no RNG.
+
+    ``observe()`` appends to a bounded buffer; when the buffer fills it
+    is sorted and merged into the centroid list in one deterministic
+    pass.  Quantile queries interpolate between centroid means, with
+    the exact observed minimum/maximum anchoring the extremes.
+    """
+
+    __slots__ = (
+        "name",
+        "compression",
+        "_means",
+        "_weights",
+        "_buffer",
+        "_buffer_limit",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+    )
+
+    def __init__(self, name: str = "", compression: int = DEFAULT_COMPRESSION):
+        if compression < 20:
+            raise ValueError(f"compression must be >= 20, got {compression}")
+        self.name = name
+        self.compression = int(compression)
+        self._means: List[float] = []
+        self._weights: List[float] = []
+        self._buffer: List[float] = []
+        self._buffer_limit = 5 * self.compression
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- recording -----------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._buffer.append(value)
+        if len(self._buffer) >= self._buffer_limit:
+            self._compress()
+
+    def merge(self, other: "PercentileSketch") -> "PercentileSketch":
+        """Fold ``other``'s state into this sketch; returns ``self``."""
+        if other._count == 0:
+            return self
+        self._count += other._count
+        self._sum += other._sum
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        # Centroids enter the merge pass as weighted points; buffered
+        # singletons ride along unchanged.
+        pending = list(zip(other._means, other._weights))
+        pending.extend((v, 1.0) for v in other._buffer)
+        self._compress(extra=pending)
+        return self
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean; ``nan`` when no samples were observed."""
+        if self._count == 0:
+            return math.nan
+        return self._sum / self._count
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._count else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._count else math.nan
+
+    @property
+    def centroid_count(self) -> int:
+        """Retained centroids (after folding the buffer) — the memory
+        bound the sketch exists to provide."""
+        self._compress()
+        return len(self._means)
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile; ``q`` in [0, 100], ``nan`` if empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q={q} out of [0, 100]")
+        if self._count == 0:
+            return math.nan
+        self._compress()
+        means, weights = self._means, self._weights
+        if len(means) == 1:
+            return means[0]
+        target = (q / 100.0) * self._count
+        # Centroid i covers the weight interval centred on c_i =
+        # (cumulative weight before i) + w_i/2; interpolate between
+        # neighbouring centres, clamping to the exact observed extremes.
+        cum = 0.0
+        prev_centre = 0.0
+        prev_mean = self._min
+        for mean, weight in zip(means, weights):
+            centre = cum + weight / 2.0
+            if target < centre:
+                span = centre - prev_centre
+                frac = (target - prev_centre) / span if span > 0 else 0.0
+                return prev_mean + (mean - prev_mean) * frac
+            cum += weight
+            prev_centre = centre
+            prev_mean = mean
+        span = self._count - prev_centre
+        frac = (target - prev_centre) / span if span > 0 else 0.0
+        return prev_mean + (self._max - prev_mean) * min(frac, 1.0)
+
+    # -- the merge pass ------------------------------------------------------
+    def _k(self, q: float) -> float:
+        """Scale function k1: fine-grained at the tails, coarse mid."""
+        q = min(max(q, 0.0), 1.0)
+        return (
+            self.compression
+            * (math.asin(2.0 * q - 1.0) / math.pi + 0.5)
+            / 2.0
+        )
+
+    def _compress(self, extra: List[Tuple[float, float]] = None) -> None:
+        if not self._buffer and not extra:
+            return
+        points = list(zip(self._means, self._weights))
+        points.extend((v, 1.0) for v in self._buffer)
+        if extra:
+            points.extend(extra)
+        self._buffer = []
+        # Deterministic order: by value, then weight (stable for ties).
+        points.sort()
+        total = 0.0
+        for _, weight in points:
+            total += weight
+        means: List[float] = []
+        weights: List[float] = []
+        cur_mean, cur_weight = points[0]
+        done = 0.0  # weight fully emitted into `means`
+        k_lo = self._k(0.0)
+        for mean, weight in points[1:]:
+            q_if_merged = (done + cur_weight + weight) / total
+            if self._k(q_if_merged) - k_lo <= 1.0:
+                # Weighted running mean keeps the centroid centred.
+                cur_weight += weight
+                cur_mean += (mean - cur_mean) * (weight / cur_weight)
+            else:
+                means.append(cur_mean)
+                weights.append(cur_weight)
+                done += cur_weight
+                k_lo = self._k(done / total)
+                cur_mean, cur_weight = mean, weight
+        means.append(cur_mean)
+        weights.append(cur_weight)
+        self._means = means
+        self._weights = weights
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if not self._count:
+            return f"<PercentileSketch {self.name} empty>"
+        return (
+            f"<PercentileSketch {self.name} n={self._count} "
+            f"centroids={len(self._means) + len(self._buffer)} "
+            f"mean={self.mean:.3f}>"
+        )

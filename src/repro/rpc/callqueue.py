@@ -56,6 +56,14 @@ def default_weights(levels: int) -> List[int]:
     return [2 ** (levels - 1 - i) for i in range(levels)]
 
 
+def parse_weights(conf) -> Optional[List[int]]:
+    """``ipc.callqueue.fair.weights`` as ints, or None when unset."""
+    raw = conf.get("ipc.callqueue.fair.weights", "")
+    if not raw:
+        return None
+    return [int(part) for part in str(raw).split(",") if part.strip()]
+
+
 class CallQueue:
     """Interface between the server's Readers/Handlers and a queue impl."""
 
@@ -266,6 +274,23 @@ class FairCallQueue(CallQueue):
             self._depth_gauges[index].dec()
         return scall
 
+    def set_weights(self, weights: Optional[List[int]]) -> None:
+        """Replace the WRR drain weights mid-run (``None`` = defaults).
+
+        Queued calls stay where they are; only the drain ratio changes.
+        The replacement mux starts a fresh credit cycle at sub-queue 0 —
+        a deterministic re-synchronization, identical on every run.
+        """
+        mux = WeightedRoundRobinMux(
+            weights if weights else default_weights(self.levels)
+        )
+        if len(mux.weights) != self.levels:
+            raise ValueError(
+                f"{self.levels} levels need {self.levels} weights, "
+                f"got {mux.weights}"
+            )
+        self.mux = mux
+
     def span_tags(self, scall) -> Dict[str, object]:
         return {"priority": scall.priority, "caller": scall.caller}
 
@@ -299,19 +324,17 @@ def build_call_queue(
         return FifoCallQueue(env, capacity)
     if impl != "fair":
         raise ValueError(f"unknown ipc.callqueue.impl {impl!r}")
+    raw_thresholds = conf.get_floats("decay-scheduler.thresholds")
     scheduler = DecayRpcScheduler(
         env,
         levels=conf.get_int("scheduler.priority.levels"),
         period_us=conf.get_float("decay-scheduler.period"),
         decay_factor=conf.get_float("decay-scheduler.decay-factor"),
+        thresholds=raw_thresholds or None,
         registry=registry,
         server_name=server_name,
     )
-    raw_weights = conf.get("ipc.callqueue.fair.weights", "")
-    weights = (
-        [int(part) for part in str(raw_weights).split(",") if part.strip()]
-        if raw_weights else None
-    )
+    weights = parse_weights(conf)
     return FairCallQueue(
         env,
         capacity,

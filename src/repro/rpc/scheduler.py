@@ -94,20 +94,10 @@ class DecayRpcScheduler(RpcScheduler):
         self.levels = int(levels)
         self.period_us = float(period_us)
         self.decay_factor = float(decay_factor)
-        self.thresholds = (
+        self.thresholds = self._validated_thresholds(
             list(thresholds) if thresholds is not None
             else default_thresholds(self.levels)
         )
-        if len(self.thresholds) != self.levels - 1:
-            raise ValueError(
-                f"{self.levels} levels need {self.levels - 1} thresholds, "
-                f"got {len(self.thresholds)}"
-            )
-        if any(
-            a >= b for a, b in zip(self.thresholds, self.thresholds[1:])
-        ) or any(not 0.0 < t <= 1.0 for t in self.thresholds):
-            raise ValueError(f"thresholds must be increasing in (0, 1]: "
-                             f"{self.thresholds}")
         self.server_name = server_name
         #: decayed per-caller call counts and their sum.
         self.counts: Dict[str, float] = {}
@@ -120,6 +110,39 @@ class DecayRpcScheduler(RpcScheduler):
         self._decay_proc = env.process(
             self._decay_loop(), name=f"decay-scheduler:{server_name}"
         )
+
+    def _validated_thresholds(self, thresholds: List[float]) -> List[float]:
+        if len(thresholds) != self.levels - 1:
+            raise ValueError(
+                f"{self.levels} levels need {self.levels - 1} thresholds, "
+                f"got {len(thresholds)}"
+            )
+        if any(
+            a >= b for a, b in zip(thresholds, thresholds[1:])
+        ) or any(not 0.0 < t <= 1.0 for t in thresholds):
+            raise ValueError(f"thresholds must be increasing in (0, 1]: "
+                             f"{thresholds}")
+        return thresholds
+
+    # -- hot reload ---------------------------------------------------------
+    def set_thresholds(self, thresholds: Optional[List[float]]) -> None:
+        """Replace the usage-share ladder mid-run (``None`` = defaults).
+
+        Takes effect for the *next* priority decision; existing decayed
+        counts are kept, so an abusive tenant's history immediately maps
+        through the new ladder.  Priority gauges refresh synchronously
+        so the live time-series shows the reclassification at the exact
+        reload instant rather than at the caller's next charge.
+        """
+        self.thresholds = self._validated_thresholds(
+            list(thresholds) if thresholds is not None
+            else default_thresholds(self.levels)
+        )
+        if self._registry is not None:
+            for caller in self.counts:
+                gauge = self._priority_gauges.get(caller)
+                if gauge is not None:
+                    gauge.set(self.priority_of(caller))
 
     # -- priority assignment ----------------------------------------------
     def priority_of(self, caller: str) -> int:

@@ -168,6 +168,15 @@ class Server:
             self.env, self.conf, queue_size,
             registry=reg, server_name=self.name, fabric_label=engine_label,
         )
+        # QoS hot reload: writes to the live Configuration (e.g. via a
+        # scheduled ConfigWatcher) re-tune the fair queue's WRR weights
+        # and the decay scheduler's threshold ladder mid-run.  The
+        # subscription itself schedules nothing and registers no
+        # instruments, so the default path stays bit-identical; the
+        # reconfiguration counter appears lazily on first reload.
+        self._engine_label = engine_label
+        self._qos_reconfig_counter = None
+        self._qos_listener = self.conf.subscribe(self._on_conf_change)
 
         # RPCoIB state (live regardless of the flag so that mixed
         # clusters — e.g. RPC(IPoIB) clients against an IB-capable
@@ -220,8 +229,47 @@ class Server:
 
     def stop(self) -> None:
         self.running = False
+        self.conf.unsubscribe(self._qos_listener)
         self.call_queue.stop()
         self.listener_socket.close()
+
+    # -- QoS hot reload -----------------------------------------------------
+    #: Configuration keys whose mutation re-tunes the live call queue.
+    QOS_KEYS = frozenset(
+        ("ipc.callqueue.fair.weights", "decay-scheduler.thresholds")
+    )
+
+    def _on_conf_change(self, conf, changed) -> None:
+        if self.running and not self.QOS_KEYS.isdisjoint(changed):
+            self.reconfigure_qos()
+
+    def reconfigure_qos(self) -> None:
+        """Re-read QoS tunables from ``self.conf`` into the live queue.
+
+        Applies both the WRR weights and the threshold ladder (the read
+        is idempotent, so reapplying an unchanged key is harmless).  A
+        FIFO queue has neither — the reload is a silent no-op there,
+        matching Hadoop where ``-refreshCallQueue`` properties only bite
+        on the FairCallQueue.
+        """
+        from repro.rpc.callqueue import parse_weights
+
+        queue = self.call_queue
+        set_weights = getattr(queue, "set_weights", None)
+        if set_weights is None:
+            return
+        set_weights(parse_weights(self.conf))
+        scheduler = queue.scheduler
+        if scheduler is not None and hasattr(scheduler, "set_thresholds"):
+            scheduler.set_thresholds(
+                self.conf.get_floats("decay-scheduler.thresholds") or None
+            )
+        if self._qos_reconfig_counter is None:
+            self._qos_reconfig_counter = self.fabric.metrics.counter(
+                "rpc.server.qos_reconfigured",
+                server=self.name, fabric=self._engine_label,
+            )
+        self._qos_reconfig_counter.add()
 
     # -- RPCoIB bootstrap ---------------------------------------------------
     def accept_ib(self, client_endpoint: Endpoint, protocol_name: str) -> QueuePair:

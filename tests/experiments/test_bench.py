@@ -74,3 +74,19 @@ def test_check_small_baselines_get_absolute_slack():
 def test_unknown_benchmark_is_rejected(capsys):
     with pytest.raises(SystemExit):
         bench.main(["nope"])
+
+
+def test_every_harness_has_a_committed_baseline():
+    """The bench gate only bites for harnesses with a baseline on disk —
+    adding a harness without committing BENCH_<name>.json would silently
+    exempt it from CI."""
+    from pathlib import Path
+
+    baseline_dir = Path(__file__).parents[2] / "benchmarks" / "baseline"
+    assert set(bench.HARNESSES) == {"fig5", "fig1", "table1", "qos"}
+    for name in bench.HARNESSES:
+        path = baseline_dir / f"BENCH_{name}.json"
+        assert path.is_file(), f"missing committed baseline {path}"
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["benchmark"] == name
+        assert doc["headline"], f"{name} baseline has no headline metrics"

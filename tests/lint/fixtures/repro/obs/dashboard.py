@@ -1,0 +1,12 @@
+"""Fixture: the dashboard module path is NOT wall-clock allowlisted.
+
+Named ``repro/obs/dashboard.py`` on purpose: the renderer is pure
+post-processing of a run bundle, so SIM001 must apply to it — a
+"generated at <now>" stamp would make dashboards non-reproducible.
+"""
+
+from datetime import datetime
+
+
+def generated_at():
+    return datetime.now().isoformat()

@@ -1,0 +1,12 @@
+"""Fixture: the snapshotter module path is NOT wall-clock allowlisted.
+
+Named ``repro/obs/snapshot.py`` on purpose: the path suffix matches the
+real live-observability sampler, so this file proves SIM001 fires there
+(sampling must ride the simulated clock, never the host's).
+"""
+
+import time
+
+
+def sample_timestamp():
+    return time.monotonic()

@@ -73,6 +73,30 @@ def test_sim001_ignores_unrelated_time_attr():
     assert lint_source(src, "mod.py") == []
 
 
+def test_sim001_covers_the_obs_snapshot_and_dashboard_modules():
+    """The live-observability modules are in SIM001 scope, not
+    allowlisted like the runner/bench harnesses: the fixtures share the
+    real modules' path suffixes and must still fire."""
+    findings = lint_file(FIXTURES / "repro" / "obs" / "snapshot.py")
+    assert rules_of(findings) == ["SIM001"]
+    assert "time.monotonic" in findings[0].message
+    findings = lint_file(FIXTURES / "repro" / "obs" / "dashboard.py")
+    assert rules_of(findings) == ["SIM001"]
+    assert "datetime.datetime.now" in findings[0].message
+    # and with the exact in-tree paths, wall-clock reads still fire
+    src = "import time\n\ndef f():\n    return time.time()\n"
+    for module in ("snapshot", "dashboard"):
+        path = f"/x/src/repro/obs/{module}.py"
+        assert rules_of(lint_source(src, path, in_src=True)) == ["SIM001"]
+
+
+def test_sim001_real_obs_modules_are_clean():
+    src_root = Path(__file__).parents[2] / "src"
+    for module in ("snapshot", "dashboard"):
+        path = src_root / "repro" / "obs" / f"{module}.py"
+        assert lint_file(path, in_src=True) == [], f"{path} has findings"
+
+
 # -- SIM002 variants -------------------------------------------------------
 
 

@@ -1,0 +1,176 @@
+"""Dashboard renderer: bundle loading, series shaping, text + HTML output.
+
+The fixture builds a real ``--run-dir`` bundle through ``obs_session``
+-> ``write_run_dir`` (the exact path the CLI uses) with the headline
+instruments the dashboard charts: per-priority queue-depth gauges,
+fallback/backoff counters, a latency tally.
+"""
+
+import json
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.obs import dashboard
+from repro.obs.runtime import obs_session
+from repro.simcore import Environment
+
+
+@pytest.fixture()
+def run_dir(tmp_path):
+    with obs_session(
+        trace=False, label="unit", snapshot_interval_us=1000.0
+    ) as session:
+        env = Environment()
+        fabric = Fabric(env)
+        reg = fabric.metrics
+        depth = {
+            p: reg.gauge("rpc.server.fair_queue_depth", server="s", priority=p)
+            for p in range(4)
+        }
+        latency = reg.tally("rpc.client.latency_us", protocol="P")
+        reg.tally("rpc.server.never_observed")  # empty: nan -> null path
+
+        def load(env):
+            for i in range(1, 11):
+                yield env.timeout(700.0)
+                reg.counter("rpc.server.calls_handled", server="s").add()
+                reg.counter("rpc.ib.fallbacks", fabric="ib").add(i % 2)
+                reg.counter("rpc.server.calls_backoff", server="s").add()
+                depth[i % 4].set(i)
+                latency.observe(100.0 * i)
+
+        env.process(load(env), name="load")
+        env.run()
+        out = tmp_path / "bundle"
+        meta = session.write_run_dir(str(out))
+    assert meta["snapshot_rows"] > 0
+    return str(out)
+
+
+def test_load_run_dir_reads_the_full_bundle(run_dir):
+    bundle = dashboard.load_run_dir(run_dir)
+    assert bundle["meta"]["schema"] == "repro.obs.run/1"
+    assert bundle["meta"]["label"] == "unit"
+    assert len(bundle["metrics"]["runs"]) == 1
+    assert bundle["header"]["schema"] == "repro.obs.snapshot/1"
+    assert bundle["rows"] and bundle["rows"][0]["run"] == "run1"
+
+
+def test_load_run_dir_rejects_non_bundle(tmp_path):
+    with pytest.raises(FileNotFoundError, match="meta.json"):
+        dashboard.load_run_dir(str(tmp_path))
+
+
+def test_series_extraction_per_instrument_kind(run_dir):
+    bundle = dashboard.load_run_dir(run_dir)
+    series = dashboard.run_series(bundle["rows"], "run1")
+    handled = series["rpc.server.calls_handled{server=s}"]
+    assert [v for _, v in handled][-1] == 10
+    assert all(t % 1000.0 == 0.0 for t, _ in handled)
+    # tallies plot their p99; the never-observed tally yields no points
+    assert "rpc.client.latency_us{protocol=P}" in series
+    assert "rpc.server.never_observed" not in series
+
+
+def test_chart_series_labels_priorities_and_merges_by_name(run_dir):
+    bundle = dashboard.load_run_dir(run_dir)
+    series = dashboard.run_series(bundle["rows"], "run1")
+    kept, dropped = dashboard.chart_series(
+        series, "rpc.server.fair_queue_depth", "priority"
+    )
+    assert [label for label, _ in kept] == [
+        "priority 0", "priority 1", "priority 2", "priority 3",
+    ]
+    assert dropped == 0
+    kept, dropped = dashboard.chart_series(
+        series,
+        ("rpc.ib.fallbacks", "rpc.server.calls_backoff"),
+        "name",
+    )
+    assert [label for label, _ in kept] == ["calls_backoff", "fallbacks"]
+
+
+def test_chart_series_folds_beyond_the_fixed_slots():
+    series = {
+        f"m{{k={i}}}": [(1000.0, float(i))] for i in range(7)
+    }
+    kept, dropped = dashboard.chart_series(series, "m", "key")
+    assert len(kept) == dashboard.MAX_SERIES
+    assert dropped == 3
+    # largest-final-value series survive, in deterministic label order
+    assert [label for label, _ in kept] == [
+        "m{k=3}", "m{k=4}", "m{k=5}", "m{k=6}",
+    ]
+
+
+def test_render_text_summarizes_headlines(run_dir):
+    bundle = dashboard.load_run_dir(run_dir)
+    text = dashboard.render_text(bundle, run_dir)
+    assert "run bundle: unit" in text
+    assert "calls handled" in text and "10" in text
+    assert "IB fallbacks" in text
+    assert "rpc.client.latency_us{protocol=P}" in text and "p99" in text
+
+
+def test_render_html_is_self_contained_and_strict_json_safe(run_dir):
+    bundle = dashboard.load_run_dir(run_dir)
+    doc = dashboard.render_html(bundle, run_dir)
+    # palette custom properties, light + both dark scopes
+    assert "--viz-cat-1: #2a78d6" in doc
+    assert '@media (prefers-color-scheme: dark)' in doc
+    assert ':root[data-theme="dark"] .viz-root' in doc
+    # per-priority chart with a legend (>= 2 series)
+    assert "Per-priority queue depth" in doc
+    assert 'class="legend"' in doc and "priority 3" in doc
+    # 2px line marks, stat tiles, hover titles, table view
+    assert 'stroke-width="2"' in doc
+    assert 'class="tile"' in doc
+    assert "<title>" in doc
+    assert "Data table (final snapshot)" in doc
+    # self-contained: no scripts, no external fetches, no bare NaN
+    assert "<script" not in doc
+    assert "http://" not in doc and "https://" not in doc
+    assert "NaN" not in doc
+
+
+def test_render_html_is_deterministic(run_dir):
+    bundle = dashboard.load_run_dir(run_dir)
+    assert dashboard.render_html(bundle, run_dir) == dashboard.render_html(
+        dashboard.load_run_dir(run_dir), run_dir
+    )
+
+
+def test_main_writes_html_and_prints_summary(run_dir, tmp_path, capsys):
+    out = tmp_path / "dash.html"
+    assert dashboard.main([run_dir, "--html", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "run bundle: unit" in captured
+    assert str(out) in captured
+    assert out.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+
+def test_main_no_html_skips_the_file(run_dir, tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert dashboard.main([run_dir, "--no-html"]) == 0
+    assert "dashboard:" not in capsys.readouterr().out
+    assert not (tmp_path / "dashboard.html").exists()
+
+
+def test_main_rejects_a_non_bundle_dir(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        dashboard.main([str(tmp_path)])
+    assert "meta.json" in capsys.readouterr().err
+
+
+def test_cli_runs_as_module(run_dir, tmp_path):
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs.dashboard", run_dir,
+         "--html", str(tmp_path / "d.html")],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "dashboard:" in proc.stdout

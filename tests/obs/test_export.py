@@ -111,6 +111,50 @@ def test_instant_events_exported():
     assert instant["args"] == {"capacity": 256}
 
 
+def test_qos_trace_carries_caller_identity_tags(tmp_path):
+    """End-to-end: the qos experiment under tracing exports queue spans
+    tagged with the FairCallQueue's caller identity + priority, while
+    the FIFO variant's queue spans stay untagged (default path)."""
+    from repro.experiments import qos
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.runtime import obs_session
+
+    with obs_session(trace=True, label="qos") as session:
+        result = qos.run()
+    assert result["victim_p99_ratio"] < 1.0  # the run itself behaved
+    assert len(session.tracers) == 2  # fifo run, fair run
+
+    path = tmp_path / "qos.trace.json"
+    count = write_chrome_trace(str(path), session.tracers, label="qos")
+    assert count > 0
+
+    def reject(const):  # pragma: no cover - only on regression
+        raise AssertionError(f"non-finite literal {const!r} in trace")
+
+    doc = json.loads(path.read_text(encoding="utf-8"), parse_constant=reject)
+    queue_spans = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "X" and e["name"] == "rpc.server.queue"
+    ]
+    assert queue_spans
+    tagged = [e for e in queue_spans if "caller" in e["args"]]
+    untagged = [e for e in queue_spans if "caller" not in e["args"]]
+    assert tagged and untagged, "expected both fair (tagged) and fifo spans"
+    tenants = {f"t{i}" for i in range(qos.NUM_TENANTS)}
+    callers = {e["args"]["caller"] for e in tagged}
+    assert callers <= tenants and qos.HOSTILE in callers
+    priorities = {e["args"]["priority"] for e in tagged}
+    assert priorities <= set(range(4))
+    # the decay scheduler demoted the abusive tenant off priority 0
+    hostile_priorities = {
+        e["args"]["priority"] for e in tagged
+        if e["args"]["caller"] == qos.HOSTILE
+    }
+    assert max(hostile_priorities) > 0
+    # untagged queue spans never leak a priority either
+    assert all("priority" not in e["args"] for e in untagged)
+
+
 if __name__ == "__main__":  # regenerate the golden file
     with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
         json.dump(build_reference_trace(), fh, indent=2, sort_keys=True)

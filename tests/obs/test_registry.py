@@ -100,9 +100,17 @@ def test_snapshot_shapes():
 
 def test_to_json_is_strict_json_even_with_empty_tallies():
     reg = MetricsRegistry()
-    reg.tally("empty")  # would render nan stats if unguarded
+    reg.tally("empty")  # nan stats must serialize as null, not bare NaN
     reg.counter("ok").add(1)
     text = reg.to_json()
     parsed = json.loads(text)  # strict: would reject a bare NaN token
-    assert parsed["empty"] == {"type": "tally", "count": 0}
+    assert parsed["empty"] == {
+        "type": "tally",
+        "count": 0,
+        "mean": None,
+        "min": None,
+        "max": None,
+        "p50": None,
+        "p99": None,
+    }
     assert parsed["ok"]["value"] == 1

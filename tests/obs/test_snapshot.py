@@ -1,0 +1,139 @@
+"""Snapshotter: aligned sim-clock sampling, termination, non-perturbation."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.snapshot import Snapshotter, read_snapshots, write_snapshots
+from repro.obs.runtime import obs_session
+from repro.simcore import Environment
+
+
+def _workload(env, counter, tally, until=42000.0, step=1000.0):
+    t = 0.0
+    while t + step <= until:
+        yield env.timeout(step)
+        t += step
+        counter.add()
+        tally.observe(t / 10.0)
+
+
+def test_samples_land_on_exact_interval_multiples():
+    env = Environment()
+    reg = MetricsRegistry(env)
+    c = reg.counter("ticks")
+    t = reg.tally("lat_us")
+    snap = Snapshotter(env, reg, interval_us=5000.0)
+    env.process(_workload(env, c, t), name="load")
+    env.run()
+    times = [row["t_us"] for row in snap.samples]
+    assert times, "no samples collected"
+    assert all(tm % 5000.0 == 0.0 for tm in times)
+    assert times == sorted(times)
+    # Workload runs to 42ms; the final tick (45ms) captures the end
+    # state, then the snapshotter stands down instead of re-arming.
+    assert times[-1] == 45000.0
+    assert snap.samples[-1]["metrics"]["ticks"]["value"] == 42
+
+
+def test_snapshotter_terminates_run_to_exhaustion():
+    """An always-re-arming sampler would make env.run() spin forever;
+    the drained-queue check stops it."""
+    env = Environment()
+    reg = MetricsRegistry(env)
+    Snapshotter(env, reg, interval_us=1000.0)
+    env.process(_workload(env, reg.counter("c"), reg.tally("t"), until=3000.0))
+    env.run()  # must return
+    assert env.peek() == float("inf")
+
+
+def test_alignment_is_independent_of_attach_time():
+    env = Environment(initial_time=1234.5)
+    reg = MetricsRegistry(env)
+    snap = Snapshotter(env, reg, interval_us=1000.0)
+    env.process(_workload(env, reg.counter("c"), reg.tally("t"), until=4000.0))
+    env.run()
+    assert [row["t_us"] for row in snap.samples][0] == 2000.0
+
+
+def test_interval_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Snapshotter(env, MetricsRegistry(env), interval_us=0.0)
+
+
+def test_sampling_does_not_perturb_measured_results():
+    """Same workload with and without a snapshotter: identical stats."""
+
+    def run_once(with_snapshot):
+        env = Environment()
+        reg = MetricsRegistry(env)
+        c = reg.counter("ticks")
+        t = reg.tally("lat_us")
+        if with_snapshot:
+            Snapshotter(env, reg, interval_us=3000.0)
+        env.process(_workload(env, c, t))
+        env.run()
+        return reg.snapshot(), env.now
+
+    base, _ = run_once(False)
+    sampled, _ = run_once(True)
+    assert base == sampled
+
+
+def test_jsonl_roundtrip_and_nan_scrub(tmp_path):
+    env = Environment()
+    reg = MetricsRegistry(env)
+    reg.tally("never_observed")  # stays empty: nan stats -> null
+    snap = Snapshotter(env, reg, interval_us=1000.0, run="run1")
+    env.process(_workload(env, reg.counter("c"), reg.tally("t"), until=2000.0))
+    env.run()
+    path = tmp_path / "snapshots.jsonl"
+    rows = write_snapshots(str(path), [snap], label="unit")
+    assert rows == len(snap.samples) > 0
+
+    # Strict parse: a bare NaN literal anywhere would raise here.
+    def reject(const):  # pragma: no cover - only on regression
+        raise AssertionError(f"non-finite literal {const!r} in output")
+
+    for line in path.read_text(encoding="utf-8").splitlines():
+        json.loads(line, parse_constant=reject)
+
+    header, parsed = read_snapshots(str(path))
+    assert header["schema"] == "repro.obs.snapshot/1"
+    assert header["runs"][0]["run"] == "run1"
+    assert len(parsed) == rows
+    assert parsed[0]["metrics"]["never_observed"]["p99"] is None
+
+
+def test_obs_session_attaches_snapshotters_per_fabric():
+    from repro.net.fabric import Fabric
+
+    with obs_session(trace=False, snapshot_interval_us=2000.0) as session:
+        env = Environment()
+        fabric = Fabric(env)
+        assert len(session.snapshotters) == 1
+        assert session.snapshotters[0].registry is fabric.metrics
+
+        def tick(env):
+            fabric.metrics.counter("beat").add()
+            yield env.timeout(5000.0)
+            fabric.metrics.counter("beat").add()
+
+        env.process(tick(env), name="beat")
+        env.run()
+    assert session.snapshot_rows() >= 2
+    last = session.snapshotters[0].samples[-1]
+    assert last["metrics"]["beat"]["value"] == 2
+
+
+def test_obs_session_without_interval_schedules_nothing():
+    from repro.net.fabric import Fabric
+
+    with obs_session(trace=False) as session:
+        env = Environment()
+        Fabric(env)
+        assert session.snapshotters == []
+        assert env.peek() == float("inf")  # zero events scheduled

@@ -1,0 +1,227 @@
+"""QoS hot reload: config subscribe/notify, ConfigWatcher, live re-tune.
+
+The plane has three layers, each pinned separately before the operator
+experiment exercises them end-to-end:
+
+* ``Configuration.subscribe`` — synchronous listener dispatch on every
+  mutation, with the changed-key tuple;
+* ``ReloadPlan``/``ConfigWatcher`` — scheduled updates applied at exact
+  simulated instants;
+* ``FairCallQueue.set_weights`` / ``DecayRpcScheduler.set_thresholds``
+  / ``Server.reconfigure_qos`` — the live re-tune paths those updates
+  trigger.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import Configuration, ConfigWatcher, ReloadPlan, ScheduledUpdate
+from repro.obs.registry import MetricsRegistry
+from repro.rpc.callqueue import FairCallQueue, build_call_queue, parse_weights
+from repro.rpc.scheduler import DecayRpcScheduler
+from repro.simcore import Environment
+
+
+def socket_conn(name):
+    return SimpleNamespace(sock=SimpleNamespace(remote=SimpleNamespace(name=name)))
+
+
+def call_from(name):
+    return SimpleNamespace(conn=socket_conn(name), caller="", priority=0)
+
+
+# ------------------------------------------------------- subscribe / notify
+def test_subscribe_sees_every_mutation_with_changed_keys():
+    conf = Configuration()
+    seen = []
+    conf.subscribe(lambda c, changed: seen.append(tuple(sorted(changed))))
+    conf.set("a", 1)
+    conf["b"] = 2
+    conf.update({"c": 3, "d": 4})
+    assert seen == [("a",), ("b",), ("c", "d")]
+
+
+def test_unsubscribe_stops_delivery_and_tolerates_unknown():
+    conf = Configuration()
+    seen = []
+    listener = conf.subscribe(lambda c, changed: seen.append(changed))
+    conf.set("a", 1)
+    conf.unsubscribe(listener)
+    conf.unsubscribe(listener)  # second removal is a no-op
+    conf.set("b", 2)
+    assert seen == [("a",)]
+
+
+def test_copy_does_not_carry_listeners():
+    conf = Configuration()
+    seen = []
+    conf.subscribe(lambda c, changed: seen.append(changed))
+    clone = conf.copy()
+    clone.set("a", 1)
+    assert seen == []
+
+
+# ------------------------------------------------------------ ConfigWatcher
+def test_watcher_applies_updates_at_exact_sim_times():
+    env = Environment()
+    conf = Configuration()
+    stamps = []
+    conf.subscribe(lambda c, changed: stamps.append((env.now, tuple(changed))))
+    watcher = ConfigWatcher(
+        env,
+        conf,
+        [
+            ScheduledUpdate(at_us=5000.0, values={"x": 2}),
+            ScheduledUpdate(at_us=1000.0, values={"y": 1}),
+        ],
+    )
+    env.run()
+    assert stamps == [(1000.0, ("y",)), (5000.0, ("x",))]
+    assert conf["x"] == 2 and conf["y"] == 1
+    assert watcher.applied == [
+        {"t_us": 1000.0, "keys": ["y"]},
+        {"t_us": 5000.0, "keys": ["x"]},
+    ]
+
+
+def test_reload_plan_roundtrip_and_watch():
+    doc = {
+        "updates": [
+            {"at_us": 250.0, "set": {"ipc.callqueue.fair.weights": "8,4,2,1"}}
+        ]
+    }
+    plan = ReloadPlan.from_dict(doc)
+    assert plan.to_dict() == doc
+    env = Environment()
+    conf = Configuration()
+    plan.watch(env, conf)
+    env.run()
+    assert conf["ipc.callqueue.fair.weights"] == "8,4,2,1"
+
+
+def test_reload_plan_rejects_empty_or_negative_updates():
+    with pytest.raises(ValueError, match="sets nothing"):
+        ReloadPlan.from_dict({"updates": [{"at_us": 1.0, "set": {}}]})
+    with pytest.raises(ValueError, match=">= 0"):
+        ReloadPlan.from_dict({"updates": [{"at_us": -1.0, "set": {"a": 1}}]})
+
+
+# ------------------------------------------------------------- live re-tune
+def test_set_weights_changes_drain_ratio_mid_run():
+    env = Environment()
+    sched = DecayRpcScheduler(env, levels=2, period_us=1e9)
+    queue = FairCallQueue(env, 8, sched, weights=[1, 1])
+    queue.set_weights([3, 1])
+    assert queue.mux.weights == [3, 1]
+    queue.set_weights(None)  # back to Hadoop defaults
+    assert queue.mux.weights == [2, 1]
+
+
+def test_set_weights_validates_arity():
+    env = Environment()
+    sched = DecayRpcScheduler(env, levels=4, period_us=1e9)
+    queue = FairCallQueue(env, 16, sched)
+    with pytest.raises(ValueError, match="4 levels"):
+        queue.set_weights([1, 2])
+
+
+def test_set_thresholds_reclassifies_existing_counts():
+    env = Environment()
+    reg = MetricsRegistry(env)
+    sched = DecayRpcScheduler(
+        env, levels=4, period_us=1e9, registry=reg, server_name="s"
+    )
+    for _ in range(98):
+        sched.charge("hog")
+    sched.charge("meek")
+    sched.charge("meek")
+    # Lenient ladder: even a 98% share stays at priority 0.
+    sched.set_thresholds([0.985, 0.99, 0.995])
+    assert sched.priority_of("hog") == 0
+    # Hadoop's default ladder demotes it instantly — and the priority
+    # gauge reflects the reload without waiting for the next charge.
+    sched.set_thresholds(None)
+    assert sched.priority_of("hog") == 3
+    gauge = reg.find("rpc.scheduler.caller_priority")[
+        "rpc.scheduler.caller_priority{caller=hog,server=s}"
+    ]
+    assert gauge.value == 3
+
+
+def test_set_thresholds_validates_ladder():
+    env = Environment()
+    sched = DecayRpcScheduler(env, levels=4, period_us=1e9)
+    with pytest.raises(ValueError, match="increasing"):
+        sched.set_thresholds([0.5, 0.25, 0.125])
+
+
+def test_build_call_queue_reads_threshold_ladder_from_conf():
+    env = Environment()
+    conf = Configuration(
+        {
+            "ipc.callqueue.impl": "fair",
+            "decay-scheduler.thresholds": "0.01,0.02,0.04",
+        }
+    )
+    queue = build_call_queue(env, conf, 16)
+    assert queue.scheduler.thresholds == [0.01, 0.02, 0.04]
+
+
+def test_parse_weights_reads_conf_or_none():
+    assert parse_weights(Configuration()) is None
+    assert parse_weights(
+        Configuration({"ipc.callqueue.fair.weights": "4, 2 ,1"})
+    ) == [4, 2, 1]
+
+
+# ---------------------------------------------------- server reconfigure_qos
+def _make_server(conf):
+    from repro.calibration import IPOIB_QDR
+    from repro.net.fabric import Fabric
+    from repro.rpc.protocol import RpcProtocol
+    from repro.rpc.server import Server
+
+    env = Environment()
+    fabric = Fabric(env)
+    node = fabric.add_node("server")
+
+    class Proto(RpcProtocol):
+        pass
+
+    server = Server(fabric, node, 9000, object(), Proto, IPOIB_QDR, conf=conf)
+    return env, fabric, server
+
+
+def test_server_applies_qos_keys_written_to_live_conf():
+    conf = Configuration({"ipc.callqueue.impl": "fair"})
+    env, fabric, server = _make_server(conf)
+    assert server.call_queue.mux.weights == [8, 4, 2, 1]
+    conf.update(
+        {
+            "ipc.callqueue.fair.weights": "1,1,1,1",
+            "decay-scheduler.thresholds": "0.97,0.98,0.99",
+        }
+    )
+    assert server.call_queue.mux.weights == [1, 1, 1, 1]
+    assert server.call_queue.scheduler.thresholds == [0.97, 0.98, 0.99]
+    counter = fabric.metrics.find("rpc.server.qos_reconfigured")
+    assert list(counter.values())[0].value == 1
+
+
+def test_server_ignores_non_qos_keys_and_fifo_is_noop():
+    conf = Configuration()  # fifo default
+    env, fabric, server = _make_server(conf)
+    conf.set("io.server.buffer.initial.size", 2048)  # not a QoS key
+    conf.set("ipc.callqueue.fair.weights", "1,1,1,1")  # QoS key, FIFO queue
+    # No reconfig counter ever appears: FIFO has nothing to re-tune and
+    # the lazily-registered counter must not disturb default metrics.
+    assert fabric.metrics.find("rpc.server.qos_reconfigured") == {}
+
+
+def test_server_stop_unsubscribes():
+    conf = Configuration({"ipc.callqueue.impl": "fair"})
+    env, fabric, server = _make_server(conf)
+    server.stop()
+    conf.set("ipc.callqueue.fair.weights", "1,1,1,1")
+    assert server.call_queue.mux.weights == [8, 4, 2, 1]
