@@ -37,6 +37,12 @@ rejection of past-scheduled events, a buffer-leak ledger on every
 native pool, and stalled-process detection.  The report goes to stderr
 (stdout stays bit-identical to an unsanitized run) and a dirty report
 turns into exit status 1.
+
+``--track-races`` (implies ``--sanitize``) additionally arms the
+happens-before race tracker: same-timestamp accesses to opted-in shared
+objects (the fair queue's WRR mux, the decay scheduler) are recorded
+per event step, and accesses from two or more steps at one timestamp
+with a write among them are reported as confirmed SIM009 races.
 """
 
 from __future__ import annotations
@@ -119,6 +125,14 @@ def main(argv=None) -> int:
         help="arm the runtime sim-sanitizer (leak/monotonicity checks); "
         "report goes to stderr, dirty reports exit 1",
     )
+    parser.add_argument(
+        "--track-races",
+        action="store_true",
+        help="also arm the happens-before race tracker (implies "
+        "--sanitize): record same-timestamp accesses to opted-in shared "
+        "state (fair-queue mux, decay scheduler) and report confirmed "
+        "SIM009 races as sanitizer RACE lines",
+    )
     args = parser.parse_args(argv)
     names = (
         sorted(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -156,8 +170,10 @@ def main(argv=None) -> int:
         )
         obs_runtime.install(session)
     sanitizer_session = None
-    if args.sanitize:
-        sanitizer_session = sim_sanitizer.SimSanitizer(label="+".join(names))
+    if args.sanitize or args.track_races:
+        sanitizer_session = sim_sanitizer.SimSanitizer(
+            label="+".join(names), track_races=args.track_races
+        )
         sim_sanitizer.install(sanitizer_session)
     fault_session = None
     if fault_plan is not None:

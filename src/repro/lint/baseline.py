@@ -61,3 +61,23 @@ def split(
         else:
             new.append(finding)
     return new, old
+
+
+def stale_entries(
+    findings: List[Finding], baseline: Counter
+) -> List[Tuple[Tuple[str, str, str], int]]:
+    """Baseline entries no longer matched by any finding.
+
+    Returns ``(key, unmatched_count)`` pairs, sorted.  A stale entry
+    means the grandfathered problem was fixed (or its message changed):
+    the ratchet (``--check``) fails so the entry gets pruned instead of
+    rotting — and silently re-absorbing a *regression* later.
+    """
+    remaining = Counter(baseline)
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+    return sorted(
+        (key, count) for key, count in remaining.items() if count > 0
+    )

@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from collections import Counter
 from pathlib import Path
 from typing import List, Optional
@@ -19,7 +20,9 @@ DEFAULT_BASELINE = "lint-baseline.json"
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
-        description="Simulation-safety static analysis (rules SIM001-SIM006).",
+        description="Simulation-safety static analysis: per-file rules "
+        "SIM001-SIM008 plus the whole-program pass (call graph + dataflow) "
+        "for SIM009-SIM011.",
     )
     parser.add_argument(
         "paths",
@@ -49,6 +52,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--write-baseline",
         action="store_true",
         help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="prune baseline entries that no longer match any finding "
+        "(keeps matched entries; never adds new findings) and exit 0",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="ratchet mode: also fail when a baseline entry no longer "
+        "matches any finding (stale entry — run --update-baseline)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        metavar="S",
+        default=None,
+        help="fail if the lint pass itself takes longer than S wall-clock "
+        "seconds (CI budget for the whole-program pass)",
     )
     parser.add_argument(
         "--rule",
@@ -82,6 +105,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         unknown = sorted(set(r.upper() for r in args.rules) - set(RULES))
         if unknown:
             parser.error(f"unknown rule(s): {', '.join(unknown)}")
+    started = time.monotonic()
     try:
         files = engine.iter_python_files(args.paths, excluded_dirs=excluded)
         findings = engine.lint_paths(
@@ -91,6 +115,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     except FileNotFoundError as exc:
         parser.error(str(exc))
+    elapsed = time.monotonic() - started
 
     if args.write_baseline:
         count = baseline_mod.write(args.baseline, findings)
@@ -98,12 +123,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     grandfathered: List = []
+    stale: List = []
     if not args.no_baseline and Path(args.baseline).is_file():
-        new, grandfathered = baseline_mod.split(
-            findings, baseline_mod.load(args.baseline)
-        )
+        recorded = baseline_mod.load(args.baseline)
+        new, grandfathered = baseline_mod.split(findings, recorded)
+        stale = baseline_mod.stale_entries(findings, recorded)
     else:
         new = findings
+
+    if args.update_baseline:
+        count = baseline_mod.write(args.baseline, grandfathered)
+        print(
+            f"repro.lint: pruned {sum(c for _, c in stale)} stale entr"
+            f"{'y' if sum(c for _, c in stale) == 1 else 'ies'}, kept "
+            f"{count} in {args.baseline}"
+        )
+        return 0
+
+    over_budget = args.max_seconds is not None and elapsed > args.max_seconds
+    stale_failure = args.check and stale
 
     if args.format == "json":
         print(
@@ -112,6 +150,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "files": len(files),
                     "findings": [f.to_json() for f in new],
                     "grandfathered": len(grandfathered),
+                    "stale_baseline_entries": [
+                        {"rule": rule, "path": path, "message": message,
+                         "count": count}
+                        for (rule, path, message), count in stale
+                    ],
+                    "elapsed_seconds": round(elapsed, 3),
                 },
                 indent=2,
             )
@@ -119,6 +163,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         for finding in new:
             print(finding.format())
+        if stale_failure:
+            for (rule, path, message), count in stale:
+                print(
+                    f"repro.lint: stale baseline entry ({count}x): "
+                    f"{rule} {path}: {message}"
+                )
+            print(
+                "repro.lint: baseline is stale — the grandfathered "
+                "finding(s) above were fixed; run --update-baseline to prune"
+            )
         summary = Counter(f.rule for f in new)
         if new:
             by_rule = ", ".join(f"{c} {r}" for r, c in sorted(summary.items()))
@@ -131,7 +185,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"repro.lint: clean — {len(files)} file(s), "
                 f"{len(grandfathered)} baselined finding(s)"
             )
-    return 1 if new else 0
+    if over_budget:
+        print(
+            f"repro.lint: wall-clock budget exceeded — {elapsed:.2f}s > "
+            f"--max-seconds {args.max_seconds:g}",
+            file=sys.stderr,
+        )
+    return 1 if (new or stale_failure or over_budget) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,6 +8,8 @@ from typing import Tuple
 #: rule code -> one-line summary (the authoritative rule list; the
 #: implementations live in :mod:`repro.lint.rules`).
 RULES = {
+    "SIM000": "file cannot be linted (syntax error) or malformed "
+              "sim-lint directive",
     "SIM001": "wall-clock read outside the experiments harness",
     "SIM002": "nondeterministic randomness (use repro.simcore.rng streams)",
     "SIM003": "buffer-pool acquisition without a release on every path",
@@ -16,6 +18,13 @@ RULES = {
     "SIM006": "cost charged with a literal instead of calibration constants",
     "SIM007": "fault injector or RPC scheduler drawing outside "
               "repro.simcore.rng named streams",
+    "SIM008": "bytes(...) copy on the zero-copy serialization path",
+    "SIM009": "same-timestamp shared-state hazard between process bodies "
+              "(whole-program)",
+    "SIM010": "reloadable conf key cached at init without "
+              "Configuration.subscribe (whole-program)",
+    "SIM011": "encoder/decoder wire sequences do not mirror "
+              "(whole-program)",
 }
 
 

@@ -1,24 +1,30 @@
-"""The six SIM rule families.
+"""The SIM rule families.
 
-Each rule is a function ``check(ctx) -> Iterator[Finding]`` over one
-parsed module.  Rules are syntactic (see :mod:`repro.lint.astutil`);
-they favour precision over recall so the linter can run clean on the
-whole tree without a wall of suppressions.
+Per-file rules are functions ``check(ctx) -> Iterator[Finding]`` over
+one parsed module.  Whole-program rules (SIM009-SIM011) are functions
+``check(pctx) -> Iterator[Finding]`` over a :class:`ProgramContext`
+holding every collected module plus the call graph.  All rules are
+syntactic (see :mod:`repro.lint.astutil`); they favour precision over
+recall so the linter can run clean on the whole tree without a wall of
+suppressions.
 
 Path scoping: some rules only make sense for simulation source —
 unit tests legitimately leak pool buffers (``tests/mem``) and assert
 exact clock values (``tests/simcore``).  Those rules consult
 ``ctx.in_src``, which is true for files under a ``src/`` directory (or
-forced via :func:`repro.lint.engine.lint_source`'s ``in_src``).
+forced via :func:`repro.lint.engine.lint_source`'s ``in_src``), and
+the declarative :data:`RULE_SCOPES` table, which is the one place
+where modules are enrolled in or exempted from path-scoped rules.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.lint import astutil
+from repro.lint import astutil, dataflow
+from repro.lint.callgraph import CallGraph, FunctionInfo, ModuleInfo, Program
 from repro.lint.findings import Finding
 
 
@@ -43,6 +49,100 @@ class LintContext:
         )
 
 
+@dataclass
+class ProgramContext:
+    """Everything a whole-program rule needs: symbols + call graph."""
+
+    program: Program
+    callgraph: CallGraph
+
+    def finding(self, module: ModuleInfo, node: ast.AST, rule: str,
+                message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+# --------------------------------------------------------------------------
+# Per-rule path scoping — the one place modules are enrolled
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RuleScope:
+    """Where one rule applies.
+
+    ``fragments``        — posix path must contain one (empty = everywhere);
+    ``exempt_fragments`` — posix paths containing one are skipped;
+    ``exempt_suffixes``  — posix paths ending in one are skipped;
+    ``src_only``         — rule only fires for files under ``src/``.
+    """
+
+    fragments: Tuple[str, ...] = ()
+    exempt_fragments: Tuple[str, ...] = ()
+    exempt_suffixes: Tuple[str, ...] = ()
+    src_only: bool = False
+
+
+RULE_SCOPES: Dict[str, RuleScope] = {
+    # The experiments harness reports how long a *run of the simulator*
+    # took, the bench plane exists to measure wall time, and the lint
+    # CLI enforces its own wall-clock budget (--max-seconds).
+    "SIM001": RuleScope(
+        exempt_suffixes=(
+            "repro/experiments/runner.py",
+            "repro/experiments/bench.py",
+            "repro/lint/cli.py",
+        ),
+    ),
+    # repro.simcore.rng is where the raw generators live.
+    "SIM002": RuleScope(exempt_suffixes=("repro/simcore/rng.py",)),
+    # Seeded-schedule planes: fault draws decide *which* failures
+    # happen, the decay scheduler's sweep jitter decides *when*
+    # priorities shift.
+    "SIM007": RuleScope(fragments=("repro/faults/", "repro/rpc/scheduler.py")),
+    # Zero-copy invariant holders: serialization + transport.
+    "SIM008": RuleScope(fragments=("repro/io/", "repro/net/"), src_only=True),
+    # Whole-program rule: hazards anywhere in simulation source *except*
+    # the DES core — repro/simcore implements the same-timestamp
+    # ordering itself (eid tie-break, event machinery, monitors), so
+    # its own structures are the arbiter, not a client of it.
+    "SIM009": RuleScope(src_only=True, exempt_fragments=("repro/simcore/",)),
+    "SIM010": RuleScope(src_only=True),
+    # Wire-format planes with Writable encoder/decoder pairs.
+    "SIM011": RuleScope(
+        fragments=(
+            "repro/io/",
+            "repro/rpc/",
+            "repro/net/",
+            "repro/hdfs/",
+            "repro/hbase/",
+            "repro/mapred/",
+        ),
+        src_only=True,
+    ),
+}
+
+
+def rule_applies(code: str, posix: str, in_src: bool) -> bool:
+    """Consult :data:`RULE_SCOPES`; rules without an entry apply everywhere."""
+    scope = RULE_SCOPES.get(code)
+    if scope is None:
+        return True
+    if scope.src_only and not in_src:
+        return False
+    if scope.exempt_suffixes and posix.endswith(scope.exempt_suffixes):
+        return False
+    if any(frag in posix for frag in scope.exempt_fragments):
+        return False
+    if scope.fragments and not any(frag in posix for frag in scope.fragments):
+        return False
+    return True
+
+
 # --------------------------------------------------------------------------
 # SIM001 — wall-clock reads
 # --------------------------------------------------------------------------
@@ -65,17 +165,8 @@ WALL_CLOCK_CALLS = {
     "datetime.date.today",
 }
 
-#: The experiments harness is the one place allowed to measure wall
-#: clock (it reports how long a *run of the simulator* took).  The
-#: bench plane exists to measure wall-clock, so it is allowed too.
-WALL_CLOCK_ALLOWED_SUFFIXES = (
-    "repro/experiments/runner.py",
-    "repro/experiments/bench.py",
-)
-
-
 def check_sim001(ctx: LintContext) -> Iterator[Finding]:
-    if ctx.posix.endswith(WALL_CLOCK_ALLOWED_SUFFIXES):
+    if not rule_applies("SIM001", ctx.posix, ctx.in_src):
         return
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
@@ -103,13 +194,8 @@ GLOBAL_DRAWS = {
     "weibullvariate", "getstate", "setstate",
 }
 
-#: ``repro.simcore.rng`` is the one module allowed to touch the raw
-#: generators — it is where the streams are implemented.
-RNG_HOME_SUFFIXES = ("repro/simcore/rng.py",)
-
-
 def check_sim002(ctx: LintContext) -> Iterator[Finding]:
-    if ctx.posix.endswith(RNG_HOME_SUFFIXES):
+    if not rule_applies("SIM002", ctx.posix, ctx.in_src):
         return
     if ctx.in_src:
         for node in ast.walk(ctx.tree):
@@ -486,12 +572,6 @@ def check_sim006(ctx: LintContext) -> Iterator[Finding]:
 # SIM007 — fault-injection determinism
 # --------------------------------------------------------------------------
 
-#: SIM007 applies to the seeded-schedule planes: fault draws decide
-#: *which* failures happen, and the decay scheduler's sweep jitter
-#: decides *when* priorities shift — any nondeterminism in either
-#: silently changes the simulated schedule between runs.
-SIM007_PATH_FRAGMENTS = ("repro/faults/", "repro/rpc/scheduler.py")
-
 #: Approved draw/seed entry points of repro.simcore.rng.
 _RNG_ENTRY_POINTS = ("stream", "np_stream", "named_stream", "RngRegistry",
                      "stable_seed")
@@ -513,7 +593,7 @@ def _volatile_seed_source(node: ast.AST) -> Optional[str]:
 
 
 def check_sim007(ctx: LintContext) -> Iterator[Finding]:
-    if not any(frag in ctx.posix for frag in SIM007_PATH_FRAGMENTS):
+    if not rule_applies("SIM007", ctx.posix, ctx.in_src):
         return
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
@@ -553,13 +633,10 @@ def check_sim007(ctx: LintContext) -> Iterator[Finding]:
 #: message travels as bytearray/memoryview views until the transport
 #: boundary.  A ``bytes(...)`` coercion inside them silently
 #: materializes a full copy of the buffer.
-ZERO_COPY_PATH_FRAGMENTS = ("repro/io/", "repro/net/")
 
 
 def check_sim008(ctx: LintContext) -> Iterator[Finding]:
-    if not ctx.in_src:
-        return
-    if not any(frag in ctx.posix for frag in ZERO_COPY_PATH_FRAGMENTS):
+    if not rule_applies("SIM008", ctx.posix, ctx.in_src):
         return
     for node in ast.walk(ctx.tree):
         if not (
@@ -585,7 +662,171 @@ def check_sim008(ctx: LintContext) -> Iterator[Finding]:
         )
 
 
-#: rule code -> checker, in report order.
+# --------------------------------------------------------------------------
+# SIM009 — same-timestamp shared-state hazards (whole-program)
+# --------------------------------------------------------------------------
+
+
+def _access_sort_key(access: dataflow.AttrAccess):
+    return (
+        access.func.module.path,
+        getattr(access.node, "lineno", 1),
+        getattr(access.node, "col_offset", 0),
+    )
+
+
+def check_sim009(pctx: ProgramContext) -> Iterator[Finding]:
+    """Two process bodies touch the same attribute at the same timestamp.
+
+    A hazard is any ``(class, attr)`` written by one spawned body and
+    written or read by a *different* concurrent body (a distinct body,
+    or a second instance of a multi-spawned body) — exactly the state
+    that makes same-timestamp event order observable and blocks the
+    event-queue restructure (ROADMAP item 1).  Exempt: writes where
+    every writer is a literal increment (commutes), and writes under a
+    revalidation guard (every interleaving converges).
+    """
+    callgraph = pctx.callgraph
+    bodies = dataflow.spawned_bodies(pctx.program, callgraph)
+    table: Dict[Tuple[str, str], Dict[FunctionInfo, List[dataflow.AttrAccess]]] = {}
+    for body in bodies:
+        for key, accesses in dataflow.body_effects(body, callgraph).items():
+            table.setdefault(key, {})[body] = accesses
+    for cls_name, attr in sorted(table):
+        per_body = table[(cls_name, attr)]
+        writers: Dict[FunctionInfo, List[dataflow.AttrAccess]] = {}
+        readers: Dict[FunctionInfo, List[dataflow.AttrAccess]] = {}
+        for body, accesses in per_body.items():
+            writes = [
+                a for a in accesses
+                if a.kind in ("write", "incr") and not a.guarded
+            ]
+            reads = [a for a in accesses if a.kind == "read"]
+            if writes:
+                writers[body] = writes
+            if reads:
+                readers[body] = reads
+        if not writers:
+            continue
+        all_incr = all(
+            a.kind == "incr" for writes in writers.values() for a in writes
+        )
+        conflicts: Set[FunctionInfo] = set()
+        if not all_incr:
+            if len(writers) >= 2:
+                conflicts.update(writers)
+            else:
+                only = next(iter(writers))
+                if bodies[only].multi:
+                    conflicts.add(only)
+        for reader in readers:
+            for writer in writers:
+                if reader is not writer or bodies[writer].multi:
+                    conflicts.add(reader)
+                    conflicts.add(writer)
+        if not conflicts:
+            continue
+        anchor = min(
+            (a for b in writers for a in writers[b] if b in conflicts),
+            key=_access_sort_key,
+        )
+        module = anchor.func.module
+        if not rule_applies("SIM009", module.posix, module.in_src):
+            continue
+        names = sorted(body.display for body in conflicts)
+        multi_note = (
+            " (multiple concurrent instances)"
+            if len(names) == 1 else ""
+        )
+        yield pctx.finding(
+            module,
+            anchor.node,
+            "SIM009",
+            f"same-timestamp shared-state hazard: {cls_name}.{attr} is "
+            f"shared by process bod{'y' if len(names) == 1 else 'ies'} "
+            f"{', '.join(names)}{multi_note} with a write and no event "
+            "ordering in between — reordering same-timestamp events would "
+            "change results (blocks the event-queue restructure)",
+        )
+
+
+# --------------------------------------------------------------------------
+# SIM010 — hot-reload staleness (whole-program)
+# --------------------------------------------------------------------------
+
+#: Conf keys the operator plane can change at runtime.  Mirrors
+#: ``repro.rpc.server.Server.QOS_KEYS`` (asserted in tests/lint) — the
+#: keys ``reconfigure_qos``/``ReloadPlan`` rewires while the sim runs.
+RELOADABLE_CONF_KEYS = frozenset(
+    {"ipc.callqueue.fair.weights", "decay-scheduler.thresholds"}
+)
+
+
+def check_sim010(pctx: ProgramContext) -> Iterator[Finding]:
+    """A reloadable conf key is cached at init without a subscription.
+
+    PR 6 made reloads real: ``reconfigure_qos`` rewrites these keys
+    mid-run.  A class that reads one into an attribute during
+    ``__init__`` and never calls ``Configuration.subscribe`` keeps
+    serving the stale value and silently ignores the operator.
+    """
+    for module in pctx.program.modules:
+        if not rule_applies("SIM010", module.posix, module.in_src):
+            continue
+        for cls in module.classes.values():
+            caches = [
+                cache
+                for cache in dataflow.conf_caches(cls, pctx.callgraph)
+                if cache.key in RELOADABLE_CONF_KEYS
+            ]
+            if not caches:
+                continue
+            if dataflow.class_subscribes(cls, pctx.callgraph, pctx.program):
+                continue
+            for cache in caches:
+                yield pctx.finding(
+                    module,
+                    cache.node,
+                    "SIM010",
+                    f"hot-reload staleness: {cls.name} caches reloadable "
+                    f"conf key '{cache.key}' into self.{cache.attr} at init "
+                    "without a Configuration.subscribe listener — runtime "
+                    "reconfigure_qos/ReloadPlan updates are silently ignored",
+                )
+
+
+# --------------------------------------------------------------------------
+# SIM011 — serialization symmetry (whole-program)
+# --------------------------------------------------------------------------
+
+
+def check_sim011(pctx: ProgramContext) -> Iterator[Finding]:
+    """Encoder/decoder pairs whose wire sequences don't mirror.
+
+    For every class defining both ``write(self, out)`` and
+    ``read_fields(self, inp)``, the ordered ``write_*`` token sequence
+    must mirror the ``read_*`` sequence (loops with loops, optional
+    blocks with optional blocks).  Opaque control flow stops the
+    comparison rather than guessing.
+    """
+    for pair in dataflow.serialization_pairs(pctx.program):
+        module = pair.cls.module
+        if not rule_applies("SIM011", module.posix, module.in_src):
+            continue
+        mismatch = dataflow.compare_shapes(pair.write_shape, pair.read_shape)
+        if mismatch is not None:
+            yield pctx.finding(
+                module,
+                pair.reader.node,
+                "SIM011",
+                f"serialization asymmetry in {pair.cls.name}: {mismatch} — "
+                f"write() emits [{dataflow.render_shape(pair.write_shape)}] "
+                "but read_fields() consumes "
+                f"[{dataflow.render_shape(pair.read_shape)}]",
+            )
+
+
+#: rule code -> per-file checker, in report order.
 CHECKERS = {
     "SIM001": check_sim001,
     "SIM002": check_sim002,
@@ -595,4 +836,12 @@ CHECKERS = {
     "SIM006": check_sim006,
     "SIM007": check_sim007,
     "SIM008": check_sim008,
+}
+
+#: rule code -> whole-program checker (runs once per lint invocation
+#: over the collected Program, not once per file).
+PROGRAM_CHECKERS = {
+    "SIM009": check_sim009,
+    "SIM010": check_sim010,
+    "SIM011": check_sim011,
 }

@@ -40,6 +40,7 @@ from repro.rpc.callqueue import CallQueue, build_call_queue
 from repro.rpc.metrics import ReceiveProfile, RpcMetrics
 from repro.rpc.protocol import RpcProtocol
 from repro.simcore import Store
+from repro.simcore import sanitizer as _sanitizer
 from repro.simcore.process import Interrupt
 
 #: Exceptions that mean the *simulator* (or its sanitizer) failed, not
@@ -168,6 +169,25 @@ class Server:
             self.env, self.conf, queue_size,
             registry=reg, server_name=self.name, fabric_label=engine_label,
         )
+        # Happens-before race tracking (SIM009 cross-check): opt the
+        # queue's order-sensitive shared state in when a sanitizer with
+        # --track-races is armed.  These are exactly the attributes the
+        # static rule baselines for this subsystem — the tracker decides
+        # which of those findings are *confirmed* at runtime.  No-op
+        # (identical objects, identical schedule) otherwise.
+        session = _sanitizer.current()
+        if session is not None:
+            mux = getattr(self.call_queue, "mux", None)
+            if mux is not None:
+                session.track(
+                    mux, ("_credit", "_index"), label=f"{self.name}:wrr-mux"
+                )
+            scheduler = getattr(self.call_queue, "scheduler", None)
+            if scheduler is not None:
+                session.track(
+                    scheduler, ("total",), label=f"{self.name}:decay-scheduler"
+                )
+
         # QoS hot reload: writes to the live Configuration (e.g. via a
         # scheduled ConfigWatcher) re-tune the fair queue's WRR weights
         # and the decay scheduler's threshold ladder mid-run.  The

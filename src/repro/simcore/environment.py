@@ -116,9 +116,16 @@ class Environment:
             when, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
-        if self._sanitizer is not None and when < self._now:
-            self._sanitizer.clock_regression(self, when, self._now)
-        self._now = when
+        if self._sanitizer is not None:
+            if when < self._now:
+                self._sanitizer.clock_regression(self, when, self._now)
+            self._now = when
+            # Happens-before tracking: stamp the accesses made by this
+            # event's callbacks with a fresh step id (slow path only —
+            # _run_fast never runs with a sanitizer installed).
+            self._sanitizer.note_step(self)
+        else:
+            self._now = when
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

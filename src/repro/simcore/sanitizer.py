@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import traceback
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simcore.environment import Environment
@@ -45,6 +45,119 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 class SanitizerError(AssertionError):
     """A simulation-safety invariant was violated at runtime."""
+
+
+class HappensBeforeTracker:
+    """Dynamic cross-check for lint rule SIM009 (same-timestamp races).
+
+    The static rule flags shared attributes that several process bodies
+    touch with no event ordering in between; this tracker *observes*
+    those accesses at runtime.  Components opt specific objects in via
+    :meth:`track` (the rpc Server registers its WRR mux and decay
+    scheduler); tracking swaps the object's class for a generated
+    subclass whose ``__setattr__``/``__getattribute__`` report into the
+    tracker, so the object itself needs no cooperation.
+
+    Every access is stamped with the current *event step* — a counter
+    :meth:`note_step` bumps each time the Environment pops an event.
+    When the clock advances, the accesses gathered at the old timestamp
+    are analyzed: a (label, attr) touched from **two or more distinct
+    steps at one timestamp with at least one write** is a confirmed
+    race — only the heap's eid tie-break, not any happens-before edge,
+    ordered those accesses, so reordering same-timestamp events would
+    change the result.  A static SIM009 finding with no runtime
+    confirmation stays *static-only*; a RACE line here is *confirmed*.
+    """
+
+    def __init__(self) -> None:
+        self._step = 0  # 0 = before any event step (construction time)
+        self._now: Optional[float] = None
+        #: accesses at the current timestamp: (label, attr, kind, step)
+        self._group: List[Tuple[str, str, str, int]] = []
+        #: id(obj) -> (obj, tracked attrs, label); holds a strong ref so
+        #: the id cannot be recycled while the tracker is live.
+        self._objects: Dict[int, Tuple[object, "frozenset[str]", str]] = {}
+        self._class_cache: Dict[type, type] = {}
+        self._hazard_keys: Set[Tuple[str, str]] = set()
+        self.hazards: List[str] = []
+        self.reads = 0
+        self.writes = 0
+
+    # -- instrumentation ---------------------------------------------------
+    def track(self, obj: object, attrs: Iterable[str], label: str) -> object:
+        """Start recording accesses to ``attrs`` on ``obj``."""
+        self._objects[id(obj)] = (obj, frozenset(attrs), label)
+        obj.__class__ = self._instrumented(type(obj))
+        return obj
+
+    def _instrumented(self, cls: type) -> type:
+        cached = self._class_cache.get(cls)
+        if cached is not None:
+            return cached
+        tracker = self
+
+        class Tracked(cls):  # type: ignore[misc, valid-type]
+            def __setattr__(self, name, value):
+                tracker._note(self, name, "write")
+                super().__setattr__(name, value)
+
+            def __getattribute__(self, name):
+                tracker._note(self, name, "read")
+                return super().__getattribute__(name)
+
+        Tracked.__name__ = cls.__name__
+        Tracked.__qualname__ = cls.__qualname__
+        self._class_cache[cls] = Tracked
+        return Tracked
+
+    def _note(self, obj: object, name: str, kind: str) -> None:
+        entry = self._objects.get(id(obj))
+        if entry is None or name not in entry[1]:
+            return
+        if kind == "write":
+            self.writes += 1
+        else:
+            self.reads += 1
+        self._group.append((entry[2], name, kind, self._step))
+
+    # -- event-step bookkeeping (driven by Environment.step) ---------------
+    def note_step(self, env: "Environment") -> None:
+        now = env.now
+        if now != self._now:
+            self._flush()
+            self._now = now
+        self._step += 1
+
+    def _flush(self) -> None:
+        if not self._group:
+            return
+        by_key: Dict[Tuple[str, str], List[Tuple[str, int]]] = {}
+        for label, attr, kind, step in self._group:
+            by_key.setdefault((label, attr), []).append((kind, step))
+        for (label, attr), accesses in sorted(by_key.items()):
+            steps = {step for _, step in accesses}
+            write_count = sum(1 for kind, _ in accesses if kind == "write")
+            if (
+                write_count
+                and len(steps) >= 2
+                and (label, attr) not in self._hazard_keys
+            ):
+                self._hazard_keys.add((label, attr))
+                self.hazards.append(
+                    f"{label}.{attr}: {write_count} write(s), "
+                    f"{len(accesses) - write_count} read(s) across "
+                    f"{len(steps)} event steps at t={self._now!r} — only the "
+                    "eid tie-break ordered them (confirms SIM009)"
+                )
+        self._group.clear()
+
+    def finalize(self) -> None:
+        """Analyze the last timestamp group (idempotent)."""
+        self._flush()
+
+    @property
+    def tracked(self) -> int:
+        return len(self._objects)
 
 
 #: Path fragments whose frames are skipped when attributing an
@@ -65,7 +178,7 @@ class SimSanitizer:
     """Collects invariant checks across every Environment/pool built
     while installed, and renders one teardown report."""
 
-    def __init__(self, label: str = ""):
+    def __init__(self, label: str = "", track_races: bool = False):
         self.label = label
         self.environments = 0
         self.pools: List[object] = []
@@ -73,10 +186,28 @@ class SimSanitizer:
         #: violations that were raised (kept for the report even though
         #: the offending run crashed)
         self.violations: List[str] = []
+        #: happens-before race tracker (SIM009 cross-check), armed only
+        #: by ``track_races`` — class-swap instrumentation is far too
+        #: hot for the default --sanitize path.
+        self.hb: Optional[HappensBeforeTracker] = (
+            HappensBeforeTracker() if track_races else None
+        )
 
     # -- hooks (called by the instrumented components) ---------------------
     def note_environment(self, env: "Environment") -> None:
         self.environments += 1
+
+    def note_step(self, env: "Environment") -> None:
+        """Per-event hook from :meth:`Environment.step` (slow path only)."""
+        if self.hb is not None:
+            self.hb.note_step(env)
+
+    def track(self, obj: object, attrs: Iterable[str], label: str) -> object:
+        """Opt ``obj`` into happens-before tracking (no-op without
+        ``track_races`` — callers never need to check)."""
+        if self.hb is not None:
+            return self.hb.track(obj, attrs, label)
+        return obj
 
     def note_pool(self, pool: object) -> None:
         self.pools.append(pool)
@@ -132,18 +263,28 @@ class SimSanitizer:
             if not process.is_alive and process.callbacks
         ]
 
+    def races(self) -> List[str]:
+        """Confirmed same-timestamp races (empty without ``track_races``)."""
+        if self.hb is None:
+            return []
+        self.hb.finalize()
+        return list(self.hb.hazards)
+
     @property
     def clean(self) -> bool:
         return (
             not self.violations
             and not self.pool_leaks()
             and not self.stalled_processes()
+            and not self.races()
         )
 
     def report_lines(self) -> List[str]:
         lines: List[str] = []
         for message in self.violations:
             lines.append(f"sanitizer: VIOLATION {message}")
+        for race in self.races():
+            lines.append(f"sanitizer: RACE {race}")
         for pool, sites in self.pool_leaks():
             lines.append(
                 f"sanitizer: LEAK {len(sites)} buffer(s) outstanding in {pool!r}"
@@ -162,12 +303,18 @@ class SimSanitizer:
             f"{self.environments} environment(s), {len(self.pools)} pool(s), "
             f"{len(self.processes)} process(es)"
         )
+        if self.hb is not None:
+            checked += (
+                f", {self.hb.tracked} race-tracked object(s) "
+                f"({self.hb.writes}w/{self.hb.reads}r)"
+            )
         if self.clean:
             return f"sanitizer: clean — {checked}"
         issues = (
             len(self.violations)
             + sum(len(sites) for _, sites in self.pool_leaks())
             + len(self.stalled_processes())
+            + len(self.races())
         )
         return f"sanitizer: {issues} issue(s) — {checked}"
 
@@ -194,9 +341,9 @@ def uninstall() -> None:
 
 
 @contextmanager
-def sanitized(label: str = ""):
+def sanitized(label: str = "", track_races: bool = False):
     """Scope a :class:`SimSanitizer` around a block of simulation runs."""
-    session = SimSanitizer(label=label)
+    session = SimSanitizer(label=label, track_races=track_races)
     install(session)
     try:
         yield session

@@ -1,0 +1,20 @@
+"""SIM011 positive fixture: write/read field order mismatch.
+
+``write`` emits length *then* offset; ``read_fields`` consumes offset
+*then* length — decoding garbage that the type system cannot catch
+because both fields are fixed-width integers.
+"""
+
+
+class LopsidedRecord:
+    def __init__(self, length=0, offset=0):
+        self.length = length
+        self.offset = offset
+
+    def write(self, out):
+        out.write_int(self.length)
+        out.write_long(self.offset)
+
+    def read_fields(self, inp):
+        self.offset = inp.read_long()
+        self.length = inp.read_int()

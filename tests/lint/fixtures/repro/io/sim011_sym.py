@@ -1,0 +1,46 @@
+"""SIM011 negative fixture: a mirrored encoder/decoder pair.
+
+Exercises every shape token the comparison understands: scalar ops,
+a counted loop of nested Writables, and an optional trailing block
+guarded by a presence flag on both sides.
+"""
+
+
+class Block:
+    def __init__(self):
+        self.block_id = 0
+
+    def write(self, out):
+        out.write_long(self.block_id)
+
+    def read_fields(self, inp):
+        self.block_id = inp.read_long()
+
+
+class Manifest:
+    def __init__(self):
+        self.path = ""
+        self.blocks = []
+        self.checksum = None
+
+    def write(self, out):
+        out.write_utf(self.path)
+        out.write_vint(len(self.blocks))
+        for block in self.blocks:
+            block.write(out)
+        out.write_bool(self.checksum is not None)
+        if self.checksum is not None:
+            out.write_int(self.checksum)
+
+    def read_fields(self, inp):
+        self.path = inp.read_utf()
+        count = inp.read_vint()
+        self.blocks = []
+        for _ in range(count):
+            block = Block()
+            block.read_fields(inp)
+            self.blocks.append(block)
+        if inp.read_bool():
+            self.checksum = inp.read_int()
+        else:
+            self.checksum = None

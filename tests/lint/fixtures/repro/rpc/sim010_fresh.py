@@ -1,0 +1,21 @@
+"""SIM010 negative fixture: cached key, but with a subscribe listener.
+
+Same cache-at-init shape as ``sim010_stale.py`` — made safe by the
+``Configuration.subscribe`` registration whose listener re-reads the
+key, which is exactly how ``repro.rpc.server.Server`` wires QoS
+hot-reload.
+"""
+
+
+class FreshQueue:
+    def __init__(self, conf):
+        self.conf = conf
+        self.weights = conf.get_ints("ipc.callqueue.fair.weights")
+        self._listener = conf.subscribe(self._on_change)
+
+    def _on_change(self, conf, changed):
+        if "ipc.callqueue.fair.weights" in changed:
+            self.weights = conf.get_ints("ipc.callqueue.fair.weights")
+
+    def take(self):
+        return self.weights[0]

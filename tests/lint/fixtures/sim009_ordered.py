@@ -1,0 +1,77 @@
+"""SIM009 negative fixture: the same two-process shape, made safe.
+
+Three reasons, one per class, that the race rule must stay quiet:
+
+* ``SafeMeter.bump`` uses a literal ``+=`` — all writes commute, so
+  same-timestamp ordering cannot change the final value;
+* ``LazyCache.get`` writes only under a revalidation guard that reads
+  the attribute it assigns (lazy init);
+* ``Isolated.feed``/``drain`` each construct their own ``SafeMeter``,
+  so nothing is shared between the bodies.
+"""
+
+
+class SafeMeter:
+    def __init__(self):
+        self.inflight = 0.0
+
+    def bump(self):
+        self.inflight += 1.0
+
+
+class LazyCache:
+    def __init__(self):
+        self.table = None
+
+    def get(self):
+        if self.table is None:
+            self.table = {}
+        return self.table
+
+
+class Shared:
+    def __init__(self, env):
+        self.env = env
+        self.meter = SafeMeter()
+        self.cache = LazyCache()
+
+    def feed(self):
+        while True:
+            yield self.env.timeout(10.0)
+            self.meter.bump()
+            self.cache.get()
+
+    def drain(self):
+        while True:
+            yield self.env.timeout(10.0)
+            self.meter.bump()
+            self.cache.get()
+
+
+class Isolated:
+    def __init__(self, env):
+        self.env = env
+
+    def feed(self):
+        meter = SafeMeter()
+        while True:
+            yield self.env.timeout(10.0)
+            stale = meter.inflight
+            meter.inflight = stale + 1.0
+
+    def drain(self):
+        meter = SafeMeter()
+        while True:
+            yield self.env.timeout(10.0)
+            stale = meter.inflight
+            meter.inflight = stale + 1.0
+
+
+def build(env):
+    shared = Shared(env)
+    env.process(shared.feed())
+    env.process(shared.drain())
+    isolated = Isolated(env)
+    env.process(isolated.feed())
+    env.process(isolated.drain())
+    return shared

@@ -1,0 +1,47 @@
+"""SIM009 positive fixture: two process bodies, one shared counter.
+
+``Pump.feed`` and ``Pump.drain`` both run as simulation processes and
+both reach ``Meter.bump`` through the shared ``self.meter`` receiver.
+``bump`` rewrites ``self.inflight`` from its previous value, so when
+both bodies wake at the same timestamp only the event-queue eid
+tie-break decides which write lands last — a same-timestamp
+shared-state hazard.
+
+The module is deliberately runnable with no imports: the dynamic
+cross-validation test builds an Environment, calls :func:`build`, and
+confirms the static finding with the happens-before tracker.
+"""
+
+
+class Meter:
+    def __init__(self):
+        self.inflight = 0.0
+
+    def bump(self):
+        # NOT a commuting literal increment: read-modify-write through a
+        # temporary, exactly the pattern the static rule must flag.
+        stale = self.inflight
+        self.inflight = stale + 1.0
+
+
+class Pump:
+    def __init__(self, env):
+        self.env = env
+        self.meter = Meter()
+
+    def feed(self):
+        while True:
+            yield self.env.timeout(10.0)
+            self.meter.bump()
+
+    def drain(self):
+        while True:
+            yield self.env.timeout(10.0)
+            self.meter.bump()
+
+
+def build(env):
+    pump = Pump(env)
+    env.process(pump.feed())
+    env.process(pump.drain())
+    return pump

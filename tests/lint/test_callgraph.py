@@ -1,0 +1,222 @@
+"""Unit tests for the whole-program symbol table and call graph."""
+
+import ast
+
+from repro.lint.callgraph import (
+    CallGraph,
+    DISPATCH_FALLBACK_LIMIT,
+    Program,
+    collect_module,
+)
+
+
+def program_of(*sources):
+    modules = []
+    for index, source in enumerate(sources):
+        path = f"mod{index}.py"
+        modules.append(
+            collect_module(
+                ast.parse(source),
+                path=path,
+                posix=f"/x/src/{path}",
+                in_src=True,
+                lines=source.splitlines(),
+            )
+        )
+    return Program(modules)
+
+
+def graph_of(*sources):
+    program = program_of(*sources)
+    return program, CallGraph(program)
+
+
+def func(program, display):
+    for fn in program.iter_functions():
+        if fn.display == display:
+            return fn
+    raise AssertionError(f"no function {display!r}")
+
+
+def callee_names(cg, fn):
+    return sorted(c.display for c in cg.edges[fn])
+
+
+# -- symbol table -----------------------------------------------------------
+
+
+def test_collects_classes_functions_and_generators():
+    program = program_of(
+        "def helper():\n    return 1\n"
+        "\n"
+        "class A:\n"
+        "    def run(self):\n"
+        "        yield 1\n"
+    )
+    assert "helper" in program.functions_by_name
+    run = func(program, "A.run")
+    assert run.is_generator
+    assert not func(program, "helper").is_generator
+
+
+def test_resolve_method_walks_bases_across_modules():
+    program = program_of(
+        "class Base:\n    def ping(self):\n        return 1\n",
+        "class Child(Base):\n    pass\n",
+    )
+    child = program.classes_by_name["Child"][0]
+    resolved = program.resolve_method(child, "ping")
+    assert resolved is not None and resolved.display == "Base.ping"
+
+
+def test_resolve_method_survives_inheritance_cycle():
+    # A(B) and B(A): malformed, but resolution must terminate, not recurse.
+    program = program_of(
+        "class A(B):\n    pass\n\nclass B(A):\n    pass\n"
+    )
+    a = program.classes_by_name["A"][0]
+    assert program.resolve_method(a, "missing") is None
+
+
+def test_subclasses_of_is_transitive_and_cycle_safe():
+    program = program_of(
+        "class Base:\n    pass\n"
+        "\nclass Mid(Base):\n    pass\n"
+        "\nclass Leaf(Mid):\n    pass\n"
+    )
+    base = program.classes_by_name["Base"][0]
+    assert sorted(c.name for c in program.subclasses_of(base)) == ["Leaf", "Mid"]
+
+
+# -- call resolution --------------------------------------------------------
+
+
+def test_self_call_resolves_with_subclass_overrides():
+    program, cg = graph_of(
+        "class Queue:\n"
+        "    def drain(self):\n"
+        "        self.take()\n"
+        "    def take(self):\n"
+        "        return 1\n"
+        "\n"
+        "class PriorityQueue(Queue):\n"
+        "    def take(self):\n"
+        "        return 2\n"
+    )
+    drain = func(program, "Queue.drain")
+    assert callee_names(cg, drain) == ["PriorityQueue.take", "Queue.take"]
+
+
+def test_dispatch_fallback_accepts_up_to_limit_candidates():
+    assert DISPATCH_FALLBACK_LIMIT == 2
+    program, cg = graph_of(
+        "class A:\n    def poll(self):\n        return 1\n",
+        "class B:\n    def poll(self):\n        return 2\n",
+        "def f(thing):\n    thing.poll()\n",
+    )
+    f = func(program, "f")
+    assert callee_names(cg, f) == ["A.poll", "B.poll"]
+
+
+def test_dispatch_fallback_beyond_limit_filters_by_receiver_hint():
+    program, cg = graph_of(
+        "class CallQueue:\n    def poll(self):\n        return 1\n",
+        "class Socket:\n    def poll(self):\n        return 2\n",
+        "class Watcher:\n    def poll(self):\n        return 3\n",
+        "class Server:\n"
+        "    def loop(self):\n"
+        "        self.call_queue.poll()\n",
+    )
+    loop = func(program, "Server.loop")
+    # 3 candidates > limit: only the hint-matching class survives
+    assert callee_names(cg, loop) == ["CallQueue.poll"]
+
+
+def test_dispatch_fallback_with_no_hint_match_drops_the_edge():
+    program, cg = graph_of(
+        "class A:\n    def poll(self):\n        return 1\n",
+        "class B:\n    def poll(self):\n        return 2\n",
+        "class C:\n    def poll(self):\n        return 3\n",
+        "def f(mystery):\n    mystery.poll()\n",
+    )
+    assert callee_names(cg, func(program, "f")) == []
+
+
+def test_local_constructor_types_a_receiver():
+    program, cg = graph_of(
+        "class Codec:\n    def encode(self):\n        return b''\n",
+        "class Other:\n    def encode(self):\n        return b''\n",
+        "def f():\n    codec = Codec()\n    codec.encode()\n",
+    )
+    f = func(program, "f")
+    assert callee_names(cg, f) == ["Codec.__init__", "Codec.encode"] or (
+        callee_names(cg, f) == ["Codec.encode"]
+    )
+
+
+def test_local_method_alias_resolved():
+    program, cg = graph_of(
+        "class Store:\n    def take(self):\n        return 1\n"
+        "\n"
+        "class Server:\n"
+        "    def loop(self):\n"
+        "        queue_take = self.store.take\n"
+        "        queue_take()\n",
+    )
+    loop = func(program, "Server.loop")
+    assert "Store.take" in callee_names(cg, loop)
+
+
+def test_getattr_with_literal_name_resolved():
+    program, cg = graph_of(
+        "class Store:\n    def take(self):\n        return 1\n"
+        "\n"
+        "class Server:\n"
+        "    def loop(self):\n"
+        "        take = getattr(self.store, 'take', None)\n"
+        "        take()\n",
+    )
+    loop = func(program, "Server.loop")
+    assert "Store.take" in callee_names(cg, loop)
+
+
+# -- shared-edge classification ---------------------------------------------
+
+
+def test_self_rooted_receivers_are_shared_edges():
+    program, cg = graph_of(
+        "class Meter:\n    def bump(self):\n        return 1\n"
+        "\n"
+        "class Pump:\n"
+        "    def feed(self):\n"
+        "        self.meter.bump()\n"
+    )
+    feed = func(program, "Pump.feed")
+    assert [(c.display, shared) for c, shared in cg.shared_edges[feed]] == [
+        ("Meter.bump", True)
+    ]
+
+
+def test_local_object_receivers_are_private_edges():
+    program, cg = graph_of(
+        "class Meter:\n    def bump(self):\n        return 1\n"
+        "\n"
+        "class Pump:\n"
+        "    def feed(self):\n"
+        "        meter = Meter()\n"
+        "        meter.bump()\n"
+    )
+    feed = func(program, "Pump.feed")
+    shared = {c.display: s for c, s in cg.shared_edges[feed]}
+    assert shared["Meter.bump"] is False
+
+
+# -- reachability -----------------------------------------------------------
+
+
+def test_reachable_handles_recursion_cycles():
+    program, cg = graph_of(
+        "def a():\n    b()\n\ndef b():\n    a()\n\ndef c():\n    a()\n"
+    )
+    names = [f.display for f in cg.reachable(func(program, "c"))]
+    assert names == ["c", "a", "b"]

@@ -76,16 +76,103 @@ def test_missing_baseline_is_silently_skipped(capsys):
     assert code == 0
 
 
-def test_repo_default_invocation_is_clean(capsys):
-    """`python -m repro.lint src tests` on this repo: exit 0, no findings."""
-    code = main(
-        [
-            str(REPO / "src"),
-            str(REPO / "tests"),
-            "--baseline",
-            str(REPO / "lint-baseline.json"),
-        ]
+# -- baseline ratchet -------------------------------------------------------
+
+
+def _stale_baseline(tmp_path):
+    """A baseline recording sim004's finding plus one already-fixed one."""
+    import json as json_mod
+
+    base = tmp_path / "base.json"
+    target = str(FIXTURES / "sim004_time.py")
+    assert main([target, "--baseline", str(base), "--write-baseline"]) == 0
+    doc = json_mod.loads(base.read_text())
+    doc["findings"].append(
+        {"rule": "SIM001", "path": "fixed.py", "message": "long since fixed"}
     )
+    base.write_text(json_mod.dumps(doc))
+    return base, target
+
+
+def test_check_fails_on_stale_baseline_entry(tmp_path, capsys):
+    base, target = _stale_baseline(tmp_path)
+    capsys.readouterr()
+    # without --check the stale entry is tolerated...
+    assert main([target, "--baseline", str(base)]) == 0
+    capsys.readouterr()
+    # ...with --check it fails the run and names the entry
+    assert main([target, "--baseline", str(base), "--check"]) == 1
+    out = capsys.readouterr().out
+    assert "stale baseline entry" in out
+    assert "long since fixed" in out
+    assert "--update-baseline" in out
+
+
+def test_update_baseline_prunes_stale_entries(tmp_path, capsys):
+    base, target = _stale_baseline(tmp_path)
+    capsys.readouterr()
+    assert main([target, "--baseline", str(base), "--update-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 1 stale entry" in out
+    # the ratchet passes again, and the real finding is still grandfathered
+    assert main([target, "--baseline", str(base), "--check"]) == 0
+
+
+def test_update_baseline_never_adds_new_findings(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    target = str(FIXTURES / "sim004_time.py")
+    assert main([target, "--baseline", str(base), "--write-baseline"]) == 0
+    capsys.readouterr()
+    # a second violating file shows up: --update-baseline must not absorb it
+    extra = str(FIXTURES / "sim001_wallclock.py")
+    assert main([target, extra, "--baseline", str(base), "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert main([extra, "--baseline", str(base), "--no-baseline"]) == 1
+
+
+def test_stale_entries_in_json_output(tmp_path, capsys):
+    base, target = _stale_baseline(tmp_path)
+    capsys.readouterr()
+    code = main([target, "--baseline", str(base), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0  # stale only fails under --check
+    assert payload["grandfathered"] == 1
+    assert payload["stale_baseline_entries"] == [
+        {"rule": "SIM001", "path": "fixed.py", "message": "long since fixed",
+         "count": 1}
+    ]
+    assert payload["elapsed_seconds"] >= 0
+
+
+# -- wall-clock budget ------------------------------------------------------
+
+
+def test_max_seconds_budget_enforced(capsys):
+    code = main([str(FIXTURES / "clean.py"), "--no-baseline",
+                 "--max-seconds", "0"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "wall-clock budget exceeded" in captured.err
+
+
+def test_max_seconds_budget_passes_when_fast(capsys):
+    code = main([str(FIXTURES / "clean.py"), "--no-baseline",
+                 "--max-seconds", "600"])
+    assert code == 0
+
+
+# -- the repo itself --------------------------------------------------------
+
+
+def test_repo_default_invocation_is_clean(capsys, monkeypatch):
+    """`python -m repro.lint src tests --check` on this repo: exit 0 —
+    nothing beyond the committed baseline, and no stale entries.
+
+    Runs from the repo root because the committed baseline keys on the
+    repo-relative paths the CI invocation produces."""
+    monkeypatch.chdir(REPO)
+    code = main(["src", "tests", "--baseline", "lint-baseline.json", "--check"])
     out = capsys.readouterr().out
     assert code == 0, out
     assert "clean" in out
+    assert "21 baselined" in out

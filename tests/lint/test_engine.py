@@ -64,6 +64,79 @@ def test_file_suppression_leaves_other_rules_on():
     assert [f.rule for f in lint_source(src, "mod.py")] == ["SIM002"]
 
 
+def test_suppression_allows_spaces_around_equals():
+    """``disable = SIM001`` used to parse as a bare ``disable`` that
+    silenced *every* rule on the line.  It must silence only SIM001."""
+    src = (
+        "import time\nimport random\n\n"
+        "def f():\n"
+        "    return time.time() + random.random()  # sim-lint: disable = SIM001\n"
+    )
+    assert [f.rule for f in lint_source(src, "mod.py")] == ["SIM002"]
+
+
+def test_suppression_allows_spaces_in_rule_list():
+    src = (
+        "import time\nimport random\n\n"
+        "def f():\n"
+        "    return time.time() + random.random()"
+        "  # sim-lint: disable = SIM001 , SIM002\n"
+    )
+    assert lint_source(src, "mod.py") == []
+
+
+# -- directive validation (SIM000) -----------------------------------------
+
+
+def test_unknown_rule_in_directive_is_reported():
+    src = "def f():\n    return 1  # sim-lint: disable=SIM999\n"
+    findings = lint_source(src, "mod.py")
+    assert [f.rule for f in findings] == ["SIM000"]
+    assert "SIM999" in findings[0].message
+
+
+def test_bare_disable_with_trailing_prose_is_reported():
+    """``disable SIM001`` (missing ``=``) must not silently widen to
+    all-rules — it is flagged and suppresses nothing."""
+    src = "import time\n\ndef f():\n    return time.time()  # sim-lint: disable SIM001\n"
+    rules = sorted(f.rule for f in lint_source(src, "mod.py"))
+    assert rules == ["SIM000", "SIM001"]
+
+
+def test_unrecognized_directive_is_reported():
+    src = "def f():\n    return 1  # sim-lint: ignore=SIM001\n"
+    findings = lint_source(src, "mod.py")
+    assert [f.rule for f in findings] == ["SIM000"]
+    assert "unrecognized" in findings[0].message
+
+
+def test_directive_in_string_literal_is_not_validated():
+    src = 'BANNER = "# sim-lint: bogus-directive"\n'
+    assert lint_source(src, "mod.py") == []
+
+
+def test_directive_in_docstring_is_not_validated():
+    src = 'def f():\n    """Docs mention # sim-lint: disable=NOPE here."""\n'
+    assert lint_source(src, "mod.py") == []
+
+
+def test_directive_in_docstring_does_not_suppress():
+    """Directives quoted in strings used to *suppress* while never being
+    validated; they must now do neither."""
+    src = (
+        '"""Example: # sim-lint: disable-file"""\n'
+        "import time\n\ndef f():\n    return time.time()\n"
+    )
+    assert [f.rule for f in lint_source(src, "mod.py")] == ["SIM001"]
+
+
+def test_sim000_is_never_suppressible():
+    src = "def f():\n    return 1  # sim-lint: disable  # sim-lint: bogus\n"
+    # the first directive is a valid bare disable, but the malformed one
+    # on the same line still surfaces
+    assert "SIM000" in [f.rule for f in lint_source(src, "mod.py")]
+
+
 # -- rule selection and syntax errors --------------------------------------
 
 
@@ -130,10 +203,51 @@ def test_baseline_counts_duplicates(tmp_path):
     assert len(grandfathered) == 1
 
 
+def test_stale_entries_reports_fixed_findings(tmp_path):
+    base = tmp_path / "base.json"
+    fixed = _finding(rule="SIM002", message="gone")
+    kept = _finding(line=3)
+    baseline_mod.write(base, [fixed, kept])
+    stale = baseline_mod.stale_entries([kept], baseline_mod.load(base))
+    assert stale == [(("SIM002", "a.py", "gone"), 1)]
+
+
+def test_stale_entries_are_count_aware(tmp_path):
+    base = tmp_path / "base.json"
+    # two identical entries baselined, only one still present: 1 stale
+    baseline_mod.write(base, [_finding(line=3), _finding(line=9)])
+    stale = baseline_mod.stale_entries([_finding(line=5)], baseline_mod.load(base))
+    assert stale == [(("SIM001", "a.py", "m"), 1)]
+
+
+def test_no_stale_entries_when_all_match(tmp_path):
+    base = tmp_path / "base.json"
+    baseline_mod.write(base, [_finding()])
+    assert baseline_mod.stale_entries([_finding()], baseline_mod.load(base)) == []
+
+
 # -- the repo itself must lint clean ---------------------------------------
 
 
-def test_repo_tree_is_lint_clean():
+def test_repo_tree_is_lint_clean(monkeypatch):
+    """Zero findings beyond the committed baseline, and zero stale
+    baseline entries — the ratchet only ever tightens.
+
+    Runs from the repo root: baseline keys use repo-relative paths."""
     repo = Path(__file__).resolve().parents[2]
-    findings = lint_paths([repo / "src", repo / "tests"])
-    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+    monkeypatch.chdir(repo)
+    findings = lint_paths(["src", "tests"])
+    recorded = baseline_mod.load(repo / "lint-baseline.json")
+    new, grandfathered = baseline_mod.split(findings, recorded)
+    assert new == [], "\n" + "\n".join(f.format() for f in new)
+    stale = baseline_mod.stale_entries(findings, recorded)
+    assert stale == [], f"stale baseline entries: {stale}"
+
+
+def test_repo_baseline_is_sim009_only():
+    """The baseline grandfathers only triaged same-timestamp hazards
+    (see DESIGN.md) — any other rule must be fixed, not baselined."""
+    repo = Path(__file__).resolve().parents[2]
+    recorded = baseline_mod.load(repo / "lint-baseline.json")
+    assert recorded, "committed baseline unexpectedly empty"
+    assert {rule for (rule, _, _) in recorded} == {"SIM009"}

@@ -414,3 +414,197 @@ def test_sim008_suppression_comment():
         "    return bytes(data)  # sim-lint: disable=SIM008\n"
     )
     assert lint_source(src, "/x/src/repro/io/buffered.py", in_src=True) == []
+
+
+# -- SIM009 (whole-program) -------------------------------------------------
+
+
+def test_sim009_fixture_fires_once():
+    findings = lint_file(FIXTURES / "sim009_race.py", in_src=True)
+    assert rules_of(findings) == ["SIM009"]
+    assert "Meter.inflight" in findings[0].message
+    assert "Pump.drain" in findings[0].message
+    assert "Pump.feed" in findings[0].message
+
+
+def test_sim009_negative_fixture_is_clean():
+    assert lint_file(FIXTURES / "sim009_ordered.py", in_src=True) == []
+
+
+def test_sim009_single_multiply_spawned_body_fires():
+    src = (
+        "class Mux:\n"
+        "    def __init__(self, env):\n"
+        "        self.env = env\n"
+        "        self.index = 0\n"
+        "    def loop(self):\n"
+        "        while True:\n"
+        "            yield self.env.timeout(1.0)\n"
+        "            self.index = self.index + 1\n"
+        "\n"
+        "def build(env):\n"
+        "    mux = Mux(env)\n"
+        "    for _ in range(4):\n"
+        "        env.process(mux.loop())\n"
+    )
+    findings = lint_source(src, "/x/src/repro/rpc/mux.py", in_src=True)
+    assert rules_of(findings) == ["SIM009"]
+    assert "multiple concurrent instances" in findings[0].message
+
+
+def test_sim009_not_applied_in_simcore():
+    """The DES core *implements* same-timestamp ordering — exempt."""
+    src = (
+        "class Mux:\n"
+        "    def __init__(self, env):\n"
+        "        self.env = env\n"
+        "        self.index = 0\n"
+        "    def loop(self):\n"
+        "        while True:\n"
+        "            yield self.env.timeout(1.0)\n"
+        "            self.index = self.index + 1\n"
+        "\n"
+        "def build(env):\n"
+        "    mux = Mux(env)\n"
+        "    for _ in range(4):\n"
+        "        env.process(mux.loop())\n"
+    )
+    assert lint_source(src, "/x/src/repro/simcore/mux.py", in_src=True) == []
+
+
+def test_sim009_not_applied_outside_src():
+    src = (
+        "class Mux:\n"
+        "    def __init__(self, env):\n"
+        "        self.env = env\n"
+        "        self.index = 0\n"
+        "    def loop(self):\n"
+        "        while True:\n"
+        "            yield self.env.timeout(1.0)\n"
+        "            self.index = self.index + 1\n"
+        "\n"
+        "def build(env):\n"
+        "    mux = Mux(env)\n"
+        "    for _ in range(4):\n"
+        "        env.process(mux.loop())\n"
+    )
+    assert lint_source(src, "tests/test_mux.py", in_src=False) == []
+
+
+# -- SIM010 (whole-program) -------------------------------------------------
+
+
+def test_sim010_fixture_fires_once():
+    findings = lint_file(FIXTURES / "repro" / "rpc" / "sim010_stale.py",
+                         in_src=True)
+    assert rules_of(findings) == ["SIM010"]
+    assert "ipc.callqueue.fair.weights" in findings[0].message
+    assert "self.weights" in findings[0].message
+
+
+def test_sim010_negative_fixture_is_clean():
+    assert lint_file(FIXTURES / "repro" / "rpc" / "sim010_fresh.py",
+                     in_src=True) == []
+
+
+def test_sim010_ignores_non_reloadable_keys():
+    src = (
+        "class Q:\n"
+        "    def __init__(self, conf):\n"
+        "        self.size = conf.get_int('ipc.server.callqueue.size')\n"
+    )
+    assert lint_source(src, "/x/src/repro/rpc/q.py", in_src=True) == []
+
+
+def test_sim010_keys_mirror_server_qos_keys():
+    """RELOADABLE_CONF_KEYS must stay in lockstep with the runtime
+    reload surface, or the rule silently under/over-approximates."""
+    from repro.lint.rules import RELOADABLE_CONF_KEYS
+    from repro.rpc.server import Server
+
+    assert RELOADABLE_CONF_KEYS == Server.QOS_KEYS
+
+
+def test_sim010_real_server_and_callqueue_are_clean():
+    repo = Path(__file__).resolve().parents[2]
+    from repro.lint import lint_paths
+
+    findings = lint_paths([repo / "src" / "repro" / "rpc"],
+                          rules=["SIM010"])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+# -- SIM011 (whole-program) -------------------------------------------------
+
+
+def test_sim011_fixture_fires_once():
+    findings = lint_file(FIXTURES / "repro" / "io" / "sim011_asym.py",
+                         in_src=True)
+    assert rules_of(findings) == ["SIM011"]
+    assert "LopsidedRecord" in findings[0].message
+    assert "int" in findings[0].message and "long" in findings[0].message
+
+
+def test_sim011_negative_fixture_is_clean():
+    assert lint_file(FIXTURES / "repro" / "io" / "sim011_sym.py",
+                     in_src=True) == []
+
+
+def test_sim011_missing_trailing_field_detected():
+    src = (
+        "class R:\n"
+        "    def write(self, out):\n"
+        "        out.write_int(self.a)\n"
+        "        out.write_utf(self.b)\n"
+        "    def read_fields(self, inp):\n"
+        "        self.a = inp.read_int()\n"
+    )
+    findings = lint_source(src, "/x/src/repro/io/r.py", in_src=True)
+    assert rules_of(findings) == ["SIM011"]
+
+
+def test_sim011_loop_against_scalar_detected():
+    src = (
+        "class R:\n"
+        "    def write(self, out):\n"
+        "        out.write_vint(len(self.items))\n"
+        "        for item in self.items:\n"
+        "            out.write_int(item)\n"
+        "    def read_fields(self, inp):\n"
+        "        count = inp.read_vint()\n"
+        "        self.items = [inp.read_int()]\n"
+    )
+    findings = lint_source(src, "/x/src/repro/io/r.py", in_src=True)
+    assert rules_of(findings) == ["SIM011"]
+
+
+def test_sim011_opaque_control_flow_stops_comparison():
+    """A try/except with ops in the handler is opaque: no guessing,
+    no finding."""
+    src = (
+        "class R:\n"
+        "    def write(self, out):\n"
+        "        out.write_int(self.a)\n"
+        "        try:\n"
+        "            out.write_utf(self.b)\n"
+        "        except ValueError:\n"
+        "            out.write_utf('')\n"
+        "    def read_fields(self, inp):\n"
+        "        self.a = inp.read_int()\n"
+        "        try:\n"
+        "            self.b = inp.read_utf()\n"
+        "        except ValueError:\n"
+        "            self.b = inp.read_utf()\n"
+    )
+    assert lint_source(src, "/x/src/repro/io/r.py", in_src=True) == []
+
+
+def test_sim011_not_applied_outside_wire_modules():
+    src = (
+        "class R:\n"
+        "    def write(self, out):\n"
+        "        out.write_int(self.a)\n"
+        "    def read_fields(self, inp):\n"
+        "        self.a = inp.read_long()\n"
+    )
+    assert lint_source(src, "/x/src/repro/obs/r.py", in_src=True) == []

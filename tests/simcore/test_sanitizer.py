@@ -197,3 +197,124 @@ def test_session_counts_components():
         assert session.environments == 1
         assert len(session.pools) == 1
         assert len(session.processes) == 1
+
+
+# -- happens-before race tracker -------------------------------------------
+
+
+class _Shared:
+    def __init__(self):
+        self.value = 0.0
+        self.other = 0
+
+
+def _writer(env, obj, period):
+    while True:
+        yield env.timeout(period)
+        obj.value = obj.value + 1.0
+
+
+def test_track_is_a_noop_without_track_races():
+    with sanitizer.sanitized() as session:
+        obj = _Shared()
+        assert session.hb is None
+        tracked = session.track(obj, ("value",), label="obj")
+        assert tracked is obj
+        assert type(tracked) is _Shared  # class not swapped
+        assert session.races() == []
+        assert session.clean
+
+
+def test_same_timestamp_multi_step_write_is_a_race():
+    with sanitizer.sanitized(track_races=True) as session:
+        env = Environment()
+        obj = session.track(_Shared(), ("value",), label="meter")
+        env.process(_writer(env, obj, 10.0))
+        env.process(_writer(env, obj, 10.0))
+        env.run(until=25.0)
+        assert not session.clean
+        races = session.races()
+        assert len(races) == 1  # deduped across timestamps
+        assert "meter.value" in races[0]
+        assert "confirms SIM009" in races[0]
+        assert any("RACE" in line for line in session.report_lines())
+
+
+def test_accesses_within_one_event_step_are_ordered():
+    def burst(env, obj):
+        yield env.timeout(10.0)
+        obj.value = obj.value + 1.0
+        obj.value = obj.value + 1.0
+
+    with sanitizer.sanitized(track_races=True) as session:
+        env = Environment()
+        obj = session.track(_Shared(), ("value",), label="meter")
+        env.process(burst(env, obj))
+        env.run()
+        assert session.races() == []
+        assert session.clean
+
+
+def test_different_timestamps_are_ordered():
+    with sanitizer.sanitized(track_races=True) as session:
+        env = Environment()
+        obj = session.track(_Shared(), ("value",), label="meter")
+        env.process(_writer(env, obj, 10.0))
+        env.process(_writer(env, obj, 7.0))
+        env.run(until=25.0)  # 7,10,14,20,21 — no collision
+        assert session.races() == []
+
+
+def test_same_timestamp_reads_only_are_not_a_race():
+    def reader(env, obj):
+        while True:
+            yield env.timeout(10.0)
+            _ = obj.value
+
+    with sanitizer.sanitized(track_races=True) as session:
+        env = Environment()
+        obj = session.track(_Shared(), ("value",), label="meter")
+        env.process(reader(env, obj))
+        env.process(reader(env, obj))
+        env.run(until=25.0)
+        assert session.races() == []
+
+
+def test_untracked_attributes_are_ignored():
+    def toucher(env, obj):
+        while True:
+            yield env.timeout(10.0)
+            obj.other = obj.other + 1
+
+    with sanitizer.sanitized(track_races=True) as session:
+        env = Environment()
+        obj = session.track(_Shared(), ("value",), label="meter")
+        env.process(toucher(env, obj))
+        env.process(toucher(env, obj))
+        env.run(until=25.0)
+        assert session.races() == []
+
+
+def test_construction_time_writes_are_not_races():
+    with sanitizer.sanitized(track_races=True) as session:
+        obj = session.track(_Shared(), ("value",), label="meter")
+        obj.value = 1.0
+        obj.value = 2.0  # same pre-run "step 0", ordered by program text
+        Environment().run()
+        assert session.races() == []
+
+
+def test_tracked_object_still_behaves_normally():
+    with sanitizer.sanitized(track_races=True) as session:
+        obj = session.track(_Shared(), ("value",), label="meter")
+        obj.value = 41.0
+        obj.value += 1.0
+        assert obj.value == 42.0
+        assert session.hb.writes >= 2
+        assert session.hb.tracked == 1
+
+
+def test_summary_reports_tracked_objects():
+    with sanitizer.sanitized(track_races=True) as session:
+        session.track(_Shared(), ("value",), label="meter")
+        assert "1 race-tracked object(s)" in session.summary()
