@@ -42,6 +42,15 @@ class Configuration:
         "ipc.client.call.retry.interval": 200_000.0,  # usec (exponential)
         "ipc.client.ping": True,
         "ipc.ping.interval": 60_000_000.0,  # usec
+        # -- client-side NameNode failover (repro.rpc.failover) ------------
+        # Failovers a FailoverProxy performs before giving up on a call.
+        "ipc.client.failover.max.attempts": 15,
+        "ipc.client.failover.sleep.base": 200_000.0,  # usec
+        "ipc.client.failover.sleep.max": 5_000_000.0,  # usec
+        "ipc.client.failover.retry.policy": "exponential",  # or "fixed"
+        # Extra sleep drawn uniformly from [0, jitter * delay) on the
+        # proxy's named RNG stream (de-synchronizes a client fleet).
+        "ipc.client.failover.jitter": 0.1,
         # -- RPC QoS: call queue + scheduler (HADOOP-9640/10282) -----------
         "ipc.callqueue.impl": "fifo",  # or "fair" (FairCallQueue)
         # Comma-separated WRR drain weights, one per priority level;
@@ -72,6 +81,13 @@ class Configuration:
         "dfs.block.size": 64 * 1024 * 1024,
         "dfs.heartbeat.interval": 3_000_000.0,  # usec (3 s)
         "dfs.packet.size": 64 * 1024,
+        # -- NameNode HA (repro.ha) -----------------------------------------
+        "dfs.ha.failover.check.interval": 150_000.0,  # usec between probes
+        "dfs.ha.failover.probe.timeout": 200_000.0,  # usec per-probe deadline
+        # Consecutive failed health probes before the controller fences
+        # the active and promotes the standby.
+        "dfs.ha.failover.failure.threshold": 3,
+        "dfs.ha.tail-edits.period": 100_000.0,  # usec between standby tails
         # -- MapReduce --------------------------------------------------------
         "mapred.tasktracker.map.tasks.maximum": 8,
         "mapred.tasktracker.reduce.tasks.maximum": 4,

@@ -8,7 +8,9 @@ used for the cluster-scale experiments.
 """
 
 from repro.experiments import (
+    campaign,
     chaos,
+    failover,
     fig1_alloc_ratio,
     fig3_size_locality,
     fig5_micro,
@@ -31,6 +33,8 @@ ALL_EXPERIMENTS = {
     "chaos": chaos,
     "qos": qos,
     "operator": operator_story,
+    "failover": failover,
+    "campaign": campaign,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -10,7 +10,7 @@ The performance contract of this repo is two-sided:
   CI even though every simulated number still matches.
 
 ``bench`` runs the selected harnesses (default: fig5, fig1, table1,
-qos) at their regular experiment parameters and writes one ``BENCH_<name>.json``
+qos, failover) at their regular experiment parameters and writes one ``BENCH_<name>.json``
 per harness recording:
 
 * ``wall_seconds`` — host seconds for the run,
@@ -119,12 +119,40 @@ def _bench_qos() -> Tuple[Dict, Dict]:
     return headline, params
 
 
+def _bench_failover() -> Tuple[Dict, Dict]:
+    from repro.experiments import failover
+
+    result = failover.run()
+    faulted = result["faulted"]
+    headline = {
+        "unavailability_us": result["unavailability_us"],
+        "takeover_us": faulted["takeover_us"],
+        "completed": faulted["completed"],
+        "lost": len(faulted["lost"]),
+        "client_failovers": faulted["client_failovers"],
+        "controller_failovers": faulted["controller_failovers"],
+        "journal_entries": faulted["journal_entries"],
+        "faulted_makespan_us": faulted["makespan_us"],
+        "clean_makespan_us": result["clean"]["makespan_us"],
+    }
+    params = {
+        "num_datanodes": failover.NUM_DATANODES,
+        "num_clients": failover.NUM_CLIENTS,
+        "num_writes": failover.NUM_WRITES,
+        "file_bytes": failover.FILE_BYTES,
+        "crash_at_us": failover.CRASH_AT_US,
+        "restart_at_us": failover.RESTART_AT_US,
+    }
+    return headline, params
+
+
 #: benchmark name -> harness returning (headline metrics, parameters).
 HARNESSES: Dict[str, Callable[[], Tuple[Dict, Dict]]] = {
     "fig5": _bench_fig5,
     "fig1": _bench_fig1,
     "table1": _bench_table1,
     "qos": _bench_qos,
+    "failover": _bench_failover,
 }
 
 

@@ -1,0 +1,44 @@
+"""NameNode high availability: shared journal, fencing, failover.
+
+The subsystem models the HDFS HA design far enough for the paper's RPC
+layer to be exercised under node churn:
+
+* :class:`~repro.ha.journal.SharedJournal` — the quorum-journal
+  abstraction: an append-only edit log with **epoch fencing**.  Exactly
+  one writer holds the newest epoch; bumping the epoch synchronously
+  revokes the old writer (the QJM promise that a fenced writer's next
+  journal write is rejected), which is what makes at-most-one-active a
+  structural invariant rather than a timing accident.
+* :class:`~repro.ha.participant.HaParticipant` — the active/standby
+  state machine a daemon mixes in: typed
+  :class:`~repro.rpc.call.StandbyException` for calls landing on the
+  standby, journal tailing/catch-up for promotion, state-transition
+  bookkeeping in a :class:`~repro.ha.state.HaStateTracker`.
+* :class:`~repro.ha.controller.FailoverController` — the ZKFC-style
+  failure detector: periodic RPC health probes on the sim clock,
+  fence-then-promote on a consecutive-failure threshold.
+
+Everything runs on the simulated clock with named RNG streams only
+(lint rule SIM007 covers this package), so failover schedules are
+bit-identical across runs.
+"""
+
+from repro.ha.controller import FailoverController
+from repro.ha.journal import EditEntry, JournalFencedError, SharedJournal
+from repro.ha.participant import HaParticipant, HAServiceProtocol
+from repro.ha.service import HaPingPongService
+from repro.ha.state import HAState, HaStateTracker
+from repro.rpc.call import StandbyException
+
+__all__ = [
+    "EditEntry",
+    "FailoverController",
+    "HAServiceProtocol",
+    "HAState",
+    "HaParticipant",
+    "HaPingPongService",
+    "HaStateTracker",
+    "JournalFencedError",
+    "SharedJournal",
+    "StandbyException",
+]

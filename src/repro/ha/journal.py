@@ -1,0 +1,98 @@
+"""The shared edit journal: append-only log with epoch fencing.
+
+Models the quorum-journal contract HDFS HA rests on: writers are
+serialized by an **epoch** number.  ``new_epoch`` hands the journal to
+a new writer and *synchronously* revokes the old one (its registered
+fence hook runs inside the call, at the same simulated instant) — the
+DES equivalent of the QJM majority promising to reject the superseded
+writer's next ``journal()`` RPC.  A fenced writer that still tries to
+append gets :class:`JournalFencedError` and must demote itself.
+
+The journal itself is plain shared state, not an RPC service: its
+durability/consensus latency is already charged by the callers'
+``editlog_sync_us`` timeouts, so appends add bookkeeping only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class JournalFencedError(RuntimeError):
+    """An append carried a superseded epoch — the writer was fenced."""
+
+    def __init__(self, writer_epoch: int, journal_epoch: int):
+        super().__init__(
+            f"journal write with epoch {writer_epoch} rejected: "
+            f"current epoch is {journal_epoch}"
+        )
+        self.writer_epoch = writer_epoch
+        self.journal_epoch = journal_epoch
+
+
+@dataclass(frozen=True)
+class EditEntry:
+    """One committed edit-log transaction."""
+
+    txid: int
+    op: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class SharedJournal:
+    """Append-only edit log shared by the members of one HA pair."""
+
+    def __init__(self):
+        self.entries: List[EditEntry] = []
+        #: current writer epoch; 0 = nobody has ever held the journal.
+        self.epoch = 0
+        #: name of the current epoch holder (None before first grant).
+        self.writer: Optional[str] = None
+        self._fence_hooks: Dict[str, Callable[[int], None]] = {}
+        #: grant/fence history for debugging and tests.
+        self.epoch_log: List[tuple] = []
+
+    # -- writer management -------------------------------------------------
+    def register_fence_hook(
+        self, name: str, hook: Callable[[int], None]
+    ) -> None:
+        """Register ``hook(new_epoch)`` to run when ``name`` is fenced."""
+        self._fence_hooks[name] = hook
+
+    def new_epoch(self, owner: str) -> int:
+        """Grant the journal to ``owner``; fence the previous writer.
+
+        The old writer's fence hook runs synchronously *before* this
+        returns, so at no simulated instant do two holders coexist.
+        Returns the granted epoch.
+        """
+        fenced = self.writer
+        self.epoch += 1
+        self.writer = owner
+        self.epoch_log.append((self.epoch, owner, fenced))
+        if fenced is not None and fenced != owner:
+            hook = self._fence_hooks.get(fenced)
+            if hook is not None:
+                hook(self.epoch)
+        return self.epoch
+
+    # -- the log -----------------------------------------------------------
+    def append(self, epoch: int, op: str, payload: Dict[str, Any]) -> int:
+        """Commit one edit under ``epoch``; returns the assigned txid."""
+        if epoch != self.epoch:
+            raise JournalFencedError(epoch, self.epoch)
+        txid = len(self.entries) + 1
+        self.entries.append(EditEntry(txid, op, dict(payload)))
+        return txid
+
+    @property
+    def last_txid(self) -> int:
+        return len(self.entries)
+
+    def entries_since(self, txid: int) -> List[EditEntry]:
+        """All entries with txid strictly greater than ``txid``."""
+        return self.entries[txid:]
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,160 @@
+"""The active/standby state machine daemons mix in, plus its RPC face.
+
+A participant (the NameNode, or any HA-capable RPC service) gets:
+
+* a typed active check — client-protocol methods call
+  :meth:`HaParticipant.check_active` first, so calls landing on the
+  standby travel back as a :class:`~repro.rpc.call.StandbyException`
+  wire round-trip for the client's FailoverProxy to catch;
+* journal writes with fencing — :meth:`journal_edit` appends under the
+  participant's epoch and self-demotes (raising ``StandbyException``)
+  if the journal has moved on;
+* standby catch-up — a tail loop replays newly committed entries every
+  ``dfs.ha.tail-edits.period``, and the failover controller runs one
+  final :meth:`catch_up` under the new epoch before promotion, so an
+  activating standby serves a complete namespace.
+
+The mixin requires ``self.env`` to be set before :meth:`_ha_init` and
+the host class to implement :meth:`_apply_entry` (and optionally
+:meth:`_after_replay`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.ha.journal import JournalFencedError, SharedJournal
+from repro.ha.state import HAState, HaStateTracker
+from repro.io.writables import NullWritable, Text
+from repro.rpc.call import StandbyException
+from repro.rpc.protocol import RpcProtocol
+
+#: Per-entry standby replay cost (usec): in-memory re-application of an
+#: already-durable edit — no fsync, a fraction of ``editlog_sync_us``.
+REPLAY_US_PER_ENTRY = 12.0
+
+
+class HAServiceProtocol(RpcProtocol):
+    """Health/state probes the failover controller drives over RPC."""
+
+    VERSION = 1
+
+    def monitorHealth(self) -> NullWritable:
+        """Succeeds iff the daemon is serving (any state); the
+        controller reads liveness from the RPC outcome, not the body."""
+        raise NotImplementedError
+
+    def getServiceState(self) -> Text:
+        """The daemon's current HA state ("active"/"standby")."""
+        raise NotImplementedError
+
+
+class HaParticipant:
+    """Mixin: HA bookkeeping for one member of an active/standby pair."""
+
+    def _ha_init(
+        self,
+        name: str,
+        journal: SharedJournal,
+        tracker: Optional[HaStateTracker] = None,
+        gauge=None,
+        tail_period_us: float = 0.0,
+    ) -> None:
+        self.ha_name = name
+        self.journal = journal
+        self.ha_tracker = tracker
+        self._ha_gauge = gauge
+        self.ha_state = HAState.STANDBY
+        #: the epoch this participant last held as writer (0 = never).
+        self.ha_epoch = 0
+        #: highest journal txid applied to local state.
+        self.applied_txid = 0
+        journal.register_fence_hook(name, self._ha_fenced)
+        if tracker is not None:
+            tracker.record(name, HAState.STANDBY)
+        if gauge is not None:
+            gauge.set(0)
+        if tail_period_us > 0:
+            self.env.process(
+                self._ha_tail_loop(tail_period_us), name=f"ha-tail:{name}"
+            )
+
+    # -- state transitions -------------------------------------------------
+    def transition_to_active(self, epoch: int) -> None:
+        """Promote (controller-driven, after fencing + catch-up)."""
+        self.ha_epoch = epoch
+        self.ha_state = HAState.ACTIVE
+        if self.ha_tracker is not None:
+            self.ha_tracker.record(self.ha_name, HAState.ACTIVE)
+        if self._ha_gauge is not None:
+            self._ha_gauge.set(1)
+
+    def transition_to_standby(self) -> None:
+        if self.ha_state is HAState.STANDBY:
+            return
+        self.ha_state = HAState.STANDBY
+        if self.ha_tracker is not None:
+            self.ha_tracker.record(self.ha_name, HAState.STANDBY)
+        if self._ha_gauge is not None:
+            self._ha_gauge.set(0)
+
+    def _ha_fenced(self, new_epoch: int) -> None:
+        """Journal fence hook: a newer epoch exists — stop acting active."""
+        self.transition_to_standby()
+
+    # -- serving-path hooks --------------------------------------------------
+    def check_active(self, op: str) -> None:
+        """Raise :class:`StandbyException` unless this member is active."""
+        if self.ha_state is not HAState.ACTIVE:
+            raise StandbyException(
+                f"operation {op} is not supported in state standby "
+                f"({self.ha_name})"
+            )
+
+    def journal_edit(self, op: str, payload: Dict[str, Any]) -> None:
+        """Commit one edit under our epoch; self-demote if fenced."""
+        try:
+            self.applied_txid = self.journal.append(self.ha_epoch, op, payload)
+        except JournalFencedError as exc:
+            self.transition_to_standby()
+            raise StandbyException(
+                f"{self.ha_name}: fenced mid-write ({exc})"
+            ) from exc
+
+    # -- standby replay ------------------------------------------------------
+    def catch_up(self):
+        """Generator: replay every not-yet-applied journal entry.
+
+        Charges :data:`REPLAY_US_PER_ENTRY` per entry before applying
+        the batch, then re-checks for entries committed during the
+        replay sleep — after a fence nothing new can appear, so the
+        controller's promotion catch-up always converges.
+        """
+        while True:
+            pending = self.journal.entries_since(self.applied_txid)
+            if not pending:
+                return
+            yield self.env.timeout(REPLAY_US_PER_ENTRY * len(pending))
+            for entry in pending:
+                self._apply_entry(entry)
+                self.applied_txid = entry.txid
+            self._after_replay()
+
+    def _ha_tail_loop(self, period_us: float):
+        while True:
+            yield self.env.timeout(period_us)
+            if self.ha_state is HAState.STANDBY:
+                yield from self.catch_up()
+
+    def _apply_entry(self, entry) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _after_replay(self) -> None:
+        """Post-batch hook (gauge refresh etc.); default: nothing."""
+
+    # -- HAServiceProtocol ---------------------------------------------------
+    def monitorHealth(self) -> NullWritable:
+        return NullWritable()
+
+    def getServiceState(self) -> Text:
+        return Text(self.ha_state.value)

@@ -1,0 +1,75 @@
+"""A minimal HA RPC service: the micro-benchmark echo, made failover-able.
+
+``HaPingPongService`` is the ping-pong echo of the paper's RPC
+micro-benchmark (same protocol, same simulated handler compute as the
+QoS experiment) wrapped in the :class:`~repro.ha.HaParticipant` state
+machine: calls landing on the standby bounce with a typed
+``StandbyException``, every served call commits one edit to the shared
+journal, and the standby replays the stream so ``applied_ops`` on an
+activating member always equals the committed-op count — the campaign
+runner's zero-acknowledged-loss check.
+
+It exists so HA campaigns can stress failover semantics with the
+high-rate, hostile-tenant-friendly workload of the chaos/QoS
+experiments without dragging the whole HDFS namesystem along.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ha.journal import SharedJournal
+from repro.ha.participant import HaParticipant
+from repro.ha.state import HaStateTracker
+from repro.io.writables import BytesWritable
+from repro.rpc.microbench import PingPongProtocol
+
+#: simulated handler compute per call (matches the QoS experiment, so a
+#: small server is a genuinely scarce resource under a hostile tenant).
+SERVICE_US = 400.0
+
+
+class HaPingPongService(HaParticipant, PingPongProtocol):
+    """Echo + journal: one member of an HA pair serving ``pingpong``."""
+
+    def __init__(
+        self,
+        env,
+        name: str,
+        journal: SharedJournal,
+        tracker: Optional[HaStateTracker] = None,
+        gauge=None,
+        tail_period_us: float = 0.0,
+    ):
+        self.env = env
+        #: ops reflected in local state — served (active) or replayed
+        #: (standby); equals the journal's committed-op count once
+        #: caught up.
+        self.applied_ops = 0
+        #: calls bounced with a StandbyException.
+        self.standby_rejections = 0
+        self._ha_init(
+            name,
+            journal,
+            tracker=tracker,
+            gauge=gauge,
+            tail_period_us=tail_period_us,
+        )
+
+    def pingpong(self, payload: BytesWritable) -> BytesWritable:
+        def work():
+            if self.ha_state.value != "active":
+                self.standby_rejections += 1
+            self.check_active("pingpong")
+            yield self.env.timeout(SERVICE_US)
+            # Commit-then-ack: the edit lands (or we demote with a
+            # StandbyException) before the reply is sent, so every
+            # acknowledged op is in the journal for the peer to replay.
+            self.journal_edit("ping", {"n": 1})
+            self.applied_ops += 1
+            return payload
+
+        return work()
+
+    def _apply_entry(self, entry) -> None:
+        self.applied_ops += 1

@@ -1,0 +1,63 @@
+"""HA service states and the at-most-one-active transition ledger."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+
+class HAState(enum.Enum):
+    """The two serving states of an HA pair member."""
+
+    ACTIVE = "active"
+    STANDBY = "standby"
+
+
+class HaStateTracker:
+    """Append-only ledger of ``(sim time, node, state)`` transitions.
+
+    Transitions at the same simulated timestamp are recorded in causal
+    order (the journal fences — demotes — the old active *before* the
+    controller promotes the new one), so a single in-order walk checks
+    the fencing invariant: at no point are two nodes active at once.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    def record(self, name: str, state: HAState) -> None:
+        self.transitions.append((self.env.now, name, state.value))
+
+    def states(self) -> Dict[str, str]:
+        """Final recorded state of every participant."""
+        final: Dict[str, str] = {}
+        for _, name, state in self.transitions:
+            final[name] = state
+        return final
+
+    def active_counts(self) -> List[Tuple[float, int]]:
+        """``(t, #active)`` after every transition, in causal order."""
+        active: set = set()
+        counts: List[Tuple[float, int]] = []
+        for t, name, state in self.transitions:
+            if state == HAState.ACTIVE.value:
+                active.add(name)
+            else:
+                active.discard(name)
+            counts.append((t, len(active)))
+        return counts
+
+    def assert_at_most_one_active(self) -> None:
+        """Raise if any prefix of the ledger ever shows two actives."""
+        active: set = set()
+        for t, name, state in self.transitions:
+            if state == HAState.ACTIVE.value:
+                active.add(name)
+            else:
+                active.discard(name)
+            if len(active) > 1:
+                raise AssertionError(
+                    f"fencing violated at t={t}: {sorted(active)} "
+                    f"simultaneously active (transition: {name} -> {state})"
+                )

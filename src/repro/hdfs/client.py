@@ -14,7 +14,7 @@ Fig. 7 rides on:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.calibration import NetworkSpec
 from repro.config import Configuration
@@ -25,6 +25,7 @@ from repro.net.fabric import Fabric, Node
 from repro.net.sockets import SocketAddress
 from repro.rpc.call import RemoteException
 from repro.rpc.engine import RPC
+from repro.rpc.failover import FailoverProxy
 from repro.rpc.metrics import RpcMetrics
 from repro.simcore import Store
 from repro.simcore.rng import Random, named_stream
@@ -42,7 +43,7 @@ class DFSClient:
         self,
         fabric: Fabric,
         node: Node,
-        namenode_address: SocketAddress,
+        namenode_address: Union[SocketAddress, Sequence[SocketAddress]],
         datanode_registry,
         conf: Optional[Configuration] = None,
         rpc_spec: Optional[NetworkSpec] = None,
@@ -63,7 +64,24 @@ class DFSClient:
             fabric, node, rpc_spec, conf=self.conf, metrics=metrics,
             name=self.name,
         )
-        self.namenode = RPC.get_proxy(ClientProtocol, namenode_address, self.rpc_client)
+        if isinstance(namenode_address, SocketAddress):
+            addresses = [namenode_address]
+        else:
+            addresses = list(namenode_address)
+        if len(addresses) > 1:
+            # HA pair: sticky failover proxy.  The child RNG draw
+            # happens only on this branch, so single-NameNode runs keep
+            # their exact pre-HA random streams (golden schedules).
+            self.namenode = FailoverProxy(
+                self.rpc_client,
+                addresses,
+                ClientProtocol,
+                rng=Random(self.rng.getrandbits(32)),
+            )
+        else:
+            self.namenode = RPC.get_proxy(
+                ClientProtocol, addresses[0], self.rpc_client
+            )
         self.addblock_retries = 0
         self.complete_polls = 0
 

@@ -3,6 +3,15 @@
 Encodes the paper's Fig. 7 configuration matrix: the *data* transport
 (socket over 1GigE/IPoIB, or RDMA = HDFSoIB) and the *RPC* transport
 (sockets over 1GigE/IPoIB, or RPCoIB) vary independently.
+
+Passing ``standby_node`` turns the deployment into an HA pair: both
+NameNodes share a :class:`~repro.ha.SharedJournal`, the first is
+granted the initial epoch and promoted at construction, DataNodes fan
+their control traffic out to both members, and clients get a
+:class:`~repro.rpc.failover.FailoverProxy` over the ordered address
+pair.  ``controller_node`` additionally starts a
+:class:`~repro.ha.FailoverController` that detects a dead active and
+drives fencing + takeover.
 """
 
 from __future__ import annotations
@@ -11,6 +20,9 @@ from typing import Dict, List, Optional
 
 from repro.calibration import NetworkSpec
 from repro.config import Configuration
+from repro.ha.controller import FailoverController
+from repro.ha.journal import SharedJournal
+from repro.ha.state import HAState, HaStateTracker
 from repro.hdfs.client import DFSClient
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.namenode import NameNode
@@ -34,6 +46,8 @@ class HdfsCluster:
         rng: Optional[Random] = None,
         metrics: Optional[RpcMetrics] = None,
         heartbeats: bool = True,
+        standby_node: Optional[Node] = None,
+        controller_node: Optional[Node] = None,
     ):
         self.fabric = fabric
         self.env = fabric.env
@@ -41,6 +55,13 @@ class HdfsCluster:
         self.rpc_spec = rpc_spec
         self.metrics = metrics or RpcMetrics()
         rng = rng or named_stream("hdfs-cluster")
+        self.journal: Optional[SharedJournal] = None
+        self.ha_tracker: Optional[HaStateTracker] = None
+        self.standby: Optional[NameNode] = None
+        self.controller: Optional[FailoverController] = None
+        if standby_node is not None:
+            self.journal = SharedJournal()
+            self.ha_tracker = HaStateTracker(self.env)
         self.namenode = NameNode(
             fabric,
             namenode_node,
@@ -48,13 +69,33 @@ class HdfsCluster:
             spec=rpc_spec,
             metrics=self.metrics,
             rng=Random(rng.getrandbits(32)),
+            journal=self.journal,
+            ha_tracker=self.ha_tracker,
         )
+        if standby_node is not None:
+            self.standby = NameNode(
+                fabric,
+                standby_node,
+                conf=self.conf,
+                spec=rpc_spec,
+                metrics=self.metrics,
+                rng=Random(rng.getrandbits(32)),
+                journal=self.journal,
+                ha_tracker=self.ha_tracker,
+            )
+            # Initial grant: first member gets the journal and serves.
+            epoch = self.journal.new_epoch(self.namenode.node.name)
+            self.namenode.transition_to_active(epoch)
+        if self.standby is not None:
+            self._nn_addresses = [self.namenode.address, self.standby.address]
+        else:
+            self._nn_addresses = self.namenode.address
         self.datanodes: Dict[str, DataNode] = {}
         for node in datanode_nodes:
             self.datanodes[node.name] = DataNode(
                 fabric,
                 node,
-                self.namenode.address,
+                self._nn_addresses,
                 conf=self.conf,
                 rpc_spec=rpc_spec,
                 data_transport=data_transport,
@@ -63,7 +104,33 @@ class HdfsCluster:
                 rng=Random(rng.getrandbits(32)),
                 heartbeats=heartbeats,
             )
+        if controller_node is not None and self.standby is not None:
+            self.controller = FailoverController(
+                fabric,
+                controller_node,
+                [self.namenode, self.standby],
+                self.journal,
+                conf=self.conf,
+                spec=rpc_spec,
+                rng=Random(rng.getrandbits(32)),
+            )
         self._rng = rng
+
+    @property
+    def namenodes(self) -> List[NameNode]:
+        """All NameNode members (one, or the HA pair)."""
+        if self.standby is not None:
+            return [self.namenode, self.standby]
+        return [self.namenode]
+
+    def active_namenode(self) -> Optional[NameNode]:
+        """The member currently active (None mid-failover)."""
+        if self.standby is None:
+            return self.namenode
+        for member in self.namenodes:
+            if member.ha_state is HAState.ACTIVE:
+                return member
+        return None
 
     def datanode(self, name: str) -> DataNode:
         try:
@@ -76,7 +143,7 @@ class HdfsCluster:
         return DFSClient(
             self.fabric,
             node,
-            self.namenode.address,
+            self._nn_addresses,
             self.datanode,
             conf=self.conf,
             rpc_spec=self.rpc_spec,

@@ -17,7 +17,7 @@ simulating every 64 KB packet.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.calibration import IB_RDMA, NetworkSpec
 from repro.config import Configuration
@@ -31,6 +31,7 @@ from repro.hdfs.protocol import (
 from repro.io.writables import Text
 from repro.net.fabric import Fabric, Node
 from repro.net.sockets import SYSCALL_CHUNK, SocketAddress
+from repro.rpc.call import RemoteException
 from repro.rpc.engine import RPC
 from repro.rpc.metrics import RpcMetrics
 from repro.simcore import Resource, Store
@@ -38,6 +39,57 @@ from repro.simcore.rng import Random, named_stream
 
 #: Pipeline streaming granularity (aggregates HDFS's 64 KB packets).
 PIPELINE_CHUNK = 8 * 1024 * 1024
+
+#: Retry cadence for control-plane calls while the NameNode is down.
+NN_RETRY_US = 1_000_000.0
+
+
+class _FanoutNameNodeProxy:
+    """DatanodeProtocol stub that reports to *every* NameNode of an HA pair.
+
+    The standby builds its DataNode registry and replica map from the
+    same registrations/heartbeats/blockReceived stream as the active
+    (it journals namespace edits only), so DataNodes fan every control
+    call out to both members.  Delivery is sequential and best-effort
+    per member; the fanned-out call succeeds iff at least one member
+    acknowledged — a crashed or still-restarting peer never blocks the
+    reporting path.
+    """
+
+    def __init__(self, env, proxies):
+        self._env = env
+        self._proxies = list(proxies)
+
+    def __getattr__(self, method: str):
+        if method.startswith("_"):
+            raise AttributeError(method)
+        if not callable(getattr(DatanodeProtocol, method, None)):
+            raise AttributeError(
+                f"{DatanodeProtocol.protocol_name()} has no RPC method {method!r}"
+            )
+
+        def invoke(*params):
+            return self._env.process(
+                self._fanout_proc(method, params), name=f"nn-fanout:{method}"
+            )
+
+        invoke.__name__ = method
+        self.__dict__[method] = invoke
+        return invoke
+
+    def _fanout_proc(self, method: str, params):
+        value = None
+        delivered = 0
+        failure = None
+        for proxy in self._proxies:
+            try:
+                value = yield getattr(proxy, method)(*params)
+                delivered += 1
+            except (RemoteException, ConnectionError) as exc:
+                failure = exc
+        if delivered == 0:
+            raise failure
+        return value
 
 
 class DataNode:
@@ -47,7 +99,7 @@ class DataNode:
         self,
         fabric: Fabric,
         node: Node,
-        namenode_address: SocketAddress,
+        namenode_address: Union[SocketAddress, Sequence[SocketAddress]],
         conf: Optional[Configuration] = None,
         rpc_spec: Optional[NetworkSpec] = None,
         data_transport: str = "socket",
@@ -72,7 +124,20 @@ class DataNode:
             fabric, node, rpc_spec, conf=self.conf, metrics=metrics,
             name=f"dn-rpc@{node.name}",
         )
-        self.nn = RPC.get_proxy(DatanodeProtocol, namenode_address, self.rpc_client)
+        if isinstance(namenode_address, SocketAddress):
+            addresses = [namenode_address]
+        else:
+            addresses = list(namenode_address)
+        if len(addresses) > 1:
+            self.nn = _FanoutNameNodeProxy(
+                self.env,
+                [
+                    RPC.get_proxy(DatanodeProtocol, address, self.rpc_client)
+                    for address in addresses
+                ],
+            )
+        else:
+            self.nn = RPC.get_proxy(DatanodeProtocol, addresses[0], self.rpc_client)
         #: local block store: block_id -> byte length
         self.blocks: Dict[int, int] = {}
         #: one disk arm; all block IO serializes here
@@ -86,7 +151,16 @@ class DataNode:
     # control plane
     # ------------------------------------------------------------------
     def _startup(self, heartbeats: bool):
-        yield self.nn.register(DatanodeInfoWritable(self.name, 1 << 40, 1 << 40))
+        while True:
+            try:
+                yield self.nn.register(
+                    DatanodeInfoWritable(self.name, 1 << 40, 1 << 40)
+                )
+                break
+            except (RemoteException, ConnectionError):
+                # NameNode down at boot: keep knocking — an unhandled
+                # failure here would crash the whole simulation.
+                yield self.env.timeout(NN_RETRY_US)
         self._registered.succeed()
         if heartbeats:
             self.env.process(self._heartbeat_loop(), name=f"dn-hb:{self.name}")
@@ -96,9 +170,17 @@ class DataNode:
         # desynchronize the fleet
         yield self.env.timeout(self.rng.uniform(0, interval))
         while True:
-            yield self.nn.sendHeartbeat(
-                HeartbeatWritable(self.name, 1 << 40, self.bytes_written, 1 << 40, 0)
-            )
+            try:
+                yield self.nn.sendHeartbeat(
+                    HeartbeatWritable(
+                        self.name, 1 << 40, self.bytes_written, 1 << 40, 0
+                    )
+                )
+            except (RemoteException, ConnectionError):
+                # Crashed/partitioned NameNode: hold the cadence and try
+                # again next beat, so a restarted NameNode sees this
+                # DataNode's liveness (and gauges) recover by itself.
+                pass
             yield self.env.timeout(interval)
 
     def send_block_report(self):
@@ -192,9 +274,16 @@ class DataNode:
     def _report_received(self, block: BlockWritable, nbytes: int):
         # post-block finalization (CRC/meta flush) before reporting
         yield self.env.timeout(self.rng.uniform(150.0, 700.0))
-        yield self.nn.blockReceived(
-            Text(self.name), BlockWritable(block.block_id, nbytes, 0)
-        )
+        while True:
+            try:
+                yield self.nn.blockReceived(
+                    Text(self.name), BlockWritable(block.block_id, nbytes, 0)
+                )
+                return
+            except (RemoteException, ConnectionError):
+                # The report is load-bearing (addBlock/complete wait on
+                # replica counts): retry until some NameNode takes it.
+                yield self.env.timeout(NN_RETRY_US)
 
     # ------------------------------------------------------------------
     # data plane: reads

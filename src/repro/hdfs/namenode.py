@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.calibration import NetworkSpec
 from repro.config import Configuration
+from repro.ha.journal import SharedJournal
+from repro.ha.participant import HaParticipant, HAServiceProtocol
+from repro.ha.state import HAState, HaStateTracker
 from repro.io.writables import BooleanWritable, IntWritable, LongWritable, NullWritable, Text
 from repro.io.writable import ObjectWritable
 from repro.io.writables import ArrayWritable
@@ -83,8 +86,18 @@ class DatanodeDescriptor:
     xceivers: int = 0
 
 
-class NameNode(ClientProtocol, DatanodeProtocol):
-    """NameNode daemon: namespace, block map, DataNode registry."""
+class NameNode(HaParticipant, ClientProtocol, DatanodeProtocol):
+    """NameNode daemon: namespace, block map, DataNode registry.
+
+    With ``journal`` set the NameNode is one member of an HA pair: it
+    starts as a **standby** (rejecting every ClientProtocol call with a
+    typed ``StandbyException``, while still absorbing DataNode
+    registrations/heartbeats/block reports), tails the shared journal,
+    and serves only after a :class:`~repro.ha.FailoverController` (or
+    the cluster wiring, for the initial active) grants it the journal
+    epoch and promotes it.  Without ``journal`` nothing changes — the
+    single-NameNode paths are bit-identical to the non-HA build.
+    """
 
     def __init__(
         self,
@@ -95,6 +108,8 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         spec: Optional[NetworkSpec] = None,
         metrics: Optional[RpcMetrics] = None,
         rng: Optional[Random] = None,
+        journal: Optional[SharedJournal] = None,
+        ha_tracker: Optional[HaStateTracker] = None,
     ):
         self.fabric = fabric
         self.env = fabric.env
@@ -115,13 +130,20 @@ class NameNode(ClientProtocol, DatanodeProtocol):
             "heartbeats": 0,
             "completes": 0,
             "completes_false": 0,
+            "standby_rejected": 0,
         }
+        #: blockReceived reports for blocks whose addBlock edit this
+        #: (standby) member has not tailed yet; merged on replay.
+        self._pending_replicas: Dict[int, List[Tuple[str, int]]] = {}
+        protocols = [ClientProtocol, DatanodeProtocol]
+        if journal is not None:
+            protocols.append(HAServiceProtocol)
         self.server = RPC.get_server(
             fabric,
             node,
             port,
             instance=self,
-            protocols=[ClientProtocol, DatanodeProtocol],
+            protocols=protocols,
             spec=self.spec,
             conf=self.conf,
             metrics=self.metrics,
@@ -137,6 +159,15 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         self._gauge_under_construction = registry.gauge(
             "hdfs.namenode.files_under_construction", node=node.name
         )
+        self.journal = None
+        if journal is not None:
+            self._ha_init(
+                node.name,
+                journal,
+                tracker=ha_tracker,
+                gauge=registry.gauge("hdfs.namenode.ha.active", node=node.name),
+                tail_period_us=self.conf.get_float("dfs.ha.tail-edits.period"),
+            )
 
     @property
     def address(self):
@@ -146,6 +177,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
     # ClientProtocol
     # ------------------------------------------------------------------
     def getFileInfo(self, path: Text):
+        self._check_active("getFileInfo")
         inode = self.namespace.get(path.value)
         if inode is None:
             return NullWritable()
@@ -159,6 +191,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         )
 
     def mkdirs(self, path: Text):
+        self._check_active("mkdirs")
         yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
         parts = [p for p in path.value.split("/") if p]
         current = ""
@@ -166,10 +199,12 @@ class NameNode(ClientProtocol, DatanodeProtocol):
             current += "/" + part
             if current not in self.namespace:
                 self.namespace[current] = INode(current, is_dir=True)
+        self._journal_op("mkdirs", path=path.value)
         self._update_gauges()
         return BooleanWritable(True)
 
     def create(self, path: Text, replication: IntWritable, block_size: LongWritable):
+        self._check_active("create")
         if path.value in self.namespace:
             raise FileExistsError(f"{path.value} already exists")
         yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
@@ -179,10 +214,17 @@ class NameNode(ClientProtocol, DatanodeProtocol):
             block_size=block_size.value,
             under_construction=True,
         )
+        self._journal_op(
+            "create",
+            path=path.value,
+            replication=replication.value,
+            block_size=block_size.value,
+        )
         self._update_gauges()
         return BooleanWritable(True)
 
     def renewLease(self, client_name: Text):
+        self._check_active("renewLease")
         return NullWritable()
 
     def addBlock(self, path: Text, client_name: Text):
@@ -192,6 +234,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         RemoteException) when the previous block has no confirmed
         replica yet, exactly like 0.20.2's ``getAdditionalBlock``.
         """
+        self._check_active("addBlock")
         inode = self._file(path)
         self.stats["addBlock"] += 1
         min_replication = min(
@@ -205,6 +248,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         block = BlockInfo(next(self._block_ids), 0)
         inode.blocks.append(block)
         self.block_map[block.block_id] = block
+        self._journal_op("addBlock", path=path.value, block_id=block.block_id)
         self._update_gauges()
         targets = self._choose_targets(client_name.value, inode.replication)
         return LocatedBlockWritable(
@@ -214,6 +258,7 @@ class NameNode(ClientProtocol, DatanodeProtocol):
 
     def complete(self, path: Text, client_name: Text):
         """True when every block has >= 1 confirmed replica."""
+        self._check_active("complete")
         inode = self._file(path)
         self.stats["completes"] += 1
         min_replication = min(
@@ -223,12 +268,14 @@ class NameNode(ClientProtocol, DatanodeProtocol):
             if inode.under_construction:
                 inode.under_construction = False
                 yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
+                self._journal_op("complete", path=path.value)
                 self._update_gauges()
             return BooleanWritable(True)
         self.stats["completes_false"] += 1
         return BooleanWritable(False)
 
     def getListing(self, path: Text):
+        self._check_active("getListing")
         prefix = path.value.rstrip("/") + "/"
         children = [
             self.getFileInfo(Text(p))
@@ -238,25 +285,30 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         return ArrayWritable([c for c in children if isinstance(c, FileStatusWritable)])
 
     def rename(self, src: Text, dst: Text):
+        self._check_active("rename")
         inode = self.namespace.pop(src.value, None)
         if inode is None:
             return BooleanWritable(False)
         yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
         inode.path = dst.value
         self.namespace[dst.value] = inode
+        self._journal_op("rename", src=src.value, dst=dst.value)
         return BooleanWritable(True)
 
     def delete(self, path: Text):
+        self._check_active("delete")
         inode = self.namespace.pop(path.value, None)
         if inode is None:
             return BooleanWritable(False)
         yield self.env.timeout(self.fabric.model.software.editlog_sync_us)
         for block in inode.blocks:
             self.block_map.pop(block.block_id, None)
+        self._journal_op("delete", path=path.value)
         self._update_gauges()
         return BooleanWritable(True)
 
     def getBlockLocations(self, path: Text, offset: LongWritable, length: LongWritable):
+        self._check_active("getBlockLocations")
         inode = self._file(path)
         located = []
         position = 0
@@ -303,6 +355,14 @@ class NameNode(ClientProtocol, DatanodeProtocol):
         if info is not None:
             info.replicas.add(name.value)
             info.num_bytes = max(info.num_bytes, block.num_bytes)
+        elif self.journal is not None:
+            # Standby hears about a block before tailing its addBlock
+            # edit: stash the report, merged during replay.  This is how
+            # an activating standby already knows replica locations — the
+            # zero-acknowledged-write-loss guarantee rests on it.
+            self._pending_replicas.setdefault(block.block_id, []).append(
+                (name.value, block.num_bytes)
+            )
         self.stats["blockReceived"] += 1
         return NullWritable()
 
@@ -318,6 +378,66 @@ class NameNode(ClientProtocol, DatanodeProtocol):
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _check_active(self, op: str) -> None:
+        """HA gate for ClientProtocol methods; no-op on a non-HA build."""
+        if self.journal is not None and self.ha_state is not HAState.ACTIVE:
+            self.stats["standby_rejected"] += 1
+            self.check_active(op)  # raises StandbyException
+
+    def _journal_op(self, op: str, **payload) -> None:
+        """Record one committed namespace edit (no-op on a non-HA build)."""
+        if self.journal is not None:
+            self.journal_edit(op, payload)
+
+    def _apply_entry(self, entry) -> None:
+        """Standby replay: re-apply one tailed edit to local state."""
+        p = entry.payload
+        if entry.op == "mkdirs":
+            parts = [s for s in p["path"].split("/") if s]
+            current = ""
+            for part in parts:
+                current += "/" + part
+                if current not in self.namespace:
+                    self.namespace[current] = INode(current, is_dir=True)
+        elif entry.op == "create":
+            self.namespace[p["path"]] = INode(
+                p["path"],
+                replication=p["replication"],
+                block_size=p["block_size"],
+                under_construction=True,
+            )
+        elif entry.op == "addBlock":
+            block = BlockInfo(p["block_id"], 0)
+            for name, num_bytes in self._pending_replicas.pop(
+                p["block_id"], ()
+            ):
+                block.replicas.add(name)
+                block.num_bytes = max(block.num_bytes, num_bytes)
+            inode = self.namespace.get(p["path"])
+            if inode is not None and not inode.is_dir:
+                inode.blocks.append(block)
+            self.block_map[p["block_id"]] = block
+            # Never re-allocate an id the fenced active already handed
+            # out — a post-takeover addBlock must not collide.
+            self._block_ids = itertools.count(p["block_id"] + 1)
+        elif entry.op == "complete":
+            inode = self.namespace.get(p["path"])
+            if inode is not None:
+                inode.under_construction = False
+        elif entry.op == "rename":
+            inode = self.namespace.pop(p["src"], None)
+            if inode is not None:
+                inode.path = p["dst"]
+                self.namespace[p["dst"]] = inode
+        elif entry.op == "delete":
+            inode = self.namespace.pop(p["path"], None)
+            if inode is not None:
+                for block in inode.blocks:
+                    self.block_map.pop(block.block_id, None)
+
+    def _after_replay(self) -> None:
+        self._update_gauges()
+
     def _update_gauges(self) -> None:
         """Refresh namesystem gauges after any state mutation.
 

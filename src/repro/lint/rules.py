@@ -102,8 +102,15 @@ RULE_SCOPES: Dict[str, RuleScope] = {
     "SIM002": RuleScope(exempt_suffixes=("repro/simcore/rng.py",)),
     # Seeded-schedule planes: fault draws decide *which* failures
     # happen, the decay scheduler's sweep jitter decides *when*
-    # priorities shift.
-    "SIM007": RuleScope(fragments=("repro/faults/", "repro/rpc/scheduler.py")),
+    # priorities shift, and the HA failover controller's probe jitter
+    # decides *when* takeover fires.
+    "SIM007": RuleScope(
+        fragments=(
+            "repro/faults/",
+            "repro/rpc/scheduler.py",
+            "repro/ha/",
+        )
+    ),
     # Zero-copy invariant holders: serialization + transport.
     "SIM008": RuleScope(fragments=("repro/io/", "repro/net/"), src_only=True),
     # Whole-program rule: hazards anywhere in simulation source *except*
@@ -755,10 +762,21 @@ def check_sim009(pctx: ProgramContext) -> Iterator[Finding]:
 # --------------------------------------------------------------------------
 
 #: Conf keys the operator plane can change at runtime.  Mirrors
-#: ``repro.rpc.server.Server.QOS_KEYS`` (asserted in tests/lint) — the
-#: keys ``reconfigure_qos``/``ReloadPlan`` rewires while the sim runs.
+#: ``repro.rpc.server.Server.QOS_KEYS`` union
+#: ``repro.rpc.failover.FailoverProxy.RELOADABLE_KEYS`` (asserted in
+#: tests/lint) — the keys ``reconfigure_qos``/``ReloadPlan`` rewires
+#: while the sim runs, plus the client failover retry policy the proxy
+#: re-reads per attempt.
 RELOADABLE_CONF_KEYS = frozenset(
-    {"ipc.callqueue.fair.weights", "decay-scheduler.thresholds"}
+    {
+        "ipc.callqueue.fair.weights",
+        "decay-scheduler.thresholds",
+        "ipc.client.failover.max.attempts",
+        "ipc.client.failover.sleep.base",
+        "ipc.client.failover.sleep.max",
+        "ipc.client.failover.retry.policy",
+        "ipc.client.failover.jitter",
+    }
 )
 
 

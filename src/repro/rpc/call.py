@@ -41,6 +41,21 @@ class ServerOverloadedException(RemoteException):
         super().__init__(self.CLASS_NAME, message)
 
 
+class StandbyException(RemoteException):
+    """The call landed on the standby of an HA pair.
+
+    Hadoop analogue: ``org.apache.hadoop.ipc.StandbyException``.  The
+    operation is *not* retried on the same server — a
+    :class:`~repro.rpc.failover.FailoverProxy` catches it and re-issues
+    the call against the other NameNode of the pair.
+    """
+
+    CLASS_NAME = "StandbyException"
+
+    def __init__(self, message: str = "operation not supported in state standby"):
+        super().__init__(self.CLASS_NAME, message)
+
+
 class RetriableException(RemoteException):
     """Priority-aware backoff rejection (Hadoop's ``RetriableException``).
 

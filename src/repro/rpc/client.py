@@ -57,6 +57,7 @@ from repro.rpc.call import (
     RpcStatus,
     RpcTimeoutError,
     ServerOverloadedException,
+    StandbyException,
 )
 from repro.rpc.metrics import CallProfile, RpcMetrics
 from repro.rpc.protocol import RpcProtocol
@@ -481,6 +482,8 @@ class BaseConnection:
             call.error(ServerOverloadedException(error_msg))
         elif error_cls == RetriableException.CLASS_NAME:
             call.error(RetriableException.from_wire(error_msg))
+        elif error_cls == StandbyException.CLASS_NAME:
+            call.error(StandbyException(error_msg))
         else:
             call.error(RemoteException(error_cls, error_msg))
 

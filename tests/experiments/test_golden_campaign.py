@@ -1,0 +1,69 @@
+"""Golden determinism gates for the hostile-network campaign runner.
+
+The full {fabric x fault plan x call queue} sweep must reproduce the
+committed fixture bit-for-bit.  Regenerating it is a deliberate act:
+rerun ``campaign.run()`` (full matrix), dump with ``json.dump(...,
+indent=2, sort_keys=True)``, and explain the change in the commit
+message.
+
+The second gate re-checks the per-cell acceptance bar on the fixture
+(liveness in every cell, failover within bound wherever the plan kills
+or isolates the active, fair queue protecting the victims under the
+abusive plan), and the third pins the smoke matrix — the CI-sized
+reduction — to be an exact subset of the full sweep's cells.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments import campaign
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_campaign.json"
+
+
+def test_campaign_is_bit_identical_to_fixture():
+    result = campaign.run(matrix="full")
+    normalized = json.loads(json.dumps(result))
+    golden = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    assert normalized == golden
+
+
+def test_campaign_fixture_holds_the_acceptance_bar():
+    golden = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    cells = golden["cells"]
+    # The ISSUE's floor: a comparative matrix of at least 8 cells.
+    assert len(cells) >= 8
+    by_key = {}
+    for cell in cells:
+        by_key[(cell["fabric"], cell["plan"], cell["queue"])] = cell
+        # Per-cell liveness: everything issued settled.
+        assert cell["completed"] + cell["raised"] == cell["issued"], cell
+        # The journal committed exactly the acknowledged ops (the run
+        # itself asserts applied == journal per member, per cell).
+        assert cell["journal_ops"] == cell["completed"], cell
+        if cell["plan"] in ("ha", "chaos"):
+            assert cell["failovers"] >= 1, cell
+            assert (
+                0.0
+                < cell["unavailability_us"]
+                <= campaign.UNAVAILABILITY_BOUND_US
+            ), cell
+        else:
+            assert cell["failovers"] == 0, cell
+    # Fairness holds under the hostile tenant on every fabric.
+    for fabric in ("rpcoib", "sockets"):
+        fair = by_key[(fabric, "abusive", "fair")]
+        fifo = by_key[(fabric, "abusive", "fifo")]
+        assert fair["victim_p99_us"] <= fifo["victim_p99_us"], (fair, fifo)
+
+
+def test_smoke_matrix_is_a_subset_of_the_full_sweep():
+    smoke = campaign.MATRICES["smoke"]
+    full = campaign.MATRICES["full"]
+    for axis in ("fabrics", "plans", "queues"):
+        assert set(smoke[axis]) <= set(full[axis])
+    # 4 cells: enough for CI to exercise failover + fairness cheaply.
+    n_cells = (
+        len(smoke["fabrics"]) * len(smoke["plans"]) * len(smoke["queues"])
+    )
+    assert n_cells == 4

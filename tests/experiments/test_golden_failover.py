@@ -1,0 +1,52 @@
+"""Golden determinism gates for the failover experiment.
+
+Mirrors test_golden_qos: the crash-the-active run must reproduce the
+committed fixture bit-for-bit — takeover time, transition ledger,
+per-error counts, write latencies, all compared exactly with no
+tolerances.  Regenerating the fixture is a deliberate act: rerun
+``failover.run()``, dump with ``json.dump(..., indent=2,
+sort_keys=True)``, and explain the change in the commit message.
+
+The second gate keeps the fixture honest against the HA acceptance
+bar itself: takeover happened, zero acknowledged writes were lost, and
+unavailability stayed inside the documented bound.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments import failover
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_failover.json"
+
+
+def test_failover_is_bit_identical_to_fixture():
+    result = failover.run()
+    normalized = json.loads(json.dumps(result))
+    golden = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    assert normalized == golden
+
+
+def test_failover_fixture_holds_the_ha_acceptance_bar():
+    golden = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    faulted = golden["faulted"]
+    # Liveness: every issued write settled.
+    assert faulted["completed"] + faulted["raised"] == faulted["issued"]
+    # Takeover happened and the restarted member rejoined as standby.
+    assert faulted["controller_failovers"] >= 1
+    assert faulted["rejoined_as_standby"] is True
+    assert faulted["active_final"] != "nn0"
+    # Zero acknowledged-write loss, and every member caught up.
+    assert faulted["lost"] == []
+    assert faulted["standby_caught_up"] is True
+    # Bounded unavailability.
+    assert (
+        0.0
+        < golden["unavailability_us"]
+        <= golden["unavailability_bound_us"]
+    )
+    # The clean baseline never failed over and lost nothing either.
+    clean = golden["clean"]
+    assert clean["completed"] == clean["issued"]
+    assert clean["controller_failovers"] == 0
+    assert clean["lost"] == []

@@ -1,0 +1,126 @@
+"""Shared harness for HA tests: a ping-pong pair over real RPC.
+
+``HaHarness`` is the campaign runner's cell in miniature — two
+:class:`~repro.ha.HaPingPongService` members over one
+:class:`~repro.ha.SharedJournal`, RPC servers on both, an optional
+:class:`~repro.ha.FailoverController`, and clients riding a
+:class:`~repro.rpc.failover.FailoverProxy` — with fast cadences so
+tests converge in milliseconds of simulated time.
+"""
+
+import contextlib
+
+import pytest
+
+from repro.calibration import IPOIB_QDR
+from repro.config import Configuration
+from repro.faults import runtime as faults_runtime
+from repro.ha import (
+    FailoverController,
+    HaPingPongService,
+    HAServiceProtocol,
+    HaStateTracker,
+    SharedJournal,
+)
+from repro.io.writables import BytesWritable
+from repro.net import Fabric
+from repro.rpc import RPC
+from repro.rpc.failover import FailoverProxy
+from repro.rpc.microbench import PingPongProtocol
+from repro.simcore import Environment
+
+#: fast failure-semantics tuning shared by the HA tests: one probe
+#: failure window is ~100 ms, a full takeover lands well under 1 s.
+FAST_HA_CONF = {
+    "ipc.server.handler.count": 2,
+    "ipc.client.call.timeout": 100_000.0,
+    "ipc.client.call.max.retries": 1,
+    "ipc.client.connect.max.retries": 2,
+    "ipc.client.connect.retry.interval": 20_000.0,
+    "ipc.client.failover.max.attempts": 6,
+    "ipc.client.failover.sleep.base": 20_000.0,
+    "ipc.client.failover.sleep.max": 200_000.0,
+    "dfs.ha.failover.check.interval": 60_000.0,
+    "dfs.ha.failover.probe.timeout": 80_000.0,
+    "dfs.ha.tail-edits.period": 50_000.0,
+}
+
+PAYLOAD = b"\x5a" * 64
+
+
+class HaHarness:
+    """Two HA ping-pong members, an optional controller, one proxy."""
+
+    def __init__(self, controller=True, conf_overrides=None):
+        self.env = Environment()
+        self.fabric = Fabric(self.env)
+        values = dict(FAST_HA_CONF)
+        values.update(conf_overrides or {})
+        self.conf = Configuration(values)
+        self.journal = SharedJournal()
+        self.tracker = HaStateTracker(self.env)
+        self.services = []
+        self.servers = []
+        for i in range(2):
+            node = self.fabric.add_node(f"svc{i}")
+            service = HaPingPongService(
+                self.env,
+                node.name,
+                self.journal,
+                tracker=self.tracker,
+                gauge=self.fabric.metrics.gauge("ha.active", node=node.name),
+                tail_period_us=self.conf.get_float("dfs.ha.tail-edits.period"),
+            )
+            server = RPC.get_server(
+                self.fabric, node, 9000, service,
+                [PingPongProtocol, HAServiceProtocol], IPOIB_QDR,
+                conf=self.conf, name=f"ha-svc@{node.name}",
+            )
+            service.address = server.address
+            self.services.append(service)
+            self.servers.append(server)
+        epoch = self.journal.new_epoch(self.services[0].ha_name)
+        self.services[0].transition_to_active(epoch)
+        self.controller = None
+        if controller:
+            self.controller = FailoverController(
+                self.fabric,
+                self.fabric.add_node("fc"),
+                self.services,
+                self.journal,
+                conf=self.conf,
+                spec=IPOIB_QDR,
+            )
+
+    def proxy(self, name="cn"):
+        client = RPC.get_client(
+            self.fabric, self.fabric.add_node(name), IPOIB_QDR,
+            conf=self.conf, name=name,
+        )
+        return FailoverProxy(
+            client, [s.address for s in self.services], PingPongProtocol
+        )
+
+    def payload(self):
+        return BytesWritable(PAYLOAD)
+
+    def active(self):
+        return next(
+            (s for s in self.services if s.ha_state.value == "active"), None
+        )
+
+
+@contextlib.contextmanager
+def faulted_ha_harness(*events, controller=True, conf_overrides=None):
+    """HaHarness built with the given fault events armed."""
+    from tests.faults.conftest import plan_of
+
+    with faults_runtime.session(plan_of(*events)):
+        yield HaHarness(controller=controller, conf_overrides=conf_overrides)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    yield
+    assert faults_runtime.current() is None
+    faults_runtime.uninstall()

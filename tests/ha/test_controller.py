@@ -1,0 +1,133 @@
+"""FailoverController behaviour: detection, fencing, promotion, rejoin."""
+
+from repro.ha import HAState
+
+from tests.ha.conftest import HaHarness, faulted_ha_harness
+
+
+def test_healthy_pair_never_fails_over():
+    harness = HaHarness()
+    harness.env.run(until=2_000_000.0)
+    assert harness.controller.failovers == 0
+    assert harness.controller.probes > 0
+    assert harness.active() is harness.services[0]
+    harness.tracker.assert_at_most_one_active()
+
+
+def test_crash_of_active_promotes_standby_within_bound():
+    with faulted_ha_harness(
+        {"kind": "node_crash", "at": 500_000, "node": "svc0"},
+    ) as harness:
+        harness.env.run(until=3_000_000.0)
+    assert harness.controller.failovers == 1
+    assert harness.active() is harness.services[1]
+    takeover = next(
+        t
+        for t, name, state in harness.tracker.transitions
+        if state == "active" and name == "svc1"
+    )
+    # threshold(3) x ~60 ms cadence + 80 ms probe timeouts + replay.
+    assert 500_000.0 < takeover < 1_500_000.0
+    harness.tracker.assert_at_most_one_active()
+    # The fenced epoch moved to the new active.
+    assert harness.journal.writer == "svc1"
+    assert harness.services[1].ha_epoch == harness.journal.epoch
+
+
+def test_promoted_standby_catches_up_before_serving():
+    with faulted_ha_harness(
+        {"kind": "node_crash", "at": 500_000, "node": "svc0"},
+    ) as harness:
+        env = harness.env
+        proxy = harness.proxy()
+
+        def workload():
+            for _ in range(10):
+                try:
+                    yield proxy.pingpong(harness.payload())
+                except ConnectionError:
+                    pass
+                yield env.timeout(60_000.0)
+
+        env.run(env.process(workload(), name="w"))
+        env.run(until=3_000_000.0)
+    active = harness.active()
+    assert active is harness.services[1]
+    assert active.applied_ops == len(harness.journal)
+    assert active.applied_txid == harness.journal.last_txid
+
+
+def test_restarted_member_rejoins_as_standby_and_tails():
+    with faulted_ha_harness(
+        {"kind": "node_crash", "at": 400_000, "node": "svc0"},
+        {"kind": "node_restart", "at": 1_800_000, "node": "svc0"},
+    ) as harness:
+        env = harness.env
+        proxy = harness.proxy()
+
+        def workload():
+            for _ in range(20):
+                try:
+                    yield proxy.pingpong(harness.payload())
+                except ConnectionError:
+                    pass
+                yield env.timeout(100_000.0)
+
+        env.run(env.process(workload(), name="w"))
+        env.run(until=4_000_000.0)
+    assert harness.services[0].ha_state is HAState.STANDBY
+    assert harness.services[1].ha_state is HAState.ACTIVE
+    # The rejoined standby tailed the journal back to the tip.
+    assert harness.services[0].applied_txid == harness.journal.last_txid
+    harness.tracker.assert_at_most_one_active()
+
+
+def test_partitioned_active_is_fenced_not_split_brained():
+    with faulted_ha_harness(
+        {
+            "kind": "partition",
+            "at": 300_000,
+            "until": 1_500_000,
+            "between": [["svc0"], ["svc1", "fc", "cn"]],
+        },
+    ) as harness:
+        env = harness.env
+        proxy = harness.proxy()
+
+        def workload():
+            for _ in range(15):
+                try:
+                    yield proxy.pingpong(harness.payload())
+                except ConnectionError:
+                    pass
+                yield env.timeout(100_000.0)
+
+        env.run(env.process(workload(), name="w"))
+        env.run(until=3_000_000.0)
+    # The isolated active was fenced before svc1 was promoted; when the
+    # partition healed it was *already* a standby (the epoch moved on).
+    assert harness.services[1].ha_state is HAState.ACTIVE
+    assert harness.services[0].ha_state is HAState.STANDBY
+    harness.tracker.assert_at_most_one_active()
+    assert harness.controller.failovers == 1
+
+
+def test_no_reachable_standby_keeps_the_epoch():
+    with faulted_ha_harness(
+        {"kind": "node_crash", "at": 300_000, "node": "svc0"},
+        {"kind": "node_crash", "at": 300_000, "node": "svc1"},
+    ) as harness:
+        harness.env.run(until=2_000_000.0)
+    # Fencing without a successor would only turn one outage into two.
+    assert harness.controller.failovers == 0
+    assert harness.journal.writer == "svc0"
+    assert harness.active() is harness.services[0]
+
+
+def test_failover_counter_lands_in_metrics_registry():
+    with faulted_ha_harness(
+        {"kind": "node_crash", "at": 500_000, "node": "svc0"},
+    ) as harness:
+        harness.env.run(until=3_000_000.0)
+    counters = harness.fabric.metrics.find("ha.failovers")
+    assert sum(c.value for c in counters.values()) == 1

@@ -1,0 +1,73 @@
+"""SharedJournal unit tests: epochs, fencing, and the edit log."""
+
+import pytest
+
+from repro.ha import EditEntry, JournalFencedError, SharedJournal
+
+
+def test_append_assigns_sequential_txids():
+    journal = SharedJournal()
+    epoch = journal.new_epoch("a")
+    assert journal.append(epoch, "mkdirs", {"path": "/x"}) == 1
+    assert journal.append(epoch, "create", {"path": "/x/f"}) == 2
+    assert journal.last_txid == 2
+    assert len(journal) == 2
+    assert journal.entries[0] == EditEntry(1, "mkdirs", {"path": "/x"})
+
+
+def test_append_with_stale_epoch_is_fenced():
+    journal = SharedJournal()
+    old = journal.new_epoch("a")
+    new = journal.new_epoch("b")
+    with pytest.raises(JournalFencedError) as exc_info:
+        journal.append(old, "create", {})
+    assert exc_info.value.writer_epoch == old
+    assert exc_info.value.journal_epoch == new
+    # The new holder still writes fine.
+    assert journal.append(new, "create", {}) == 1
+
+
+def test_new_epoch_runs_old_writers_fence_hook_synchronously():
+    journal = SharedJournal()
+    fenced_with = []
+    journal.register_fence_hook("a", fenced_with.append)
+    journal.new_epoch("a")
+    assert fenced_with == []  # granting does not fence the grantee
+    epoch_b = journal.new_epoch("b")
+    assert fenced_with == [epoch_b]
+    assert journal.writer == "b"
+
+
+def test_regrant_to_same_owner_does_not_self_fence():
+    journal = SharedJournal()
+    fenced_with = []
+    journal.register_fence_hook("a", fenced_with.append)
+    journal.new_epoch("a")
+    journal.new_epoch("a")
+    assert fenced_with == []
+
+
+def test_epoch_log_records_grant_history():
+    journal = SharedJournal()
+    journal.new_epoch("a")
+    journal.new_epoch("b")
+    assert journal.epoch_log == [(1, "a", None), (2, "b", "a")]
+
+
+def test_entries_since_is_strictly_after():
+    journal = SharedJournal()
+    epoch = journal.new_epoch("a")
+    for i in range(4):
+        journal.append(epoch, "op", {"i": i})
+    assert [e.txid for e in journal.entries_since(0)] == [1, 2, 3, 4]
+    assert [e.txid for e in journal.entries_since(2)] == [3, 4]
+    assert journal.entries_since(4) == []
+
+
+def test_payload_is_copied_on_append():
+    journal = SharedJournal()
+    epoch = journal.new_epoch("a")
+    payload = {"path": "/x"}
+    journal.append(epoch, "mkdirs", payload)
+    payload["path"] = "/mutated"
+    assert journal.entries[0].payload == {"path": "/x"}

@@ -1,0 +1,110 @@
+"""HaParticipant state-machine tests on the ping-pong service."""
+
+import pytest
+
+from repro.ha import HAState, HaPingPongService, SharedJournal, StandbyException
+from repro.ha.participant import REPLAY_US_PER_ENTRY
+from repro.simcore import Environment
+
+from tests.ha.conftest import HaHarness
+
+
+def _pair(tail_period_us=0.0):
+    env = Environment()
+    journal = SharedJournal()
+    a = HaPingPongService(env, "a", journal, tail_period_us=tail_period_us)
+    b = HaPingPongService(env, "b", journal, tail_period_us=tail_period_us)
+    a.transition_to_active(journal.new_epoch("a"))
+    return env, journal, a, b
+
+
+def test_participants_start_standby_and_promotion_flips_state():
+    env, journal, a, b = _pair()
+    assert a.ha_state is HAState.ACTIVE
+    assert b.ha_state is HAState.STANDBY
+    assert a.ha_epoch == journal.epoch
+
+
+def test_check_active_raises_typed_standby_exception():
+    env, journal, a, b = _pair()
+    with pytest.raises(StandbyException) as exc_info:
+        b.check_active("pingpong")
+    assert exc_info.value.class_name == "StandbyException"
+    a.check_active("pingpong")  # active: no raise
+
+
+def test_journal_edit_self_demotes_when_fenced():
+    env, journal, a, b = _pair()
+    a.journal_edit("ping", {"n": 1})
+    journal.new_epoch("b")  # fences a via its hook
+    assert a.ha_state is HAState.STANDBY
+    # Even a writer that somehow missed the hook demotes on next write.
+    a.ha_state = HAState.ACTIVE
+    with pytest.raises(StandbyException):
+        a.journal_edit("ping", {"n": 1})
+    assert a.ha_state is HAState.STANDBY
+
+
+def test_catch_up_replays_pending_entries_and_charges_time():
+    env, journal, a, b = _pair()
+    for _ in range(5):
+        a.journal_edit("ping", {"n": 1})
+        a.applied_ops += 1
+    start = env.now
+
+    def drive():
+        yield from b.catch_up()
+
+    env.run(env.process(drive(), name="catch-up"))
+    assert b.applied_txid == journal.last_txid == 5
+    assert b.applied_ops == 5
+    assert env.now - start == pytest.approx(5 * REPLAY_US_PER_ENTRY)
+
+
+def test_tail_loop_keeps_standby_caught_up():
+    env, journal, a, b = _pair(tail_period_us=100.0)
+    for _ in range(3):
+        a.journal_edit("ping", {"n": 1})
+        a.applied_ops += 1
+    env.run(until=1_000.0)
+    assert b.applied_txid == 3
+    # The *active* never tails (it applies its own writes).
+    assert a.applied_ops == 3
+
+
+def test_ha_service_protocol_reports_state_over_rpc():
+    harness = HaHarness(controller=False)
+    env = harness.env
+    client = harness.fabric.add_node("probe")
+    from repro.calibration import IPOIB_QDR
+    from repro.ha import HAServiceProtocol
+    from repro.rpc import RPC
+
+    rpc_client = RPC.get_client(
+        harness.fabric, client, IPOIB_QDR, conf=harness.conf
+    )
+
+    def probe():
+        states = []
+        for service in harness.services:
+            proxy = RPC.get_proxy(HAServiceProtocol, service.address, rpc_client)
+            yield proxy.monitorHealth()
+            state = yield proxy.getServiceState()
+            states.append(str(state))
+        return states
+
+    states = env.run(env.process(probe(), name="probe"))
+    assert states == ["active", "standby"]
+
+
+def test_active_gauge_tracks_transitions():
+    harness = HaHarness(controller=False)
+    gauges = harness.fabric.metrics.find("ha.active")
+    values = {labels: g.value for labels, g in gauges.items()}
+    assert sorted(values.values()) == [0, 1]
+    # Fence svc0, promote svc1: the gauges swap.
+    epoch = harness.journal.new_epoch("svc1")
+    harness.services[1].transition_to_active(epoch)
+    assert harness.services[0].ha_state is HAState.STANDBY
+    values = {g.value for g in harness.fabric.metrics.find("ha.active").values()}
+    assert values == {0, 1}

@@ -1,0 +1,47 @@
+"""HaStateTracker ledger tests: causal-order fencing checks."""
+
+import pytest
+
+from repro.ha import HAState, HaStateTracker
+from repro.simcore import Environment
+
+
+def _tracker():
+    return HaStateTracker(Environment())
+
+
+def test_transitions_record_time_name_state():
+    tracker = _tracker()
+    tracker.record("a", HAState.STANDBY)
+    tracker.record("a", HAState.ACTIVE)
+    assert tracker.transitions == [(0.0, "a", "standby"), (0.0, "a", "active")]
+
+
+def test_states_reports_final_state_per_participant():
+    tracker = _tracker()
+    tracker.record("a", HAState.ACTIVE)
+    tracker.record("b", HAState.STANDBY)
+    tracker.record("a", HAState.STANDBY)
+    tracker.record("b", HAState.ACTIVE)
+    assert tracker.states() == {"a": "standby", "b": "active"}
+
+
+def test_active_counts_walks_prefixes_in_causal_order():
+    tracker = _tracker()
+    tracker.record("a", HAState.ACTIVE)
+    # Demote-before-promote at the same timestamp: the count never
+    # exceeds one because the ledger is walked in append order.
+    tracker.record("a", HAState.STANDBY)
+    tracker.record("b", HAState.ACTIVE)
+    assert [count for _, count in tracker.active_counts()] == [1, 0, 1]
+    tracker.assert_at_most_one_active()
+
+
+def test_two_simultaneous_actives_raise():
+    tracker = _tracker()
+    tracker.record("a", HAState.ACTIVE)
+    tracker.record("b", HAState.ACTIVE)
+    with pytest.raises(AssertionError) as exc_info:
+        tracker.assert_at_most_one_active()
+    assert "fencing violated" in str(exc_info.value)
+    assert "['a', 'b']" in str(exc_info.value)

@@ -1,0 +1,192 @@
+"""HA HdfsCluster wiring + the node_restart regression tests.
+
+The restart half pins the satellite bar from the HA issue: after a
+``node_restart``, daemon gauges and registrations recover *by
+themselves* — the restarted NameNode rejoins as a tailing standby with
+its namesystem gauges converged to the active's, and a restarted
+DataNode's heartbeats resume refreshing its descriptor on every member
+with no re-registration protocol.
+"""
+
+import random
+
+import pytest
+
+from repro.calibration import IPOIB_QDR
+from repro.config import Configuration
+from repro.faults import runtime as faults_runtime
+from repro.ha import HAState
+from repro.hdfs import HdfsCluster
+from repro.net import Fabric
+from repro.rpc.call import RemoteException
+from repro.simcore import Environment
+
+from tests.faults.conftest import plan_of
+
+FILE_BYTES = 4 * 1024 * 1024
+
+HA_CONF = {
+    "dfs.block.size": FILE_BYTES,
+    "dfs.replication": 2,
+    "dfs.heartbeat.interval": 400_000.0,
+    "ipc.client.call.timeout": 300_000.0,
+    "ipc.client.call.max.retries": 1,
+    "ipc.client.connect.max.retries": 2,
+    "ipc.client.connect.retry.interval": 50_000.0,
+    "ipc.client.failover.sleep.base": 50_000.0,
+    "dfs.ha.failover.check.interval": 100_000.0,
+    "dfs.ha.failover.probe.timeout": 150_000.0,
+    "dfs.ha.tail-edits.period": 100_000.0,
+}
+
+
+def build_ha_cluster(datanodes=3):
+    env = Environment()
+    fabric = Fabric(env)
+    nn0 = fabric.add_node("nn0")
+    nn1 = fabric.add_node("nn1")
+    fc = fabric.add_node("fc")
+    dn_nodes = fabric.add_nodes("dn", datanodes)
+    client_node = fabric.add_node("client")
+    cluster = HdfsCluster(
+        fabric,
+        nn0,
+        dn_nodes,
+        IPOIB_QDR,
+        conf=Configuration(dict(HA_CONF)),
+        rng=random.Random(7),
+        standby_node=nn1,
+        controller_node=fc,
+    )
+    client = cluster.client(client_node)
+    return env, fabric, cluster, client
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    yield
+    assert faults_runtime.current() is None
+    faults_runtime.uninstall()
+
+
+def test_ha_cluster_wiring():
+    env, fabric, cluster, client = build_ha_cluster()
+    assert cluster.journal is not None
+    assert len(cluster.namenodes) == 2
+    assert cluster.active_namenode() is cluster.namenode
+    assert cluster.standby.ha_state is HAState.STANDBY
+    assert cluster.controller is not None
+    env.run(cluster.wait_ready())
+    # DataNode control traffic fans out: both members know every DN.
+    for member in cluster.namenodes:
+        assert len(member.datanodes) == 3
+
+
+def test_standby_rejects_client_ops_with_typed_exception():
+    env, fabric, cluster, client = build_ha_cluster()
+    env.run(cluster.wait_ready())
+
+    from repro.hdfs.protocol import ClientProtocol
+    from repro.rpc import RPC
+
+    direct = RPC.get_proxy(
+        ClientProtocol, cluster.standby.address, client.rpc_client
+    )
+
+    def probe():
+        from repro.io.writables import Text
+
+        try:
+            yield direct.getFileInfo(Text("/"))
+        except RemoteException as exc:
+            return exc.class_name
+        return None
+
+    assert env.run(env.process(probe(), name="probe")) == "StandbyException"
+    assert cluster.standby.stats["standby_rejected"] == 1
+
+
+def test_non_ha_cluster_shape_is_unchanged():
+    env = Environment()
+    fabric = Fabric(env)
+    cluster = HdfsCluster(
+        fabric,
+        fabric.add_node("nn"),
+        fabric.add_nodes("dn", 2),
+        IPOIB_QDR,
+        conf=Configuration({"dfs.replication": 2}),
+        rng=random.Random(7),
+    )
+    assert cluster.journal is None
+    assert cluster.namenodes == [cluster.namenode]
+    assert cluster.active_namenode() is cluster.namenode
+    assert cluster.controller is None
+    # Without HA the NameNode serves without any standby gate.
+    assert cluster.namenode.stats["standby_rejected"] == 0
+
+
+def test_namenode_restart_rejoins_as_standby_with_converged_gauges():
+    """The satellite regression: node_restart restores gauges cleanly."""
+    plan = plan_of(
+        {"kind": "node_crash", "at": 1_000_000, "node": "nn0"},
+        {"kind": "node_restart", "at": 4_000_000, "node": "nn0"},
+    )
+    with faults_runtime.session(plan):
+        env, fabric, cluster, client = build_ha_cluster()
+        env.run(cluster.wait_ready())
+
+        def workload():
+            for i in range(6):
+                try:
+                    yield client.write_file(f"/f{i}", FILE_BYTES)
+                except (RemoteException, ConnectionError, RuntimeError):
+                    pass
+                yield env.timeout(500_000.0)
+
+        env.run(env.process(workload(), name="workload"))
+        env.run(until=max(env.now, 4_000_000.0) + 2_000_000.0)
+
+        # Takeover happened; the restarted member is a tailing standby.
+        assert cluster.active_namenode() is cluster.standby
+        assert cluster.namenode.ha_state is HAState.STANDBY
+        assert cluster.namenode.applied_txid == cluster.journal.last_txid
+        cluster.ha_tracker.assert_at_most_one_active()
+
+        # Namesystem gauges converged across members: the standby's
+        # replayed file/block counts equal the active's.
+        registry = fabric.metrics
+        for gauge_name in ("hdfs.namenode.files", "hdfs.namenode.blocks"):
+            values = {
+                g.value for g in registry.find(gauge_name).values()
+            }
+            assert len(values) == 1, (gauge_name, values)
+        # The HA gauge shows exactly one active.
+        ha_gauges = registry.find("hdfs.namenode.ha.active")
+        assert sorted(g.value for g in ha_gauges.values()) == [0, 1]
+
+        # Registration/liveness recovered by itself: heartbeats reach
+        # the restarted member again after the restart instant.
+        for descriptor in cluster.namenode.datanodes.values():
+            assert descriptor.last_heartbeat_us > 4_000_000.0
+
+
+def test_datanode_restart_resumes_heartbeats_without_reregistration():
+    plan = plan_of(
+        {"kind": "node_crash", "at": 1_000_000, "node": "dn0"},
+        {"kind": "node_restart", "at": 2_500_000, "node": "dn0"},
+    )
+    with faults_runtime.session(plan):
+        env, fabric, cluster, client = build_ha_cluster()
+        env.run(cluster.wait_ready())
+        env.run(until=5_000_000.0)
+        for member in cluster.namenodes:
+            descriptor = member.datanodes["dn0"]
+            # Heartbeats resumed after the restart on *both* members.
+            assert descriptor.last_heartbeat_us > 2_500_000.0
+        # The live-datanodes gauges held through the bounce.
+        registry = fabric.metrics
+        values = {
+            g.value
+            for g in registry.find("hdfs.namenode.live_datanodes").values()
+        }
+        assert values == {3}

@@ -1,0 +1,14 @@
+"""SIM007 fixture: a failover controller jittering from a private RNG.
+
+A seeded ``random.Random`` passes SIM002, but inside ``repro/ha/``
+SIM007 still rejects it: probe-cadence jitter decides *when* takeover
+fires, so the draws must come from named ``repro.simcore.rng`` streams
+to keep failover schedules isolated from every other seeded plane.
+"""
+
+import random
+
+
+def probe_jitter(interval):
+    rng = random.Random(99)
+    return interval + rng.uniform(0.0, 0.05 * interval)

@@ -1,0 +1,26 @@
+"""SIM010 negative fixture: failover policy read lazily per attempt.
+
+Same reloadable key as ``sim010_failover_stale.py``, but nothing is
+cached during construction — the policy is read (and stamp-cached)
+inside the invoke path, which re-reads whenever ``conf.version``
+moves.  This is exactly how ``repro.rpc.failover.FailoverProxy``
+stays hot-reload fresh without a subscribe listener.
+"""
+
+
+class FreshProxy:
+    def __init__(self, conf):
+        self.conf = conf
+        self._conf_stamp = -1
+        self._max_attempts = 0
+
+    def _policy(self):
+        if self.conf.version != self._conf_stamp:
+            self._max_attempts = self.conf.get_int(
+                "ipc.client.failover.max.attempts"
+            )
+            self._conf_stamp = self.conf.version
+        return self._max_attempts
+
+    def invoke(self):
+        return self._policy()

@@ -371,6 +371,25 @@ def test_sim007_not_applied_to_other_rpc_modules():
     assert lint_source(src, "/x/src/repro/rpc/server.py", in_src=False) == []
 
 
+def test_sim007_ha_fixture_fires_once():
+    findings = lint_file(FIXTURES / "repro" / "ha" / "sim007_probe_jitter.py")
+    assert rules_of(findings) == ["SIM007"]
+    assert "named streams" in findings[0].message
+
+
+def test_sim007_allows_named_stream_in_ha_controller():
+    src = (
+        "from repro.simcore.rng import named_stream\n"
+        "\n"
+        "def jitter(name, interval):\n"
+        "    rng = named_stream(f'ha-controller:{name}')\n"
+        "    return interval + rng.uniform(0.0, 0.05 * interval)\n"
+    )
+    assert lint_source(
+        src, "/x/src/repro/ha/controller.py", in_src=True
+    ) == []
+
+
 # -- SIM008 ----------------------------------------------------------------
 
 
@@ -507,6 +526,21 @@ def test_sim010_negative_fixture_is_clean():
                      in_src=True) == []
 
 
+def test_sim010_failover_stale_fixture_fires_once():
+    findings = lint_file(
+        FIXTURES / "repro" / "rpc" / "sim010_failover_stale.py", in_src=True
+    )
+    assert rules_of(findings) == ["SIM010"]
+    assert "ipc.client.failover.max.attempts" in findings[0].message
+    assert "self.max_attempts" in findings[0].message
+
+
+def test_sim010_failover_fresh_fixture_is_clean():
+    assert lint_file(
+        FIXTURES / "repro" / "rpc" / "sim010_failover_fresh.py", in_src=True
+    ) == []
+
+
 def test_sim010_ignores_non_reloadable_keys():
     src = (
         "class Q:\n"
@@ -516,13 +550,16 @@ def test_sim010_ignores_non_reloadable_keys():
     assert lint_source(src, "/x/src/repro/rpc/q.py", in_src=True) == []
 
 
-def test_sim010_keys_mirror_server_qos_keys():
+def test_sim010_keys_mirror_runtime_reload_surface():
     """RELOADABLE_CONF_KEYS must stay in lockstep with the runtime
     reload surface, or the rule silently under/over-approximates."""
     from repro.lint.rules import RELOADABLE_CONF_KEYS
+    from repro.rpc.failover import FailoverProxy
     from repro.rpc.server import Server
 
-    assert RELOADABLE_CONF_KEYS == Server.QOS_KEYS
+    assert RELOADABLE_CONF_KEYS == (
+        Server.QOS_KEYS | FailoverProxy.RELOADABLE_KEYS
+    )
 
 
 def test_sim010_real_server_and_callqueue_are_clean():
