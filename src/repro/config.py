@@ -42,6 +42,17 @@ class Configuration:
         "ipc.client.call.retry.interval": 200_000.0,  # usec (exponential)
         "ipc.client.ping": True,
         "ipc.ping.interval": 60_000_000.0,  # usec
+        # -- async multiplexed client (repro.rpc.mux) ----------------------
+        # Share one connection per (address, transport) across every
+        # caller on the node: calls enqueue into a ConnectionMux whose
+        # single sender batches all queued calls into one wire frame.
+        # Off by default — call-at-a-time semantics (and the existing
+        # event schedule) are preserved exactly unless a workload opts in.
+        "ipc.client.async.enabled": False,
+        # Bound on sent-but-unanswered calls per mux (the pipelining
+        # window).  Hot-reloadable: the sender re-reads it before every
+        # batch, so a live retune widens or narrows the window mid-run.
+        "ipc.client.async.max-inflight": 32,
         # -- client-side NameNode failover (repro.rpc.failover) ------------
         # Failovers a FailoverProxy performs before giving up on a call.
         "ipc.client.failover.max.attempts": 15,

@@ -17,6 +17,7 @@ from repro.experiments import (
     fig6_mapreduce,
     fig7_hdfs,
     fig8_hbase,
+    incast,
     operator_story,
     qos,
     table1,
@@ -31,6 +32,7 @@ ALL_EXPERIMENTS = {
     "fig7": fig7_hdfs,
     "fig8": fig8_hbase,
     "chaos": chaos,
+    "incast": incast,
     "qos": qos,
     "operator": operator_story,
     "failover": failover,

@@ -10,8 +10,9 @@ The performance contract of this repo is two-sided:
   CI even though every simulated number still matches.
 
 ``bench`` runs the selected harnesses (default: fig5, fig1, table1,
-qos, failover) at their regular experiment parameters and writes one ``BENCH_<name>.json``
-per harness recording:
+qos, failover, incast — the incast harness at its smoke grid, the rest
+at their regular experiment parameters) and writes one
+``BENCH_<name>.json`` per harness recording:
 
 * ``wall_seconds`` — host seconds for the run,
 * ``events`` / ``events_per_sec`` — DES events the scheduler processed,
@@ -146,6 +147,27 @@ def _bench_failover() -> Tuple[Dict, Dict]:
     return headline, params
 
 
+def _bench_incast() -> Tuple[Dict, Dict]:
+    # The smoke grid: the full sweep is a half-minute of wall clock and
+    # the wall-gate only needs a representative mux-on workload; the
+    # full-scale headline is locked by the golden fixture instead.
+    from repro.experiments import incast
+
+    result = incast.run(grid="smoke")
+    cell = result["series"]["sockets"]["256"]
+    headline = {
+        "sockets_speedup": result["headline"]["sockets"]["speedup"],
+        "sockets_window": result["headline"]["sockets"]["window"],
+        "rpcoib_speedup": result["headline"]["rpcoib"]["speedup"],
+        "rpcoib_window": result["headline"]["rpcoib"]["window"],
+        "sockets_baseline_calls_s": cell["baseline"]["throughput_calls_s"],
+        "sockets_best_calls_s": cell["windows"][-1]["throughput_calls_s"],
+    }
+    params = dict(incast.SMOKE_PARAMS)
+    params.update(nodes=incast.NODES, payload_bytes=incast.PAYLOAD_BYTES)
+    return headline, params
+
+
 #: benchmark name -> harness returning (headline metrics, parameters).
 HARNESSES: Dict[str, Callable[[], Tuple[Dict, Dict]]] = {
     "fig5": _bench_fig5,
@@ -153,6 +175,7 @@ HARNESSES: Dict[str, Callable[[], Tuple[Dict, Dict]]] = {
     "table1": _bench_table1,
     "qos": _bench_qos,
     "failover": _bench_failover,
+    "incast": _bench_incast,
 }
 
 
@@ -210,7 +233,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "benchmarks",
         nargs="*",
-        help="harnesses to run (default: all of fig5, fig1, table1, qos)",
+        help="harnesses to run (default: all of fig5, fig1, table1, qos, "
+        "failover, incast)",
     )
     parser.add_argument(
         "--out", metavar="DIR", default=".",

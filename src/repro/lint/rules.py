@@ -102,12 +102,15 @@ RULE_SCOPES: Dict[str, RuleScope] = {
     "SIM002": RuleScope(exempt_suffixes=("repro/simcore/rng.py",)),
     # Seeded-schedule planes: fault draws decide *which* failures
     # happen, the decay scheduler's sweep jitter decides *when*
-    # priorities shift, and the HA failover controller's probe jitter
-    # decides *when* takeover fires.
+    # priorities shift, the HA failover controller's probe jitter
+    # decides *when* takeover fires, and the mux sender's flush policy
+    # decides *which calls share a batch frame* — ambient randomness in
+    # any of them reshuffles every downstream schedule.
     "SIM007": RuleScope(
         fragments=(
             "repro/faults/",
             "repro/rpc/scheduler.py",
+            "repro/rpc/mux.py",
             "repro/ha/",
         )
     ),
@@ -763,10 +766,12 @@ def check_sim009(pctx: ProgramContext) -> Iterator[Finding]:
 
 #: Conf keys the operator plane can change at runtime.  Mirrors
 #: ``repro.rpc.server.Server.QOS_KEYS`` union
-#: ``repro.rpc.failover.FailoverProxy.RELOADABLE_KEYS`` (asserted in
+#: ``repro.rpc.failover.FailoverProxy.RELOADABLE_KEYS`` union
+#: ``repro.rpc.mux.ConnectionMux.RELOADABLE_KEYS`` (asserted in
 #: tests/lint) — the keys ``reconfigure_qos``/``ReloadPlan`` rewires
-#: while the sim runs, plus the client failover retry policy the proxy
-#: re-reads per attempt.
+#: while the sim runs, the client failover retry policy the proxy
+#: re-reads per attempt, and the mux in-flight window the sender
+#: revalidates per batch.
 RELOADABLE_CONF_KEYS = frozenset(
     {
         "ipc.callqueue.fair.weights",
@@ -776,6 +781,7 @@ RELOADABLE_CONF_KEYS = frozenset(
         "ipc.client.failover.sleep.max",
         "ipc.client.failover.retry.policy",
         "ipc.client.failover.jitter",
+        "ipc.client.async.max-inflight",
     }
 )
 

@@ -171,8 +171,13 @@ class SimSocket:
             )
         if trace is not None and self.peer is not None:
             # Appended in the same step as the tx enqueue below, so the
-            # peer's ref order always matches frame order.
-            self.peer._trace_refs.append(trace)
+            # peer's ref order always matches frame order.  A batched
+            # frame (repro.rpc.mux) carries one ref per sub-call, in
+            # sub-call order, as a list.
+            if type(trace) is list:
+                self.peer._trace_refs.extend(trace)
+            else:
+                self.peer._trace_refs.append(trace)
         yield self._tx_queue.put(data)
 
     #: wire-delivery granularity: big writes dribble into the receiver

@@ -175,7 +175,12 @@ class QueuePair:
                 self._tx_loop(), name=f"ibtx:{self.local.name}"
             )
         if trace is not None and self.peer is not None:
-            self.peer._trace_refs.append(trace)
+            # A batched post (repro.rpc.mux) carries one ref per
+            # sub-call, in sub-call order, as a list.
+            if type(trace) is list:
+                self.peer._trace_refs.extend(trace)
+            else:
+                self.peer._trace_refs.append(trace)
         yield self._tx_queue.put((payload, eager, context, spec))
 
     def _tx_loop(self):

@@ -105,6 +105,14 @@ class RetriesExhaustedError(ConnectionError):
 #: ``Client.PING_CALL_ID``); never allocated to a real call.
 PING_CALL_ID = -1
 
+#: Reserved call id prefacing a *batched* frame from a multiplexed
+#: client (:mod:`repro.rpc.mux`).  The frame payload carries
+#: ``[BATCH_CALL_ID][count]`` followed by ``count`` length-prefixed
+#: per-call frames, each byte-identical to what the call-at-a-time path
+#: would have framed on its own.  A server that has decoded one marks
+#: the connection batch-aware and may merge its responses the same way.
+BATCH_CALL_ID = -2
+
 
 @writable_factory
 class Invocation(Writable):

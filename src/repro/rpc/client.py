@@ -68,6 +68,14 @@ class IBBootstrapError(ConnectionError):
     """The RPCoIB endpoint exchange failed; the sockets path remains."""
 
 
+#: Connection-table key slot used instead of the protocol name when
+#: ``ipc.client.async.enabled`` is on: a multiplexed connection is
+#: shared per (address, transport) by *all* protocols on the node, so
+#: it must never collide with a per-protocol key (protocol names are
+#: dotted identifiers, never dunder strings).
+MUX_CONNECTION_KEY = "__mux__"
+
+
 def _backoff_us(interval_us: float, attempt: int, policy: str) -> float:
     """Delay before retry ``attempt`` (1-based) under a backoff policy."""
     if policy == "exponential":
@@ -118,11 +126,14 @@ class Client:
         # still take effect on the next call), and call-process names
         # built once per (protocol, method).
         self._conf_stamp = -1
-        self._conf_parsed: Tuple[float, int, float, int] = (0.0, 0, 0.0, 0)
+        self._conf_parsed: Tuple[float, int, float, int, bool] = (
+            0.0, 0, 0.0, 0, False,
+        )
         self._call_names: Dict[Tuple[str, str], str] = {}
 
-    def _call_conf(self) -> Tuple[float, int, float, int]:
-        """(call timeout, max retries, retry interval, buffer initial)."""
+    def _call_conf(self) -> Tuple[float, int, float, int, bool]:
+        """(call timeout, max retries, retry interval, buffer initial,
+        mux enabled)."""
         conf = self.conf
         if conf.version != self._conf_stamp:
             self._conf_parsed = (
@@ -130,6 +141,7 @@ class Client:
                 conf.get_int("ipc.client.call.max.retries"),
                 conf.get_float("ipc.client.call.retry.interval"),
                 conf.get_int("io.buffer.initial.size"),
+                conf.get_bool("ipc.client.async.enabled"),
             )
             self._conf_stamp = conf.version
         return self._conf_parsed
@@ -182,7 +194,7 @@ class Client:
             method=method,
             engine="rpcoib" if self.ib_enabled else "socket",
         )
-        call_timeout_us, max_retries, retry_interval_us, _ = self._call_conf()
+        call_timeout_us, max_retries, retry_interval_us, _, _ = self._call_conf()
         attempts = 0
         while True:
             try:
@@ -321,7 +333,12 @@ class Client:
     def _get_connection(
         self, address: SocketAddress, protocol: Type[RpcProtocol], parent=None
     ):
-        key = (address, protocol.protocol_name())
+        if self._call_conf()[4]:
+            # Multiplexed mode: one shared connection per (address,
+            # transport), whatever the protocol.
+            key = (address, MUX_CONNECTION_KEY)
+        else:
+            key = (address, protocol.protocol_name())
         while True:
             conn = self._connections.get(key)
             if conn is not None and not conn.closed:
@@ -355,12 +372,21 @@ class Client:
         max_retries = conf.get_int("ipc.client.connect.max.retries")
         interval_us = conf.get_float("ipc.client.connect.retry.interval")
         policy = str(conf.get("ipc.client.connect.retry.policy", "fixed"))
+        if self._call_conf()[4]:
+            # Imported lazily: repro.rpc.mux subclasses the connection
+            # classes below, so a module-level import would be circular.
+            from repro.rpc import mux
+
+            ib_cls: type = mux.MuxIBConnection
+            sock_cls: type = mux.MuxSocketConnection
+        else:
+            ib_cls, sock_cls = IBConnection, SocketConnection
         attempt = 0
         while True:
             if self.ib_enabled and address not in self._ib_fallback:
-                conn = IBConnection(self, address, protocol)
+                conn = ib_cls(self, address, protocol)
             else:
-                conn = SocketConnection(self, address, protocol)
+                conn = sock_cls(self, address, protocol)
             try:
                 yield from conn.setup()
             except IBBootstrapError:
@@ -394,7 +420,7 @@ class Client:
             span.annotate("ib_fallback", reason)
 
     def _forget(self, conn: "BaseConnection") -> None:
-        key = (conn.address, conn.protocol_name)
+        key = conn.conn_key
         if self._connections.get(key) is conn:
             del self._connections[key]
 
@@ -452,6 +478,10 @@ class BaseConnection:
         self.address = address
         self.protocol = protocol
         self.protocol_name = protocol.protocol_name()
+        #: the connection table key this connection lives under — the
+        #: mux subclasses re-key themselves to (address, MUX_CONNECTION_KEY)
+        #: so one connection serves every protocol on the transport.
+        self.conn_key: Tuple[SocketAddress, str] = (address, self.protocol_name)
         self.calls: Dict[int, Call] = {}
         self.closed = False
         conf = client.conf

@@ -13,6 +13,7 @@ shared completion queue.
 from __future__ import annotations
 
 import itertools
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Type, Union
 
@@ -31,6 +32,7 @@ from repro.net.fabric import Fabric, Node
 from repro.net.sockets import ListenerSocket, SimSocket, SocketAddress, SocketClosed
 from repro.net.verbs import Endpoint, QPBreak, QPBrokenError, QueuePair
 from repro.rpc.call import (
+    BATCH_CALL_ID,
     ConnectionHeader,
     Invocation,
     PING_CALL_ID,
@@ -59,6 +61,9 @@ class SocketServerConnection:
         self.sock = sock
         self.protocol_name: Optional[str] = None
         self.scheduled = False  # queued in the readable list
+        #: the peer sent a BATCH_CALL_ID frame (a multiplexed client):
+        #: the responder may merge responses to this connection.
+        self.batch_aware = False
 
 
 class IBServerConnection:
@@ -70,6 +75,9 @@ class IBServerConnection:
         self.id = next(self._ids)
         self.qp = qp
         self.protocol_name = protocol_name
+        #: the peer sent a BATCH_CALL_ID post (a multiplexed client):
+        #: the responder may merge responses to this connection.
+        self.batch_aware = False
 
 
 @dataclass(slots=True)
@@ -130,6 +138,9 @@ class Server:
         self.listener_socket = ListenerSocket(fabric, node, port)
         self.calls_handled = 0
         self.calls_errored = 0
+        #: responses the Responder coalesced into another connection's
+        #: batch frame instead of writing individually (incast metric).
+        self.responses_merged = 0
 
         # Observability: spans come from the fabric tracer; queue and
         # throughput instruments live in the fabric-wide registry under
@@ -356,6 +367,65 @@ class Server:
                     # and discard — liveness only, never queued.
                     yield self.env.timeout(ledger.drain())
                     self.ping_counter.add()
+                elif call_id == BATCH_CALL_ID:
+                    # A multiplexed client's batched frame: one socket
+                    # read amortized over every sub-call.  Each sub-call
+                    # still pays its own decode + dispatch and is queued
+                    # (or rejected) individually — batching changes the
+                    # wire and syscall schedule, never call semantics.
+                    conn.batch_aware = True
+                    count = inp.read_int()
+                    alloc_seen = 0.0
+                    for _ in range(count):
+                        sub_len = inp.read_int()
+                        sub_id = inp.read_int()
+                        invocation = Invocation()
+                        invocation.read_fields(inp)
+                        yield self.env.timeout(
+                            ledger.drain() + sw.handler_dispatch_us
+                        )
+                        # Attribute allocation deltas to the sub-call
+                        # that incurred them (the frame buffers land on
+                        # the first one).
+                        alloc_total = ledger.category("alloc")
+                        alloc_us = alloc_total - alloc_seen
+                        alloc_seen = alloc_total
+                        self.metrics.record_receive(
+                            ReceiveProfile(
+                                protocol=conn.protocol_name,
+                                method=invocation.method,
+                                alloc_us=alloc_us,
+                                receive_total_us=self.env.now - receive_start,
+                                payload_bytes=sub_len,
+                            )
+                        )
+                        ref = conn.sock.pop_trace()
+                        if ref is not None:
+                            if ref.sent_at:
+                                self.tracer.complete(
+                                    "rpc.wire", ref.sent_at, receive_start,
+                                    parent=ref, node=self.node.name,
+                                    category="net", bytes=sub_len,
+                                    batched=count,
+                                )
+                            self.tracer.complete(
+                                "rpc.server.receive", receive_start,
+                                self.env.now, parent=ref,
+                                node=self.node.name, category="rpc.server",
+                                protocol=conn.protocol_name,
+                                method=invocation.method,
+                                alloc_us=alloc_us, payload_bytes=sub_len,
+                                batched=count,
+                            )
+                        scall = ServerCall(
+                            conn, sub_id, invocation, self.env.now, trace=ref
+                        )
+                        rejection = self.call_queue.try_reserve(scall)
+                        if rejection is None:
+                            yield self.call_queue.put(scall)
+                            self.queue_depth.inc()
+                        else:
+                            yield from self._reject_call(scall, rejection)
                 else:
                     invocation = Invocation()
                     invocation.read_fields(inp)
@@ -421,6 +491,60 @@ class Server:
                 # Keepalive over the verbs engine: poll cost, no queueing.
                 yield self.env.timeout(ledger.drain() + sw.cq_poll_us)
                 self.ping_counter.add()
+                continue
+            if call_id == BATCH_CALL_ID:
+                # Aggregated post from a multiplexed RPCoIB client: one
+                # completion (one poll + one event-scan) for the whole
+                # window; each sub-call still pays decode + dispatch.
+                conn.batch_aware = True
+                count = inp.read_int()
+                yield self.env.timeout(
+                    ledger.drain() + sw.cq_poll_us + sw.server_ib_poll_scan_us
+                )
+                for _ in range(count):
+                    sub_len = inp.read_int()
+                    sub_id = inp.read_int()
+                    invocation = Invocation()
+                    invocation.read_fields(inp)
+                    yield self.env.timeout(
+                        ledger.drain() + sw.handler_dispatch_us
+                    )
+                    self.metrics.record_receive(
+                        ReceiveProfile(
+                            protocol=conn.protocol_name,
+                            method=invocation.method,
+                            alloc_us=0.0,  # JVM-bypass: no receive alloc
+                            receive_total_us=self.env.now - receive_start,
+                            payload_bytes=sub_len,
+                        )
+                    )
+                    ref = qp.pop_trace()
+                    if ref is not None:
+                        if ref.sent_at:
+                            self.tracer.complete(
+                                "rpc.wire", ref.sent_at, receive_start,
+                                parent=ref, node=self.node.name,
+                                category="net", bytes=sub_len,
+                                eager=message.eager, batched=count,
+                            )
+                        self.tracer.complete(
+                            "rpc.server.receive", receive_start, self.env.now,
+                            parent=ref, node=self.node.name,
+                            category="rpc.server",
+                            protocol=conn.protocol_name,
+                            method=invocation.method,
+                            alloc_us=0.0, payload_bytes=sub_len,
+                            batched=count,
+                        )
+                    scall = ServerCall(
+                        conn, sub_id, invocation, self.env.now, trace=ref
+                    )
+                    rejection = self.call_queue.try_reserve(scall)
+                    if rejection is None:
+                        yield self.call_queue.put(scall)
+                        self.queue_depth.inc()
+                    else:
+                        yield from self._reject_call(scall, rejection)
                 continue
             invocation = Invocation()
             invocation.read_fields(inp)
@@ -600,12 +724,118 @@ class Server:
         return ("socket", scall.conn, sink.chunks, scall.trace)
 
     # -- Responder -------------------------------------------------------------------
+    #: most responses the Responder folds into one wire frame for a
+    #: batch-aware (multiplexed) connection — bounds the frame the
+    #: client must buffer and the latency penalty of the last merge.
+    RESPONSE_BATCH_MAX = 64
+
+    def _take_merged(self, kind: str, conn) -> list:
+        """Pull every queued response bound for the same connection.
+
+        The single Responder thread is the server's write bottleneck
+        under incast; when it falls behind, responses for the same
+        multiplexed connection pile up in its queue.  Draining them here
+        — in queue order, up to ``RESPONSE_BATCH_MAX`` — turns that
+        backlog into one batched write: adaptive by construction, since
+        an idle Responder never finds anything to merge.
+        """
+        items = self.response_queue.items
+        if not items:
+            return []
+        extras: list = []
+        keep: list = []
+        limit = self.RESPONSE_BATCH_MAX - 1
+        for item in items:
+            if len(extras) < limit and item[0] == kind and item[1] is conn:
+                extras.append(item)
+            else:
+                keep.append(item)
+        if extras:
+            # In-place rebuild: Store.get aliases this deque.
+            items.clear()
+            items.extend(keep)
+        return extras
+
+    def _respond_merged(self, kind: str, conn, entries, threshold: int):
+        """Write ``entries`` (≥2 responses, one connection) as a batch.
+
+        Wire format mirrors the request side: ``[BATCH_CALL_ID][count]``
+        then length-prefixed per-response frames, byte-identical to
+        what each response would have carried alone.  The 8-byte batch
+        header rides in the same gather write, so no extra syscall or
+        post is charged for it.
+        """
+        count = len(entries)
+        self.responses_merged += count - 1
+        spans = []
+        for _, _, _, ref in entries:
+            spans.append(
+                self.tracer.start(
+                    "rpc.server.respond", parent=ref, node=self.node.name,
+                    category="rpc.server",
+                ) if ref is not None else None
+            )
+        if kind == "ib":
+            parts = [struct.pack(">ii", BATCH_CALL_ID, count)]
+            lengths = []
+            for _, _, stream, _ in entries:
+                buffer, length = stream.detach()
+                lengths.append(length)
+                parts.append(struct.pack(">i", length))
+                with memoryview(buffer.data) as view:
+                    parts.append(bytes(view[:length]))
+                stream.release()  # pooled buffer recycles immediately
+            message = b"".join(parts)
+            try:
+                yield conn.qp.post_send(message, rdma_threshold=threshold)
+            except QPBrokenError:
+                for rspan in spans:
+                    if rspan is not None:
+                        rspan.annotate("error", "QPBrokenError").end()
+                return
+            for rspan, length in zip(spans, lengths):
+                if rspan is not None:
+                    rspan.annotate("response_bytes", length)
+                    rspan.annotate("merged", count)
+                    rspan.end()
+            return
+        body = 0
+        chunks: list = [None]  # placeholder for the batch header
+        lengths = []
+        for _, _, payload, _ in entries:
+            sub = sum(len(chunk) for chunk in payload)
+            body += sub
+            lengths.append(sub)
+            chunks.extend(payload)
+        chunks[0] = struct.pack(">iii", 8 + body, BATCH_CALL_ID, count)
+        try:
+            yield conn.sock.send(chunks)
+        except SocketClosed:
+            for rspan in spans:
+                if rspan is not None:
+                    rspan.annotate("error", "SocketClosed").end()
+            return
+        for rspan, length in zip(spans, lengths):
+            if rspan is not None:
+                rspan.annotate("response_bytes", length)
+                rspan.annotate("merged", count)
+                rspan.end()
+
     def _responder_loop(self):
         sw = self.model.software
         threshold = self.conf.get_int("rpc.ib.rdma.threshold")
         while self.running:
             kind, conn, payload, ref = yield self.response_queue.get()
+            # Merge-before-handoff: the backlog inspection happens in
+            # the same scheduler step as the get, so one thread handoff
+            # covers the whole merged group.
+            extras = self._take_merged(kind, conn) if conn.batch_aware else []
             yield self.env.timeout(sw.thread_handoff_us)
+            if extras:
+                yield from self._respond_merged(
+                    kind, conn, [(kind, conn, payload, ref)] + extras, threshold
+                )
+                continue
             rspan = self.tracer.start(
                 "rpc.server.respond", parent=ref, node=self.node.name,
                 category="rpc.server",

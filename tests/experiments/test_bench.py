@@ -83,7 +83,9 @@ def test_every_harness_has_a_committed_baseline():
     from pathlib import Path
 
     baseline_dir = Path(__file__).parents[2] / "benchmarks" / "baseline"
-    assert set(bench.HARNESSES) == {"fig5", "fig1", "table1", "qos", "failover"}
+    assert set(bench.HARNESSES) == {
+        "fig5", "fig1", "table1", "qos", "failover", "incast",
+    }
     for name in bench.HARNESSES:
         path = baseline_dir / f"BENCH_{name}.json"
         assert path.is_file(), f"missing committed baseline {path}"

@@ -69,6 +69,44 @@ def test_qp_break_before_any_call_falls_back_on_demand():
         assert fallback_count(h) >= 1
 
 
+def test_qp_break_with_full_window_reissues_every_unacknowledged_call():
+    """Multiplexed client, window full *and* calls still queued behind
+    it: a mid-stream QP break must migrate every unacknowledged call —
+    in-flight and queued alike — to the fallback socket path exactly
+    once, and every caller still gets its answer."""
+    from repro.rpc.mux import MuxSocketConnection
+
+    with faulted_harness(
+        {"kind": "qp_break", "at": 100_000, "node": "server"},
+        ib=True,
+    ) as h:
+        h.conf.set("ipc.client.async.enabled", True)
+        h.conf.set("ipc.client.async.max-inflight", 8)
+        h.service.delay_us = 500_000.0
+        results = []
+
+        def caller(i):
+            got = yield h.proxy.slow(Text(f"w{i}"))
+            results.append((i, got))
+
+        env = h.env
+        # 12 callers against a window of 8: at break time 8 calls ride
+        # the QP and 4 more sit in the mux send queue.
+        procs = [env.process(caller(i), name=f"caller{i}") for i in range(12)]
+        env.run(env.all_of(procs))
+
+        assert sorted(results) == [(i, Text(f"w{i}")) for i in range(12)]
+        assert fallback_count(h) >= 1
+        assert h.server.address in h.client._ib_fallback
+        # The fallback connection is the *mux* socket flavour, and it
+        # carried exactly the 12 unacknowledged calls — each re-issued
+        # once, none duplicated, none dropped.
+        (conn,) = h.client._connections.values()
+        assert isinstance(conn, MuxSocketConnection)
+        assert conn.calls_batched == 12
+        assert not conn.calls and not conn._inflight_ids
+
+
 def test_no_fallback_without_faults():
     with faulted_harness(ib=True) as h:
         def caller(env):

@@ -1,0 +1,15 @@
+"""SIM007 fixture: a mux sender jittering its flush from a private RNG.
+
+A seeded ``random.Random`` passes SIM002, but in ``repro/rpc/mux.py``
+SIM007 still rejects it: the flush jitter decides *which calls share a
+batch frame*, so it must come from a named ``repro.simcore.rng`` stream
+to keep the batch composition — and every schedule downstream of it —
+reproducible and isolated per connection.
+"""
+
+import random
+
+
+def flush_jitter():
+    rng = random.Random(42)
+    return 1.0 + 0.25 * rng.random()

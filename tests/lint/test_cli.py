@@ -175,4 +175,4 @@ def test_repo_default_invocation_is_clean(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert code == 0, out
     assert "clean" in out
-    assert "25 baselined" in out
+    assert "27 baselined" in out

@@ -371,6 +371,22 @@ def test_sim007_not_applied_to_other_rpc_modules():
     assert lint_source(src, "/x/src/repro/rpc/server.py", in_src=False) == []
 
 
+def test_sim007_mux_fixture_fires_once():
+    findings = lint_file(FIXTURES / "repro" / "rpc" / "mux.py")
+    assert rules_of(findings) == ["SIM007"]
+    assert "named streams" in findings[0].message
+
+
+def test_sim007_allows_named_stream_in_mux():
+    src = (
+        "from repro.simcore.rng import named_stream\n"
+        "\n"
+        "def flush_jitter(conn_key):\n"
+        "    return 1.0 + named_stream(f'mux:{conn_key}').random() * 0.25\n"
+    )
+    assert lint_source(src, "/x/src/repro/rpc/mux.py", in_src=True) == []
+
+
 def test_sim007_ha_fixture_fires_once():
     findings = lint_file(FIXTURES / "repro" / "ha" / "sim007_probe_jitter.py")
     assert rules_of(findings) == ["SIM007"]
@@ -541,6 +557,21 @@ def test_sim010_failover_fresh_fixture_is_clean():
     ) == []
 
 
+def test_sim010_mux_stale_fixture_fires_once():
+    findings = lint_file(
+        FIXTURES / "repro" / "rpc" / "sim010_mux_stale.py", in_src=True
+    )
+    assert rules_of(findings) == ["SIM010"]
+    assert "ipc.client.async.max-inflight" in findings[0].message
+    assert "self.window" in findings[0].message
+
+
+def test_sim010_mux_fresh_fixture_is_clean():
+    assert lint_file(
+        FIXTURES / "repro" / "rpc" / "sim010_mux_fresh.py", in_src=True
+    ) == []
+
+
 def test_sim010_ignores_non_reloadable_keys():
     src = (
         "class Q:\n"
@@ -555,10 +586,13 @@ def test_sim010_keys_mirror_runtime_reload_surface():
     reload surface, or the rule silently under/over-approximates."""
     from repro.lint.rules import RELOADABLE_CONF_KEYS
     from repro.rpc.failover import FailoverProxy
+    from repro.rpc.mux import ConnectionMux
     from repro.rpc.server import Server
 
     assert RELOADABLE_CONF_KEYS == (
-        Server.QOS_KEYS | FailoverProxy.RELOADABLE_KEYS
+        Server.QOS_KEYS
+        | FailoverProxy.RELOADABLE_KEYS
+        | ConnectionMux.RELOADABLE_KEYS
     )
 
 

@@ -1,0 +1,179 @@
+"""Multiplexed-client regression tests: shared connection, one keeper,
+whole-window close semantics, hot-reloadable window, batching stats.
+
+The hypothesis suite (test_mux_properties) fuzzes the invariants;
+these are the deterministic regressions for the specific bugs the mux
+must not reintroduce — most importantly keeper proliferation (one
+keeper per *mux*, not per caller) and stranded callers on ``close()``.
+"""
+
+import pytest
+
+from repro.io.writables import Text
+from repro.obs.runtime import obs_session
+from repro.rpc.call import Call, RetriesExhaustedError
+from repro.rpc.client import BaseConnection
+from repro.rpc.mux import ConnectionMux
+from repro.simcore import sanitizer as sim_sanitizer
+
+from tests.rpc.conftest import RpcHarness
+
+
+def mux_harness(ib: bool, window: int = 8) -> RpcHarness:
+    harness = RpcHarness(ib=ib)
+    harness.conf.set("ipc.client.async.enabled", True)
+    harness.conf.set("ipc.client.async.max-inflight", window)
+    return harness
+
+
+def the_mux(harness) -> ConnectionMux:
+    (conn,) = harness.client._connections.values()
+    assert isinstance(conn, ConnectionMux)
+    return conn
+
+
+@pytest.mark.parametrize("ib", [False, True], ids=["sockets", "rpcoib"])
+def test_many_callers_share_one_connection_and_one_keeper(monkeypatch, ib):
+    keeper_starts = []
+    original = BaseConnection._start_keeper
+
+    def counting_start(self):
+        keeper_starts.append(self)
+        original(self)
+
+    monkeypatch.setattr(BaseConnection, "_start_keeper", counting_start)
+    harness = mux_harness(ib)
+    results = []
+
+    def caller(i):
+        got = yield harness.proxy.echo(Text(f"m{i}"))
+        results.append((i, got))
+
+    procs = [
+        harness.env.process(caller(i), name=f"caller{i}") for i in range(32)
+    ]
+    harness.env.run(harness.env.all_of(procs))
+
+    assert sorted(results) == [(i, Text(f"m{i}")) for i in range(32)]
+    # One shared connection for all 32 callers, one keeper for the mux.
+    assert len(harness.client._connections) == 1
+    the_mux(harness)
+    assert len(keeper_starts) == 1
+
+
+@pytest.mark.parametrize("ib", [False, True], ids=["sockets", "rpcoib"])
+def test_close_fails_whole_window_exactly_once_no_stranded_waiters(
+    monkeypatch, ib
+):
+    """``close()`` with queued + in-flight callers: every caller settles
+    with an error exactly once, the mux state drains, and the sanitizer
+    sees no stranded process or leaked buffer."""
+    failed_ids = []
+    original_error = Call.error
+
+    def counting_error(self, exc):
+        if not self.done.triggered:
+            failed_ids.append(self.id)
+        original_error(self, exc)
+
+    monkeypatch.setattr(Call, "error", counting_error)
+
+    session = sim_sanitizer.SimSanitizer(label="mux-close")
+    sim_sanitizer.install(session)
+    try:
+        harness = mux_harness(ib, window=4)
+        harness.conf.set("ipc.client.call.max.retries", 0)
+        harness.service.delay_us = 300_000.0
+        outcomes = []
+
+        def caller(i):
+            try:
+                yield harness.proxy.slow(Text(f"w{i}"))
+            except RetriesExhaustedError as exc:
+                outcomes.append((i, exc))
+
+        env = harness.env
+        # 12 callers against a window of 4: at close time some calls are
+        # in flight, the rest still queued on the mux.
+        procs = [env.process(caller(i), name=f"caller{i}") for i in range(12)]
+
+        def closer():
+            yield env.timeout(50_000.0)
+            conn = the_mux(harness)
+            assert conn._inflight_ids and conn._send_queue  # both populated
+            conn.close()
+
+        procs.append(env.process(closer(), name="closer"))
+        env.run(env.all_of(procs))
+    finally:
+        sim_sanitizer.uninstall()
+
+    # Every caller settled, each exactly once, none hung (env.run
+    # returned with all caller processes finished).
+    assert len(outcomes) == 12
+    assert len(failed_ids) == len(set(failed_ids)) == 12
+    assert session.clean, session.report_lines()
+
+
+@pytest.mark.parametrize("ib", [False, True], ids=["sockets", "rpcoib"])
+def test_window_is_hot_reloadable_on_a_live_connection(ib):
+    harness = mux_harness(ib, window=2)
+    env = harness.env
+
+    def wave(n):
+        def caller(i):
+            yield harness.proxy.echo(Text(f"v{i}"))
+
+        return [env.process(caller(i), name=f"caller{i}") for i in range(n)]
+
+    env.run(env.all_of(wave(32)))
+    conn = the_mux(harness)
+    assert conn.max_inflight_seen == 2
+
+    # Retune the live connection — no reconnect, same mux object.
+    harness.conf.set("ipc.client.async.max-inflight", 16)
+    env.run(env.all_of(wave(32)))
+    assert the_mux(harness) is conn
+    assert conn.max_inflight_seen == 16
+
+
+@pytest.mark.parametrize("ib", [False, True], ids=["sockets", "rpcoib"])
+def test_sender_batches_and_responder_merges(ib):
+    harness = mux_harness(ib, window=8)
+    env = harness.env
+
+    def caller(i):
+        yield harness.proxy.echo(Text(f"b{i}"))
+
+    procs = [env.process(caller(i), name=f"caller{i}") for i in range(32)]
+    env.run(env.all_of(procs))
+    conn = the_mux(harness)
+    assert conn.calls_batched == 32  # every call flushed exactly once
+    assert conn.batches_sent < 32  # ...and not one wire op per call
+    assert conn.max_batch > 1
+    assert conn.max_inflight_seen <= 8
+    # The server's responder saw a batch-aware connection and merged.
+    assert harness.server.responses_merged > 0
+
+
+@pytest.mark.parametrize("ib", [False, True], ids=["sockets", "rpcoib"])
+def test_mux_queue_wait_is_a_traced_span(ib):
+    with obs_session(trace=True):
+        harness = mux_harness(ib, window=2)
+    env = harness.env
+
+    def caller(i):
+        yield harness.proxy.echo(Text(f"t{i}"))
+
+    procs = [env.process(caller(i), name=f"caller{i}") for i in range(8)]
+    env.run(env.all_of(procs))
+    tracer = harness.fabric.tracer
+    queue_spans = [
+        s for root in tracer.roots()
+        for s in tracer.trace(root.trace_id)
+        if s.name == "rpc.mux.queue"
+    ]
+    assert len(queue_spans) == 8  # one queue-wait stage per call
+    assert all(s.finished for s in queue_spans)
+    assert {s.attrs["window"] for s in queue_spans} == {2}
+    assert any(s.attrs["batch_size"] > 1 for s in queue_spans)
