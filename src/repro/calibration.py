@@ -148,6 +148,11 @@ class SoftwareModel:
     #: rendezvous handshake for RDMA transfers (buffer advertisement
     #: round) — the reason small messages go eager [era]
     rdma_rendezvous_us: float = 5.0
+    #: residual rendezvous cost when the target buffer advertisement
+    #: was *pre-posted* (predictor-driven adaptive transport overlaps
+    #: the handshake with serialization; only the doorbell/notify
+    #: remains on the critical path) [calibrated]
+    rdma_prepost_us: float = 1.2
     #: completion-queue poll/wakeup [calibrated]
     cq_poll_us: float = 2.2
     #: server-side Reader per-event scan across connection endpoints

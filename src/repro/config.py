@@ -28,6 +28,20 @@ class Configuration:
         # IB; larger ones use RDMA (paper: "a tunable threshold to
         # adaptively make very small messages go through send/recv").
         "rpc.ib.rdma.threshold": 8192,
+        # -- predictor-driven adaptive transport (repro.net.verbs) --------
+        # When enabled, the eager/rendezvous choice consults the
+        # message-size-locality predictor (Fig. 3): confidently
+        # predicted-large messages have their rendezvous buffer
+        # advertisement pre-posted (overlapped with serialization, the
+        # cheaper rdma_prepost_us instead of rdma_rendezvous_us).  Off
+        # by default — the static-threshold event schedule is preserved
+        # exactly unless a workload opts in.  Both keys hot-reload: the
+        # transport revalidates them on every conf.version change.
+        "ipc.ib.adaptive.enabled": False,
+        # Consecutive same-size-class observations of a call kind before
+        # its prediction is trusted; below this the static threshold
+        # decides alone.
+        "ipc.ib.adaptive.confidence": 3,
         # -- RPC server sizing (Hadoop 0.20.2 defaults) --------------------
         "ipc.server.handler.count": 10,
         "ipc.server.reader.count": 1,
@@ -82,6 +96,16 @@ class Configuration:
         "rpc.ib.pool.size.classes": "128,256,512,1024,2048,4096,8192,16384,"
         "32768,65536,131072,262144,524288,1048576,2097152,4194304",
         "rpc.ib.pool.buffers.per.class": 64,
+        # Level-1 pool implementation: "sizeclass" (Section III-C
+        # pre-registered size classes, the default) or "buddy" (the
+        # cubefs-style buddy allocator over pre-registered slabs,
+        # repro.mem.buddy_pool — required for adaptive-transport
+        # pre-posting to be measurable).
+        "rpc.ib.pool.impl": "sizeclass",
+        "rpc.ib.pool.slab.bytes": 1024 * 1024,
+        "rpc.ib.pool.slabs": 8,
+        "rpc.ib.pool.min.block": 128,
+        "rpc.ib.pool.regcache.capacity": 16,
         # -- HDFS -----------------------------------------------------------
         "dfs.replication": 3,
         # Replicas that must be confirmed (blockReceived) before addBlock

@@ -10,6 +10,7 @@ used for the cluster-scale experiments.
 from repro.experiments import (
     campaign,
     chaos,
+    crossover,
     failover,
     fig1_alloc_ratio,
     fig3_size_locality,
@@ -32,6 +33,7 @@ ALL_EXPERIMENTS = {
     "fig7": fig7_hdfs,
     "fig8": fig8_hbase,
     "chaos": chaos,
+    "crossover": crossover,
     "incast": incast,
     "qos": qos,
     "operator": operator_story,

@@ -10,9 +10,9 @@ The performance contract of this repo is two-sided:
   CI even though every simulated number still matches.
 
 ``bench`` runs the selected harnesses (default: fig5, fig1, table1,
-qos, failover, incast — the incast harness at its smoke grid, the rest
-at their regular experiment parameters) and writes one
-``BENCH_<name>.json`` per harness recording:
+qos, failover, incast, crossover — the incast and crossover harnesses
+at their smoke grids, the rest at their regular experiment parameters)
+and writes one ``BENCH_<name>.json`` per harness recording:
 
 * ``wall_seconds`` — host seconds for the run,
 * ``events`` / ``events_per_sec`` — DES events the scheduler processed,
@@ -168,6 +168,30 @@ def _bench_incast() -> Tuple[Dict, Dict]:
     return headline, params
 
 
+def _bench_crossover() -> Tuple[Dict, Dict]:
+    # Smoke grid for the same reason as incast: the wall gate needs a
+    # representative adaptive-transport workload, not the full sweep —
+    # the full-scale crossover shift is locked by the golden fixture.
+    from repro.experiments import crossover
+
+    result = crossover.run(grid="smoke")
+    adaptive = result["mixed"]["adaptive"]
+    headline = {
+        "crossover_static": result["headline"]["crossover_static"],
+        "crossover_warm": result["headline"]["crossover_warm"],
+        "mixed_speedup": result["headline"]["mixed_speedup"],
+        "predictor_hits": adaptive["predictor_hits"],
+        "predictor_misses": adaptive["predictor_misses"],
+        "preposted_sends": adaptive["preposted_sends"],
+    }
+    params = dict(crossover.SMOKE_PARAMS)
+    params.update(
+        mixed_small_bytes=crossover.MIXED_SMALL_BYTES,
+        mixed_large_bytes=crossover.MIXED_LARGE_BYTES,
+    )
+    return headline, params
+
+
 #: benchmark name -> harness returning (headline metrics, parameters).
 HARNESSES: Dict[str, Callable[[], Tuple[Dict, Dict]]] = {
     "fig5": _bench_fig5,
@@ -176,6 +200,7 @@ HARNESSES: Dict[str, Callable[[], Tuple[Dict, Dict]]] = {
     "qos": _bench_qos,
     "failover": _bench_failover,
     "incast": _bench_incast,
+    "crossover": _bench_crossover,
 }
 
 
@@ -234,7 +259,7 @@ def main(argv=None) -> int:
         "benchmarks",
         nargs="*",
         help="harnesses to run (default: all of fig5, fig1, table1, qos, "
-        "failover, incast)",
+        "failover, incast, crossover)",
     )
     parser.add_argument(
         "--out", metavar="DIR", default=".",

@@ -76,8 +76,8 @@ def main(argv=None) -> int:
         nargs="+",
         choices=sorted(ALL_EXPERIMENTS) + ["all"],
         help="experiment ids (table1, fig1, fig3, fig5, fig6, fig7, fig8, "
-        "chaos, incast, qos, failover, campaign), 'all', or 'bench' "
-        "(wall-clock benchmark + regression gate)",
+        "chaos, crossover, incast, qos, failover, campaign), 'all', or "
+        "'bench' (wall-clock benchmark + regression gate)",
     )
     parser.add_argument(
         "--trace",

@@ -103,15 +103,18 @@ RULE_SCOPES: Dict[str, RuleScope] = {
     # Seeded-schedule planes: fault draws decide *which* failures
     # happen, the decay scheduler's sweep jitter decides *when*
     # priorities shift, the HA failover controller's probe jitter
-    # decides *when* takeover fires, and the mux sender's flush policy
-    # decides *which calls share a batch frame* — ambient randomness in
-    # any of them reshuffles every downstream schedule.
+    # decides *when* takeover fires, the mux sender's flush policy
+    # decides *which calls share a batch frame*, and the size
+    # predictor decides *which transport every message rides* —
+    # ambient randomness in any of them reshuffles every downstream
+    # schedule.
     "SIM007": RuleScope(
         fragments=(
             "repro/faults/",
             "repro/rpc/scheduler.py",
             "repro/rpc/mux.py",
             "repro/ha/",
+            "repro/mem/predictor.py",
         )
     ),
     # Zero-copy invariant holders: serialization + transport.
@@ -767,11 +770,13 @@ def check_sim009(pctx: ProgramContext) -> Iterator[Finding]:
 #: Conf keys the operator plane can change at runtime.  Mirrors
 #: ``repro.rpc.server.Server.QOS_KEYS`` union
 #: ``repro.rpc.failover.FailoverProxy.RELOADABLE_KEYS`` union
-#: ``repro.rpc.mux.ConnectionMux.RELOADABLE_KEYS`` (asserted in
+#: ``repro.rpc.mux.ConnectionMux.RELOADABLE_KEYS`` union
+#: ``repro.net.verbs.AdaptiveTransport.RELOADABLE_KEYS`` (asserted in
 #: tests/lint) — the keys ``reconfigure_qos``/``ReloadPlan`` rewires
 #: while the sim runs, the client failover retry policy the proxy
-#: re-reads per attempt, and the mux in-flight window the sender
-#: revalidates per batch.
+#: re-reads per attempt, the mux in-flight window the sender
+#: revalidates per batch, and the adaptive-transport arm/confidence
+#: keys the eager/rendezvous chooser revalidates per send.
 RELOADABLE_CONF_KEYS = frozenset(
     {
         "ipc.callqueue.fair.weights",
@@ -782,6 +787,8 @@ RELOADABLE_CONF_KEYS = frozenset(
         "ipc.client.failover.retry.policy",
         "ipc.client.failover.jitter",
         "ipc.client.async.max-inflight",
+        "ipc.ib.adaptive.enabled",
+        "ipc.ib.adaptive.confidence",
     }
 )
 

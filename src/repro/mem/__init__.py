@@ -10,12 +10,21 @@ pool and the history-based two-level (shadow) pool keyed on
 message-size locality.
 """
 
+from repro.mem.buddy_pool import BuddyBuffer, BuddyBufferPool
 from repro.mem.cost import CostLedger, OpCounts
 from repro.mem.jvm import JvmHeap
-from repro.mem.native_pool import NativeBuffer, NativeBufferPool, PoolExhausted
+from repro.mem.native_pool import (
+    NativeBuffer,
+    NativeBufferPool,
+    PoolExhausted,
+    build_pool,
+)
+from repro.mem.predictor import SizePredictor, size_class_of, within_one_class
 from repro.mem.shadow_pool import HistoryShadowPool
 
 __all__ = [
+    "BuddyBuffer",
+    "BuddyBufferPool",
     "CostLedger",
     "HistoryShadowPool",
     "JvmHeap",
@@ -23,4 +32,8 @@ __all__ = [
     "NativeBufferPool",
     "OpCounts",
     "PoolExhausted",
+    "SizePredictor",
+    "build_pool",
+    "size_class_of",
+    "within_one_class",
 ]

@@ -171,3 +171,35 @@ class NativeBufferPool:
             f"<NativeBufferPool classes={len(self.size_classes)}"
             f" outstanding={self.outstanding}>"
         )
+
+
+def build_pool(model: CostModel, conf):
+    """Construct the level-1 pool the configuration asks for.
+
+    ``rpc.ib.pool.impl`` selects the implementation: ``sizeclass``
+    (default — this module's pre-registered size-class pool, the
+    paper's Section III-C design) or ``buddy`` (the cubefs-style
+    buddy allocator in :mod:`repro.mem.buddy_pool`, required for the
+    adaptive-transport pre-posting to be measurable).  ``conf`` is
+    duck-typed (anything with the ``Configuration`` getters).
+    """
+    impl = str(conf.get("rpc.ib.pool.impl", "sizeclass"))
+    if impl == "buddy":
+        from repro.mem.buddy_pool import BuddyBufferPool
+
+        return BuddyBufferPool(
+            model,
+            slab_bytes=conf.get_int("rpc.ib.pool.slab.bytes"),
+            slabs=conf.get_int("rpc.ib.pool.slabs"),
+            min_block=conf.get_int("rpc.ib.pool.min.block"),
+            regcache_capacity=conf.get_int("rpc.ib.pool.regcache.capacity"),
+        )
+    if impl != "sizeclass":
+        raise ValueError(
+            f"unknown rpc.ib.pool.impl {impl!r} (sizeclass or buddy)"
+        )
+    return NativeBufferPool(
+        model,
+        conf.get_ints("rpc.ib.pool.size.classes"),
+        buffers_per_class=conf.get_int("rpc.ib.pool.buffers.per.class"),
+    )

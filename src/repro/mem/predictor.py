@@ -1,0 +1,97 @@
+"""Per-call-kind message-size predictor — the Fig. 3 locality model.
+
+Hadoop RPC exhibits **message size locality** (Figure 3 of the paper):
+the last observed size of a ⟨protocol, method⟩ call kind is an
+excellent predictor of the next one.  The two-level buffer pool
+(:mod:`repro.mem.shadow_pool`) has always exploited this to size the
+serializer's buffer; this module extracts the predictor into a shared
+component so the transport layer (:mod:`repro.net.verbs`) can consult
+the *same* history when choosing between the eager and rendezvous
+protocols — a predicted-large message can have its rendezvous buffer
+advertisement pre-posted while serialization is still running.
+
+The predictor is pure bookkeeping: it never touches the simulated
+clock, never draws randomness, and is deterministic for a given
+observation sequence.  Confidence is a per-kind *streak* — consecutive
+observations landing within one power-of-two size class of each other.
+A transport should only act on a prediction once the streak clears its
+configured minimum (``ipc.ib.adaptive.confidence``); below that it
+falls back to the static threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: History key: the paper indexes by the string "protocol + method".
+CallKey = Tuple[str, str]
+
+#: Default guess for a never-before-seen call kind, matching the
+#: smallest native-pool size class.
+DEFAULT_SIZE = 128
+
+
+def size_class_of(nbytes: int) -> int:
+    """Smallest power-of-two bucket holding ``nbytes`` (min 1)."""
+    if nbytes < 0:
+        raise ValueError(f"negative size {nbytes}")
+    if nbytes <= 1:
+        return 1
+    return 1 << (nbytes - 1).bit_length()
+
+
+def within_one_class(a: int, b: int) -> bool:
+    """True when two sizes land in the same or adjacent power-of-two
+    class — the locality granularity that matters to the buffer pool
+    (and hence to the eager/rendezvous choice)."""
+    ca = size_class_of(a).bit_length()
+    cb = size_class_of(b).bit_length()
+    return abs(ca - cb) <= 1
+
+
+class SizePredictor:
+    """Last-observed-size predictor with a per-kind confidence streak."""
+
+    def __init__(self, default_size: int = DEFAULT_SIZE):
+        if default_size < 1:
+            raise ValueError(f"default_size must be >= 1, got {default_size}")
+        self.default_size = default_size
+        #: last observed size per call kind — the paper's history table.
+        self.history: Dict[CallKey, int] = {}
+        #: consecutive observations within one size class of the
+        #: previous one, per call kind.
+        self.streaks: Dict[CallKey, int] = {}
+        self.observations = 0
+
+    # -- prediction ----------------------------------------------------------
+    def predict(self, protocol: str, method: str) -> int:
+        """Last observed message size for this call kind (or default)."""
+        return self.history.get((protocol, method), self.default_size)
+
+    def confident(self, protocol: str, method: str, min_streak: int) -> bool:
+        """Has this kind shown ``min_streak`` stable observations?"""
+        return self.streaks.get((protocol, method), 0) >= min_streak
+
+    # -- learning ----------------------------------------------------------
+    def observe(self, protocol: str, method: str, size: int) -> None:
+        """Record an observed message size for the call kind.
+
+        The streak rises while sizes stay within one size class of the
+        previous observation and resets to zero on a class jump — a
+        kind that alternates tiny/huge never becomes confident, which
+        is exactly when transport prediction should stand down.
+        """
+        key = (protocol, method)
+        last = self.history.get(key)
+        if last is not None and within_one_class(last, size):
+            self.streaks[key] = self.streaks.get(key, 0) + 1
+        else:
+            self.streaks[key] = 0
+        self.history[key] = size
+        self.observations += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SizePredictor kinds={len(self.history)}"
+            f" observations={self.observations}>"
+        )

@@ -15,37 +15,47 @@ oversized), exactly as the paper describes.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.calibration import CostModel
 from repro.mem.cost import CostLedger
 from repro.mem.native_pool import NativeBuffer, NativeBufferPool
-
-#: History key: the paper indexes by the string "protocol + method".
-CallKey = Tuple[str, str]
+from repro.mem.predictor import CallKey, SizePredictor
 
 
 class HistoryShadowPool:
-    """JVM-layer shadow of the native pool with size-history prediction."""
+    """JVM-layer shadow of the native pool with size-history prediction.
+
+    The size history itself lives in a shared :class:`SizePredictor` so
+    the transport layer can consult the same table when choosing
+    between eager and rendezvous (``repro.net.verbs``); pass one in to
+    share it, or let the pool own a private instance.
+    """
 
     def __init__(
         self,
         native_pool: NativeBufferPool,
         default_size: int = 128,
+        predictor: Optional[SizePredictor] = None,
     ):
         self.native = native_pool
         self.default_size = default_size
-        self.history: Dict[CallKey, int] = {}
+        self.predictor = predictor or SizePredictor(default_size=default_size)
         # locality statistics (reported by the Fig. 3 experiment)
         self.acquires = 0
         self.grows = 0
         self.predictions = 0
         self.prediction_hits = 0
 
+    @property
+    def history(self) -> Dict[CallKey, int]:
+        """The predictor's per-kind size table (compat alias)."""
+        return self.predictor.history
+
     # -- prediction ----------------------------------------------------------
     def predicted_size(self, protocol: str, method: str) -> int:
         """Last observed message size for this call kind (or default)."""
-        return self.history.get((protocol, method), self.default_size)
+        return self.predictor.predict(protocol, method)
 
     # -- acquire/grow/release ---------------------------------------------------
     def acquire(self, protocol: str, method: str, ledger: CostLedger) -> NativeBuffer:
@@ -93,13 +103,12 @@ class HistoryShadowPool:
           payoff the micro-benchmark analysis in Section IV-B describes
           ("only the first call may need the buffer adjustment").
         """
-        key = (protocol, method)
         self.predictions += 1
         used_class = self.native.class_for(used)
         buf_class = buffer.size_class if buffer.size_class > 0 else buffer.capacity
         if not grown and used_class is not None and used_class >= buf_class:
             self.prediction_hits += 1
-        self.history[key] = used
+        self.predictor.observe(protocol, method, used)
         self.native.put(buffer, ledger)
 
     # -- stats ------------------------------------------------------------------

@@ -17,9 +17,38 @@ from typing import NamedTuple, Optional, Union
 
 from repro.calibration import CostModel, IB_EAGER, IB_RDMA
 from repro.mem.native_pool import NativeBuffer
+from repro.mem.predictor import SizePredictor
 from repro.net.fabric import Fabric, Node
 from repro.simcore import Store
 from repro.simcore.process import Process
+
+
+def classify(length: int, threshold: int) -> bool:
+    """THE eager/rendezvous split (Section III-D): True = eager.
+
+    Every layer that needs the protocol decision — the verbs post, the
+    client's trace tags, the server responder — must come through
+    here, so predictor-driven choice can never drift between what a
+    trace says and what the clock was charged.
+    """
+    return length <= threshold
+
+
+class ProtocolChoice(NamedTuple):
+    """A resolved transport decision for one message.
+
+    ``eager``     — send/recv vs RDMA (from :func:`classify`);
+    ``preposted`` — rendezvous buffer advertisement was pre-posted
+                    (predictor-driven; pays ``rdma_prepost_us`` instead
+                    of the full ``rdma_rendezvous_us`` handshake);
+    ``source``    — "static" (threshold only), "predictor" (confident
+                    prediction), or "fallback" (predictor enabled but
+                    not yet confident for this call kind).
+    """
+
+    eager: bool
+    preposted: bool = False
+    source: str = "static"
 
 
 class QPBrokenError(ConnectionError):
@@ -96,6 +125,7 @@ class QueuePair:
         self.sends = 0
         self.eager_sends = 0
         self.rdma_sends = 0
+        self.preposted_sends = 0
         #: opaque owner tag (e.g. the server-side connection object).
         self.owner: object = None
         #: out-of-band trace refs (repro.obs), mirroring SimSocket's
@@ -118,12 +148,16 @@ class QueuePair:
         rdma_threshold: int = 4096,
         context: object = None,
         trace=None,
+        choice: Optional[ProtocolChoice] = None,
     ) -> Process:
         """Send ``length`` bytes of a registered buffer to the peer.
 
         Messages of at most ``rdma_threshold`` bytes go eager
         (send/recv); larger ones go RDMA — the Section III-D adaptive
-        switch.  The returned Process completes at *local* send
+        switch (:func:`classify`).  Callers that already resolved the
+        decision (the predictor-driven adaptive transport) pass a
+        :class:`ProtocolChoice` instead; ``rdma_threshold`` is then
+        ignored.  The returned Process completes at *local* send
         completion (work request posted, buffer reusable: the payload is
         snapshotted); wire transfer and remote delivery continue in the
         background, strictly in order.
@@ -146,9 +180,10 @@ class QueuePair:
             # copy twice); the sender may recycle its buffer immediately.
             with memoryview(view) as dma:
                 payload = bytes(dma[:length])  # sim-lint: disable=SIM008
-        eager = length <= rdma_threshold
+        if choice is None:
+            choice = ProtocolChoice(classify(length, rdma_threshold))
         return self.env.process(
-            self._send_proc(payload, eager, context, trace),
+            self._send_proc(payload, choice, context, trace),
             name=self._send_name,
         )
 
@@ -156,8 +191,11 @@ class QueuePair:
         """Next out-of-band trace ref (FIFO, one per traced message)."""
         return self._trace_refs.popleft() if self._trace_refs else None
 
-    def _send_proc(self, payload: bytes, eager: bool, context: object, trace=None):
+    def _send_proc(
+        self, payload: bytes, choice: ProtocolChoice, context: object, trace=None
+    ):
         sw = self.model.software
+        eager = choice.eager
         spec = IB_EAGER if eager else IB_RDMA
         self.sends += 1
         if eager:
@@ -166,8 +204,15 @@ class QueuePair:
             self.rdma_sends += 1
         cost = sw.jni_crossing_us + sw.verbs_post_us + spec.host_overhead_us
         if not eager:
-            # rendezvous: advertise the target buffer before the RDMA
-            cost += sw.rdma_rendezvous_us
+            if choice.preposted:
+                # Predictor pre-advertised the target buffer while the
+                # message was still serializing: only the doorbell/
+                # notify residue remains on the critical path.
+                self.preposted_sends += 1
+                cost += sw.rdma_prepost_us
+            else:
+                # rendezvous: advertise the target buffer before the RDMA
+                cost += sw.rdma_rendezvous_us
         yield self.env.timeout(cost)
         if self._tx_queue is None:
             self._tx_queue = Store(self.env)
@@ -240,3 +285,100 @@ class QueuePair:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<QueuePair {self.local.name}->{self.remote.name}>"
+
+
+class AdaptiveTransport:
+    """Predictor-driven eager/rendezvous selection with mispredict
+    accounting — the tentpole of the message-size-adaptive transport.
+
+    One instance per RPCoIB endpoint (client connection / server
+    responder), sharing the endpoint's :class:`SizePredictor` with its
+    buffer pool: the same Fig. 3 size history that sizes the
+    serializer's buffer decides whether the rendezvous buffer
+    advertisement can be pre-posted.
+
+    The decision model (:meth:`choose`) runs at post time, when the
+    actual serialized length is known, but scores itself against what
+    the predictor said *before* serialization:
+
+    * confident predicted-rendezvous + actual rendezvous → hit, and
+      the advertisement was overlapped with serialization, so the send
+      pays only ``rdma_prepost_us`` (``preposted=True``);
+    * confident prediction on the wrong side of the threshold → miss
+      (the actual length always wins the protocol choice — a mispredict
+      costs the full handshake or a wasted advertisement, never a
+      wrong-protocol send);
+    * not yet confident → fall back to the static threshold, counted
+      separately.
+
+    Both ``ipc.ib.adaptive.*`` keys and the static threshold hot-reload
+    via the ``conf.version`` stamp, so an operator can arm or retune
+    the adaptive transport mid-run.  Metrics (``net.predictor.hits`` /
+    ``misses`` / ``fallbacks``, labelled by node) are created lazily on
+    first use — with the default-off configuration the metrics JSON is
+    unchanged.
+    """
+
+    #: keys the transport re-reads on every conf.version change
+    #: (mirrored into repro.lint.rules.RELOADABLE_CONF_KEYS — SIM010).
+    RELOADABLE_KEYS = frozenset(
+        {"ipc.ib.adaptive.enabled", "ipc.ib.adaptive.confidence"}
+    )
+
+    def __init__(self, conf, predictor: SizePredictor, registry=None, node=""):
+        self.conf = conf
+        self.predictor = predictor
+        self.registry = registry
+        self.node = node
+        self._stamp = -1
+        self._enabled = False
+        self._confidence = 0
+        self._threshold = 0
+        self._hits = None
+        self._misses = None
+        self._fallbacks = None
+
+    def _revalidate(self) -> None:
+        if self.conf.version != self._stamp:
+            self._enabled = self.conf.get_bool("ipc.ib.adaptive.enabled")
+            self._confidence = self.conf.get_int("ipc.ib.adaptive.confidence")
+            self._threshold = self.conf.get_int("rpc.ib.rdma.threshold")
+            self._stamp = self.conf.version
+
+    @property
+    def enabled(self) -> bool:
+        self._revalidate()
+        return self._enabled
+
+    def _count(self, which: str) -> None:
+        if self.registry is None:
+            return
+        counter = getattr(self, f"_{which}")
+        if counter is None:
+            counter = self.registry.counter(
+                f"net.predictor.{which}", node=self.node
+            )
+            setattr(self, f"_{which}", counter)
+        counter.add()
+
+    def choose(self, protocol: str, method: str, length: int) -> ProtocolChoice:
+        """Resolve the transport decision for one serialized message."""
+        self._revalidate()
+        actual_eager = classify(length, self._threshold)
+        if not self._enabled:
+            return ProtocolChoice(actual_eager)
+        if not self.predictor.confident(protocol, method, self._confidence):
+            self._count("fallbacks")
+            return ProtocolChoice(actual_eager, source="fallback")
+        predicted = self.predictor.predict(protocol, method)
+        predicted_eager = classify(predicted, self._threshold)
+        if predicted_eager == actual_eager:
+            self._count("hits")
+        else:
+            self._count("misses")
+        # Pre-posting helps only when the predictor committed to
+        # rendezvous *and* the message really goes rendezvous; a
+        # predicted-eager message that turns out large pays the full
+        # handshake (nothing was advertised in advance).
+        preposted = not predicted_eager and not actual_eager
+        return ProtocolChoice(actual_eager, preposted, source="predictor")

@@ -1,0 +1,69 @@
+"""Per-size-class RPC latency histograms — the adaptive-transport lens.
+
+The crossover analysis (eager vs rendezvous as a function of message
+size, Section III-D) needs latency *conditioned on message size class*,
+not one aggregate tally: the predictor moves the crossover point
+per-class.  This module buckets completed calls by the power-of-two
+size class of their request payload and feeds one latency histogram
+per class into the shared :class:`repro.obs.MetricsRegistry`.
+
+Instruments are created lazily per observed class, so nothing appears
+in the metrics JSON until the adaptive transport actually observes a
+call — the default-off export is unchanged.  Pure bookkeeping: never
+touches the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.mem.predictor import size_class_of
+
+#: latency bucket upper bounds (simulated microseconds, geometric) —
+#: spans the eager floor (~tens of us RTT) through rendezvous +
+#: large-transfer territory.
+LATENCY_BOUNDS_US = (25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 6400.0)
+
+#: instrument name used in the registry.
+INSTRUMENT = "rpc.client.latency_by_size_us"
+
+
+def size_class_label(nbytes: int) -> str:
+    """Human-readable power-of-two class label ("<=4KB", "<=1MB"...)."""
+    cls = size_class_of(nbytes)
+    if cls >= 1024 * 1024:
+        return f"<={cls // (1024 * 1024)}MB"
+    if cls >= 1024:
+        return f"<={cls // 1024}KB"
+    return f"<={cls}B"
+
+
+class SizeClassLatency:
+    """Lazy per-size-class latency histograms over one registry."""
+
+    def __init__(self, registry, node: str = ""):
+        self.registry = registry
+        self.node = node
+        self._histograms: Dict[str, object] = {}
+
+    def observe(self, nbytes: int, latency_us: float) -> None:
+        """Record one completed call of ``nbytes`` taking ``latency_us``."""
+        label = size_class_label(nbytes)
+        histogram = self._histograms.get(label)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                INSTRUMENT, LATENCY_BOUNDS_US,
+                node=self.node, size_class=label,
+            )
+            self._histograms[label] = histogram
+        histogram.observe(latency_us)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Class label -> {bucket label: count} (deterministic order)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for label in sorted(self._histograms):
+            histogram = self._histograms[label]
+            out[label] = {
+                bucket: count for bucket, count in histogram.items()
+            }
+        return out

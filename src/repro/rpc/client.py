@@ -39,12 +39,18 @@ from repro.io.buffered import BufferedOutputStream, VectorSink
 from repro.io.rdma_streams import RDMAInputStream, RDMAOutputStream
 from repro.io.writable import ObjectWritable, Writable
 from repro.mem.cost import CostLedger
-from repro.mem.native_pool import NativeBufferPool
+from repro.mem.native_pool import build_pool
 from repro.mem.shadow_pool import HistoryShadowPool
 from repro.net import sockets as simsockets
 from repro.net.fabric import Fabric, Node
 from repro.net.sockets import SocketAddress, SocketClosed
-from repro.net.verbs import Endpoint, QPBreak, QPBrokenError, QueuePair
+from repro.net.verbs import (
+    AdaptiveTransport,
+    Endpoint,
+    QPBreak,
+    QPBrokenError,
+    QueuePair,
+)
 from repro.obs.trace import NULL_SPAN
 from repro.rpc.call import (
     Call,
@@ -126,14 +132,18 @@ class Client:
         # still take effect on the next call), and call-process names
         # built once per (protocol, method).
         self._conf_stamp = -1
-        self._conf_parsed: Tuple[float, int, float, int, bool] = (
-            0.0, 0, 0.0, 0, False,
+        self._conf_parsed: Tuple[float, int, float, int, bool, bool] = (
+            0.0, 0, 0.0, 0, False, False,
         )
         self._call_names: Dict[Tuple[str, str], str] = {}
+        # Per-size-class latency histograms (repro.obs.sizeclass):
+        # armed only while the adaptive transport is enabled, so the
+        # default metrics export is byte-identical.
+        self._size_latency = None
 
-    def _call_conf(self) -> Tuple[float, int, float, int, bool]:
+    def _call_conf(self) -> Tuple[float, int, float, int, bool, bool]:
         """(call timeout, max retries, retry interval, buffer initial,
-        mux enabled)."""
+        mux enabled, adaptive transport enabled)."""
         conf = self.conf
         if conf.version != self._conf_stamp:
             self._conf_parsed = (
@@ -142,6 +152,7 @@ class Client:
                 conf.get_float("ipc.client.call.retry.interval"),
                 conf.get_int("io.buffer.initial.size"),
                 conf.get_bool("ipc.client.async.enabled"),
+                conf.get_bool("ipc.ib.adaptive.enabled"),
             )
             self._conf_stamp = conf.version
         return self._conf_parsed
@@ -153,12 +164,7 @@ class Client:
     @property
     def pool(self) -> HistoryShadowPool:
         if self._pool is None:
-            native = NativeBufferPool(
-                self.model,
-                self.conf.get_ints("rpc.ib.pool.size.classes"),
-                buffers_per_class=self.conf.get_int("rpc.ib.pool.buffers.per.class"),
-            )
-            self._pool = HistoryShadowPool(native)
+            self._pool = HistoryShadowPool(build_pool(self.model, self.conf))
         return self._pool
 
     # -- public API -------------------------------------------------------
@@ -194,7 +200,7 @@ class Client:
             method=method,
             engine="rpcoib" if self.ib_enabled else "socket",
         )
-        call_timeout_us, max_retries, retry_interval_us, _, _ = self._call_conf()
+        call_timeout_us, max_retries, retry_interval_us = self._call_conf()[:3]
         attempts = 0
         while True:
             try:
@@ -306,6 +312,15 @@ class Client:
             )
             self._latency_tallies[tally_key] = tally
         tally.observe(latency_us)
+        if profile_info is not None and self._call_conf()[5]:
+            size_latency = self._size_latency
+            if size_latency is None:
+                from repro.obs.sizeclass import SizeClassLatency
+
+                size_latency = self._size_latency = SizeClassLatency(
+                    self.fabric.metrics, node=self.node.name
+                )
+            size_latency.observe(profile_info["message_bytes"], latency_us)
         span.annotate("latency_us", latency_us)
         if profile_info is not None:
             span.annotate("message_bytes", profile_info["message_bytes"])
@@ -777,6 +792,19 @@ class IBConnection(BaseConnection):
         super().__init__(client, address, protocol)
         self.qp: Optional[QueuePair] = None
         self._receiver = None
+        self._adaptive: Optional[AdaptiveTransport] = None
+
+    @property
+    def adaptive(self) -> AdaptiveTransport:
+        """Transport-choice policy, sharing the pool's size predictor."""
+        if self._adaptive is None:
+            self._adaptive = AdaptiveTransport(
+                self.client.conf,
+                self.client.pool.predictor,
+                registry=self.client.fabric.metrics,
+                node=self.client.node.name,
+            )
+        return self._adaptive
 
     def setup(self):
         """Section III-D: use the socket address to exchange endpoint
@@ -851,10 +879,12 @@ class IBConnection(BaseConnection):
         ref = parent.context  # None when tracing is disabled
         if ref is not None:
             ref.sent_at = self.env.now
+        # One resolved decision feeds the post, the costs, and the trace
+        # tag — the classify() hoist that keeps them from drifting.
+        choice = self.adaptive.choose(self.protocol_name, call.method, length)
         try:
             yield self.qp.post_send(
-                buffer, length, rdma_threshold=self.rdma_threshold,
-                context=call.id, trace=ref,
+                buffer, length, choice=choice, context=call.id, trace=ref,
             )
         except QPBrokenError:
             out.release()
@@ -865,7 +895,10 @@ class IBConnection(BaseConnection):
         send_us = self.env.now - send_start
         out.release()  # buffer reusable: payload snapshotted at post
         yield self.env.timeout(ledger.drain())
-        dspan.annotate("eager", length <= self.rdma_threshold)
+        dspan.annotate("eager", choice.eager)
+        if choice.source != "static":
+            dspan.annotate("transport_source", choice.source)
+            dspan.annotate("preposted", choice.preposted)
         dspan.end()
         self._absorb(ledger)
         self._note_activity()

@@ -26,11 +26,18 @@ from repro.io.rdma_streams import RDMAInputStream, RDMAOutputStream
 from repro.io.writable import ObjectWritable, Writable
 from repro.io.writables import NullWritable
 from repro.mem.cost import CostLedger
-from repro.mem.native_pool import NativeBufferPool
+from repro.mem.native_pool import build_pool
 from repro.mem.shadow_pool import HistoryShadowPool
 from repro.net.fabric import Fabric, Node
 from repro.net.sockets import ListenerSocket, SimSocket, SocketAddress, SocketClosed
-from repro.net.verbs import Endpoint, QPBreak, QPBrokenError, QueuePair
+from repro.net.verbs import (
+    AdaptiveTransport,
+    Endpoint,
+    QPBreak,
+    QPBrokenError,
+    QueuePair,
+    classify,
+)
 from repro.rpc.call import (
     BATCH_CALL_ID,
     ConnectionHeader,
@@ -215,6 +222,7 @@ class Server:
         self.cq: Store = Store(self.env)  # shared completion queue
         self.ib_connections: List[IBServerConnection] = []
         self._pool: Optional[HistoryShadowPool] = None
+        self._adaptive: Optional[AdaptiveTransport] = None
         self.listener_socket.ib_service = self  # discoverable at bootstrap
 
         # Per-call hot-path caches: the server-daemon heap (dict lookup
@@ -250,13 +258,20 @@ class Server:
     def pool(self) -> HistoryShadowPool:
         """Server-side RPCoIB buffer pool (lazy, like the JNI library)."""
         if self._pool is None:
-            native = NativeBufferPool(
-                self.model,
-                self.conf.get_ints("rpc.ib.pool.size.classes"),
-                buffers_per_class=self.conf.get_int("rpc.ib.pool.buffers.per.class"),
-            )
-            self._pool = HistoryShadowPool(native)
+            self._pool = HistoryShadowPool(build_pool(self.model, self.conf))
         return self._pool
+
+    @property
+    def adaptive(self) -> AdaptiveTransport:
+        """Response-path transport policy, sharing the pool predictor."""
+        if self._adaptive is None:
+            self._adaptive = AdaptiveTransport(
+                self.conf,
+                self.pool.predictor,
+                registry=self.fabric.metrics,
+                node=self.node.name,
+            )
+        return self._adaptive
 
     def stop(self) -> None:
         self.running = False
@@ -843,10 +858,15 @@ class Server:
             if kind == "ib":
                 stream: RDMAOutputStream = payload
                 buffer, length = stream.detach()
+                # Same hoisted decision as the client: the response's
+                # call kind ("method#resp") consults the server pool's
+                # size predictor, so confidently predicted-large
+                # responses pre-advertise their target buffer.
+                choice = self.adaptive.choose(
+                    stream.protocol, stream.method, length
+                )
                 try:
-                    yield conn.qp.post_send(
-                        buffer, length, rdma_threshold=threshold
-                    )
+                    yield conn.qp.post_send(buffer, length, choice=choice)
                 except QPBrokenError:
                     stream.release()
                     if rspan is not None:
@@ -855,6 +875,10 @@ class Server:
                 stream.release()
                 if rspan is not None:
                     rspan.annotate("response_bytes", length)
+                    if choice.source != "static":
+                        rspan.annotate("eager", choice.eager)
+                        rspan.annotate("transport_source", choice.source)
+                        rspan.annotate("preposted", choice.preposted)
                     rspan.end()
             else:
                 try:

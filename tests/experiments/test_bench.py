@@ -84,7 +84,7 @@ def test_every_harness_has_a_committed_baseline():
 
     baseline_dir = Path(__file__).parents[2] / "benchmarks" / "baseline"
     assert set(bench.HARNESSES) == {
-        "fig5", "fig1", "table1", "qos", "failover", "incast",
+        "fig5", "fig1", "table1", "qos", "failover", "incast", "crossover",
     }
     for name in bench.HARNESSES:
         path = baseline_dir / f"BENCH_{name}.json"

@@ -9,7 +9,7 @@ from repro.experiments.report import gain, reduction, render_series, render_tabl
 def test_registry_covers_all_tables_and_figures():
     assert set(ALL_EXPERIMENTS) == {
         "table1", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8", "chaos",
-        "incast", "qos", "operator", "failover", "campaign",
+        "incast", "qos", "operator", "failover", "campaign", "crossover",
     }
     for module in ALL_EXPERIMENTS.values():
         assert callable(module.run)

@@ -1,0 +1,17 @@
+"""SIM007 fixture: a size predictor dithering its guess from a
+private RNG.
+
+A seeded ``random.Random`` passes SIM002, but in
+``repro/mem/predictor.py`` SIM007 still rejects it: the prediction
+decides *which transport every message rides* (eager vs pre-posted
+rendezvous), so any randomness must come from a named
+``repro.simcore.rng`` stream to keep the per-call-kind transport
+schedule reproducible.
+"""
+
+import random
+
+
+def dithered_prediction(last_size):
+    rng = random.Random(7)
+    return last_size + rng.randrange(64)

@@ -1,0 +1,24 @@
+"""SIM010 negative fixture: adaptive arm read lazily per send.
+
+Same reloadable key as ``sim010_adaptive_stale.py``, but nothing is
+cached during construction — the arm flag is read (and stamp-cached)
+on the decision path, which re-reads whenever ``conf.version`` moves.
+This is exactly how ``repro.net.verbs.AdaptiveTransport`` arms or
+retunes mid-run without a subscribe listener.
+"""
+
+
+class FreshAdaptive:
+    def __init__(self, conf):
+        self.conf = conf
+        self._conf_stamp = -1
+        self._enabled = False
+
+    def _current_enabled(self):
+        if self.conf.version != self._conf_stamp:
+            self._enabled = self.conf.get_bool("ipc.ib.adaptive.enabled")
+            self._conf_stamp = self.conf.version
+        return self._enabled
+
+    def choose(self, eager):
+        return eager if not self._current_enabled() else not eager

@@ -387,6 +387,25 @@ def test_sim007_allows_named_stream_in_mux():
     assert lint_source(src, "/x/src/repro/rpc/mux.py", in_src=True) == []
 
 
+def test_sim007_predictor_fixture_fires_once():
+    findings = lint_file(FIXTURES / "repro" / "mem" / "predictor.py")
+    assert rules_of(findings) == ["SIM007"]
+    assert "named streams" in findings[0].message
+
+
+def test_sim007_not_applied_to_other_mem_modules():
+    src = "import random\n\ndef f():\n    return random.Random(7).random()\n"
+    assert lint_source(
+        src, "/x/src/repro/mem/shadow_pool.py", in_src=False
+    ) == []
+
+
+def test_sim007_real_predictor_module_is_clean():
+    src_root = Path(__file__).parents[2] / "src"
+    path = src_root / "repro" / "mem" / "predictor.py"
+    assert lint_file(path, in_src=True) == [], f"{path} has findings"
+
+
 def test_sim007_ha_fixture_fires_once():
     findings = lint_file(FIXTURES / "repro" / "ha" / "sim007_probe_jitter.py")
     assert rules_of(findings) == ["SIM007"]
@@ -572,6 +591,21 @@ def test_sim010_mux_fresh_fixture_is_clean():
     ) == []
 
 
+def test_sim010_adaptive_stale_fixture_fires_once():
+    findings = lint_file(
+        FIXTURES / "repro" / "net" / "sim010_adaptive_stale.py", in_src=True
+    )
+    assert rules_of(findings) == ["SIM010"]
+    assert "ipc.ib.adaptive.enabled" in findings[0].message
+    assert "self.enabled" in findings[0].message
+
+
+def test_sim010_adaptive_fresh_fixture_is_clean():
+    assert lint_file(
+        FIXTURES / "repro" / "net" / "sim010_adaptive_fresh.py", in_src=True
+    ) == []
+
+
 def test_sim010_ignores_non_reloadable_keys():
     src = (
         "class Q:\n"
@@ -585,6 +619,7 @@ def test_sim010_keys_mirror_runtime_reload_surface():
     """RELOADABLE_CONF_KEYS must stay in lockstep with the runtime
     reload surface, or the rule silently under/over-approximates."""
     from repro.lint.rules import RELOADABLE_CONF_KEYS
+    from repro.net.verbs import AdaptiveTransport
     from repro.rpc.failover import FailoverProxy
     from repro.rpc.mux import ConnectionMux
     from repro.rpc.server import Server
@@ -593,6 +628,7 @@ def test_sim010_keys_mirror_runtime_reload_surface():
         Server.QOS_KEYS
         | FailoverProxy.RELOADABLE_KEYS
         | ConnectionMux.RELOADABLE_KEYS
+        | AdaptiveTransport.RELOADABLE_KEYS
     )
 
 

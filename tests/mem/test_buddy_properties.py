@@ -1,0 +1,246 @@
+"""Property suites for the buddy pool and the size predictor.
+
+Hypothesis drives random acquire/release interleavings through
+:class:`BuddyBufferPool` and checks the allocator's structural
+invariants after every operation (no overlapping live blocks, byte
+conservation, free map restored once everything returns, leak ledger
+clean), plus the predictor's contract (prediction is the last
+observation; the confidence streak is exactly the tail run of
+within-one-class observations) and the tentpole's safety net: with
+``ipc.ib.adaptive.enabled`` off, a payload serialized by the *real*
+encoder and sent through :class:`AdaptiveTransport`'s choice is
+bit-identical — bytes, protocol, and clock — to the static threshold
+path.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import CostModel
+from repro.config import Configuration
+from repro.io.rdma_streams import RDMAOutputStream
+from repro.mem import BuddyBuffer, BuddyBufferPool, CostLedger, HistoryShadowPool
+from repro.mem.predictor import SizePredictor, within_one_class
+from repro.net import Endpoint, Fabric, QueuePair
+from repro.net.verbs import AdaptiveTransport
+from repro.simcore import Environment, sanitizer
+
+SLAB = 4096
+MIN_BLOCK = 64
+
+
+def make_pool(slabs=2):
+    return BuddyBufferPool(
+        CostModel.default(),
+        slab_bytes=SLAB,
+        slabs=slabs,
+        min_block=MIN_BLOCK,
+        regcache_capacity=4,
+    )
+
+
+def live_ranges(outstanding):
+    """(slab, start, end) for every live buddy block."""
+    return [
+        (buf.slab, buf.offset, buf.offset + buf.capacity)
+        for buf in outstanding
+        if isinstance(buf, BuddyBuffer)
+    ]
+
+
+def assert_no_overlap(pool, outstanding):
+    """Live blocks and free blocks must exactly tile every slab."""
+    ranges = live_ranges(outstanding)
+    for size, blocks in pool.free_map().items():
+        ranges.extend(
+            (slab, offset, offset + size) for slab, offset in blocks
+        )
+    per_slab = {}
+    for slab, start, end in ranges:
+        per_slab.setdefault(slab, []).append((start, end))
+    assert len(per_slab) == pool.slab_count
+    for slab, spans in per_slab.items():
+        spans.sort()
+        cursor = 0
+        for start, end in spans:
+            assert start == cursor, f"gap/overlap at slab {slab} off {start}"
+            cursor = end
+        assert cursor == pool.slab_bytes
+
+
+def assert_conservation(pool):
+    assert (
+        pool.free_bytes() + pool.outstanding_block_bytes
+        == pool.slab_count * pool.slab_bytes
+    )
+
+
+# Sizes straddle every interesting boundary: sub-min-block, exact
+# powers of two, mid-class, a whole slab, and oversized (regcache path).
+SIZES = st.integers(min_value=0, max_value=3 * SLAB)
+
+
+@given(
+    sizes=st.lists(SIZES, min_size=1, max_size=24),
+    release_order=st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_no_overlap_and_conservation_through_any_interleaving(
+    sizes, release_order
+):
+    pool = make_pool()
+    ledger = CostLedger(CostModel.default())
+    outstanding = []
+    for nbytes in sizes:
+        outstanding.append(pool.get(nbytes, ledger))
+        assert_no_overlap(pool, outstanding)
+        assert_conservation(pool)
+    release_order.shuffle(outstanding)
+    while outstanding:
+        pool.put(outstanding.pop(), ledger)
+        assert_no_overlap(pool, outstanding)
+        assert_conservation(pool)
+
+
+@given(
+    sizes=st.lists(SIZES, min_size=1, max_size=24),
+    release_order=st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_returning_everything_restores_whole_slab_free_map(
+    sizes, release_order
+):
+    pool = make_pool()
+    ledger = CostLedger(CostModel.default())
+    bufs = [pool.get(nbytes, ledger) for nbytes in sizes]
+    release_order.shuffle(bufs)
+    for buf in bufs:
+        pool.put(buf, ledger)
+    # Every split was undone: the free map is exactly one whole-slab
+    # block per slab (including any slabs growth added).
+    assert pool.free_map() == {
+        SLAB: tuple((i, 0) for i in range(pool.slab_count))
+    }
+    assert pool.outstanding == 0
+    assert pool.outstanding_block_bytes == 0
+
+
+@given(sizes=st.lists(SIZES, min_size=1, max_size=16))
+@settings(max_examples=25, deadline=None)
+def test_leak_ledger_tracks_live_buffers_and_ends_clean(sizes):
+    with sanitizer.sanitized():
+        pool = make_pool()
+        ledger = CostLedger(CostModel.default())
+        bufs = [pool.get(nbytes, ledger) for nbytes in sizes]
+        assert len(pool.sanitizer_outstanding()) == len(bufs)
+        for buf in bufs:
+            pool.put(buf, ledger)
+        assert pool.sanitizer_outstanding() == []
+
+
+# -- predictor properties ----------------------------------------------------
+
+
+KIND = st.tuples(
+    st.sampled_from(["ClientProtocol", "DatanodeProtocol"]),
+    st.sampled_from(["get", "put", "heartbeat"]),
+)
+
+
+@given(
+    observations=st.lists(
+        st.tuples(KIND, st.integers(min_value=0, max_value=1 << 20)),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_prediction_is_always_the_last_observation_per_kind(observations):
+    predictor = SizePredictor()
+    last = {}
+    for (protocol, method), size in observations:
+        predictor.observe(protocol, method, size)
+        last[(protocol, method)] = size
+    for (protocol, method), size in last.items():
+        assert predictor.predict(protocol, method) == size
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                   max_size=30)
+)
+@settings(max_examples=60, deadline=None)
+def test_confidence_streak_is_the_tail_run_of_class_local_observations(sizes):
+    predictor = SizePredictor()
+    for size in sizes:
+        predictor.observe("P", "m", size)
+    # Recompute the expected streak from first principles: consecutive
+    # within-one-class steps counted back from the newest observation.
+    streak = 0
+    for prev, cur in zip(reversed(sizes[:-1]), reversed(sizes[1:])):
+        if not within_one_class(prev, cur):
+            break
+        streak += 1
+    assert predictor.confident("P", "m", streak)
+    assert not predictor.confident("P", "m", streak + 1)
+
+
+# -- adaptive-off identity against the real encoder --------------------------
+
+
+def _send_serialized(chunks, use_adaptive, threshold):
+    """Serialize ``chunks`` with RDMAOutputStream over a buddy pool and
+    send the detached buffer once; returns (received message, arrival)."""
+    model = CostModel.default()
+    pool = HistoryShadowPool(make_pool())
+    ledger = CostLedger(model)
+    out = RDMAOutputStream(pool, "ClientProtocol", "op", ledger)
+    for chunk in chunks:
+        out.write(chunk)
+    out.write_int(len(chunks))  # exercise a pack_into fast path too
+    buffer, length = out.detach()
+
+    fabric = Fabric(Environment())
+    qa, qb = QueuePair.pair(
+        Endpoint(fabric, fabric.add_node("a")),
+        Endpoint(fabric, fabric.add_node("b")),
+    )
+    if use_adaptive:
+        conf = Configuration({"rpc.ib.rdma.threshold": threshold})
+        assert not conf.get_bool("ipc.ib.adaptive.enabled")  # default off
+        adaptive = AdaptiveTransport(conf, pool.predictor)
+        choice = adaptive.choose("ClientProtocol", "op", length)
+        assert choice.source == "static" and not choice.preposted
+        kwargs = {"choice": choice}
+    else:
+        kwargs = {"rdma_threshold": threshold}
+    env = fabric.env
+    got = {}
+
+    def receiver(env):
+        got["msg"] = yield qb.recv()
+        got["arrival"] = env.now
+
+    def sender(env):
+        yield qa.post_send(buffer, length=length, **kwargs)
+        out.release()
+
+    env.process(receiver(env))
+    env.process(sender(env))
+    env.run()
+    return got["msg"], got["arrival"]
+
+
+@given(
+    chunks=st.lists(st.binary(min_size=0, max_size=3000), max_size=5),
+    threshold=st.sampled_from([0, 64, 4096, 1 << 20]),
+)
+@settings(max_examples=30, deadline=None)
+def test_adaptive_off_is_bit_identical_to_the_static_path(chunks, threshold):
+    static_msg, static_arrival = _send_serialized(chunks, False, threshold)
+    adaptive_msg, adaptive_arrival = _send_serialized(chunks, True, threshold)
+    assert adaptive_msg.data == static_msg.data
+    assert adaptive_msg.length == static_msg.length
+    assert adaptive_msg.eager == static_msg.eager
+    assert adaptive_arrival == pytest.approx(static_arrival, abs=0.0)

@@ -113,3 +113,45 @@ def test_locality_accounting_is_deterministic(ledger):
     # Steady-state calls after the first observation all hit.
     assert hits == 4
     assert history == {("A", "get"): 2500, ("B", "put"): 95}
+
+
+# -- predictor delegation (the extraction behind the adaptive transport) ----
+
+
+def test_shadow_pool_owns_a_private_predictor_by_default(pool):
+    from repro.mem.predictor import SizePredictor
+
+    shadow = HistoryShadowPool(pool, default_size=256)
+    assert isinstance(shadow.predictor, SizePredictor)
+    assert shadow.predicted_size("P", "m") == 256  # default flows through
+
+
+def test_release_feeds_the_shared_predictor_streak(shadow, ledger):
+    for size in (300, 310, 305):
+        buf = shadow.acquire("P", "m", ledger)
+        shadow.release(buf, "P", "m", used=size, ledger=ledger)
+    # The transport consults the *same* history: two class-local steps.
+    assert shadow.predictor.confident("P", "m", 2)
+    assert not shadow.predictor.confident("P", "m", 3)
+    assert shadow.predictor.predict("P", "m") == 305
+
+
+def test_history_property_aliases_the_predictor_table(shadow, ledger):
+    buf = shadow.acquire("P", "m", ledger)
+    shadow.release(buf, "P", "m", used=777, ledger=ledger)
+    assert shadow.history is shadow.predictor.history
+    assert shadow.history[("P", "m")] == 777
+
+
+def test_two_shadow_pools_can_share_one_predictor(pool, ledger):
+    from repro.mem.predictor import SizePredictor
+
+    predictor = SizePredictor()
+    request_side = HistoryShadowPool(pool, predictor=predictor)
+    response_side = HistoryShadowPool(pool, predictor=predictor)
+    buf = request_side.acquire("P", "m", ledger)
+    request_side.release(buf, "P", "m", used=2000, ledger=ledger, grown=True)
+    # The other side predicts from the shared table immediately.
+    assert response_side.predicted_size("P", "m") == 2000
+    # ...but locality statistics stay per-pool.
+    assert (request_side.predictions, response_side.predictions) == (1, 0)

@@ -1,0 +1,63 @@
+"""Unit tests for the per-size-class latency histograms (repro.obs)."""
+
+from repro.obs import MetricsRegistry
+from repro.obs.sizeclass import (
+    INSTRUMENT,
+    LATENCY_BOUNDS_US,
+    SizeClassLatency,
+    size_class_label,
+)
+
+
+def test_size_class_labels_scale_units():
+    assert size_class_label(1) == "<=1B"
+    assert size_class_label(200) == "<=256B"
+    assert size_class_label(300) == "<=512B"
+    assert size_class_label(1024) == "<=1KB"
+    assert size_class_label(5000) == "<=8KB"
+    assert size_class_label(1024 * 1024) == "<=1MB"
+    assert size_class_label(3 * 1024 * 1024) == "<=4MB"
+
+
+def test_instruments_are_created_lazily_per_observed_class():
+    registry = MetricsRegistry()
+    latency = SizeClassLatency(registry, node="client-0")
+    # Constructing the lens registers nothing: default-off metrics
+    # output is unchanged.
+    assert registry.find(INSTRUMENT) == {}
+    latency.observe(100, 30.0)
+    latency.observe(120, 45.0)  # same class: same instrument
+    latency.observe(70_000, 900.0)
+    instruments = registry.find(INSTRUMENT)
+    assert sorted(instruments) == [
+        f"{INSTRUMENT}{{node=client-0,size_class=<=128B}}",
+        f"{INSTRUMENT}{{node=client-0,size_class=<=128KB}}",
+    ]
+
+
+def test_observations_feed_the_right_latency_buckets():
+    latency = SizeClassLatency(MetricsRegistry())
+    latency.observe(100, 30.0)   # <=50 bucket
+    latency.observe(100, 30.0)
+    latency.observe(100, 9999.0)  # overflow bucket
+    histogram = latency._histograms["<=128B"]
+    assert histogram.total == 3
+    assert histogram.counts[histogram.bucket_of(30.0)] == 2
+    assert histogram.counts[-1] == 1
+    assert list(histogram.bounds) == list(LATENCY_BOUNDS_US)
+
+
+def test_snapshot_is_sorted_and_deterministic():
+    def build():
+        latency = SizeClassLatency(MetricsRegistry())
+        for nbytes, us in ((70_000, 900.0), (100, 30.0), (120, 60.0)):
+            latency.observe(nbytes, us)
+        return latency.snapshot()
+
+    first, second = build(), build()
+    assert first == second
+    assert list(first) == sorted(first)
+    assert first["<=128B"]["<=50"] == 1
+    assert first["<=128B"]["<=100"] == 1
+    assert first["<=128KB"]["<=1600"] == 1
+    assert sum(first["<=128B"].values()) == 2
